@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"table1", "fig1", "fig11", "ablation-k"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestNoExperimentSelected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("want error when no experiment is selected")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig99", "-q"}, &buf); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestRunAnalyticExperimentText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-q"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MaxVarHM") || !strings.Contains(out, "HM < PM < Duchi") {
+		t.Errorf("unexpected table1 output:\n%s", out)
+	}
+}
+
+func TestRunTSVToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.tsv")
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig1", "-format", "tsv", "-out", path, "-q"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "eps\tlaplace\tduchi\tpm\thm") {
+		t.Errorf("TSV header missing:\n%s", string(data[:200]))
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig1,fig3", "-q"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# fig1") || !strings.Contains(out, "# fig3") {
+		t.Error("expected both fig1 and fig3 sections")
+	}
+}
+
+func TestRunWithCustomEps(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "ablation-alpha", "-eps", "1,2", "-q"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseEpsList(t *testing.T) {
+	got, err := parseEpsList("0.5, 1,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.5 || got[1] != 1 || got[2] != 4 {
+		t.Errorf("parseEpsList = %v", got)
+	}
+	if _, err := parseEpsList("abc"); err == nil {
+		t.Error("want error for non-numeric eps")
+	}
+	if _, err := parseEpsList("1,-2"); err == nil {
+		t.Error("want error for non-positive eps")
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	if orDefault(0, 5) != 5 || orDefault(3, 5) != 3 || orDefault(-1, 5) != 5 {
+		t.Error("orDefault wrong")
+	}
+}

@@ -1,0 +1,99 @@
+// Command ldpclient simulates a population of users submitting randomized
+// reports to a running ldpserver instance.
+//
+// Usage:
+//
+//	ldpclient -addr http://127.0.0.1:8080 -dataset br -eps 1 -n 10000
+//
+// The dataset and eps flags must match the server's configuration. Each
+// simulated user derives an independent randomness stream from the seed,
+// perturbs one synthetic census record locally, and uploads only the
+// perturbed frame.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"ldp/internal/core"
+	"ldp/internal/dataset"
+	"ldp/internal/freq"
+	"ldp/internal/mech"
+	"ldp/internal/rng"
+	"ldp/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ldpclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ldpclient", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "aggregator base URL")
+		name    = fs.String("dataset", "br", "population to simulate: br or mx")
+		eps     = fs.Float64("eps", 1, "privacy budget")
+		n       = fs.Int("n", 10000, "number of users to simulate")
+		seed    = fs.Uint64("seed", 1, "base PRNG seed")
+		workers = fs.Int("workers", 8, "concurrent uploaders")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var c *dataset.Census
+	switch *name {
+	case "br":
+		c = dataset.NewBR()
+	case "mx":
+		c = dataset.NewMX()
+	default:
+		return fmt.Errorf("unknown dataset %q (want br or mx)", *name)
+	}
+	pm := func(e float64) (mech.Mechanism, error) { return core.NewPiecewise(e) }
+	oue := func(e float64, k int) (freq.Oracle, error) { return freq.NewOUE(e, k) }
+	col, err := core.NewCollector(c.Schema(), *eps, pm, oue)
+	if err != nil {
+		return err
+	}
+
+	var sent, failed atomic.Int64
+	var wg sync.WaitGroup
+	ids := make(chan uint64, 1024)
+	if *workers < 1 {
+		*workers = 1
+	}
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := transport.NewClient(*addr, col, nil)
+			for id := range ids {
+				r := rng.NewStream(*seed, id)
+				if err := client.SendTuple(c.Tuple(r), r); err != nil {
+					if failed.Add(1) <= 3 {
+						log.Printf("user %d: %v", id, err)
+					}
+					continue
+				}
+				sent.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		ids <- uint64(i)
+	}
+	close(ids)
+	wg.Wait()
+	log.Printf("sent %d reports (%d failed)", sent.Load(), failed.Load())
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d of %d reports failed", failed.Load(), *n)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"ldp/internal/core"
+	"ldp/internal/dataset"
+	"ldp/internal/freq"
+	"ldp/internal/mech"
+	"ldp/internal/transport"
+)
+
+func TestRejectsUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "nope"}); err == nil {
+		t.Error("want error for unknown dataset")
+	}
+}
+
+func TestReportsUploadFailures(t *testing.T) {
+	// Nothing listens on this port: every send fails and run() reports it.
+	err := run([]string{"-dataset", "br", "-n", "3", "-workers", "2", "-addr", "http://127.0.0.1:1"})
+	if err == nil {
+		t.Error("want error when the aggregator is unreachable")
+	}
+}
+
+func TestUploadsToLiveServer(t *testing.T) {
+	c := dataset.NewBR()
+	pm := func(e float64) (mech.Mechanism, error) { return core.NewPiecewise(e) }
+	oue := func(e float64, k int) (freq.Oracle, error) { return freq.NewOUE(e, k) }
+	col, err := core.NewCollector(c.Schema(), 1, pm, oue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := core.NewAggregator(col)
+	srv := httptest.NewServer(transport.NewServer(agg, nil))
+	defer srv.Close()
+
+	if err := run([]string{"-dataset", "br", "-eps", "1", "-n", "50", "-addr", srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if agg.N() != 50 {
+		t.Errorf("server received %d reports, want 50", agg.N())
+	}
+}

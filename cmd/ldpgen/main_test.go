@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateBRToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "br.csv")
+	if err := run([]string{"-dataset", "br", "-n", "25", "-seed", "3", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 26 { // header + 25 rows
+		t.Fatalf("got %d lines, want 26", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "age,income,") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv")
+	for _, p := range []string{a, b} {
+		if err := run([]string{"-dataset", "mx", "-n", "10", "-seed", "7", "-out", p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Error("same seed must generate identical CSVs")
+	}
+}
+
+func TestGenerateRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-dataset", "xx"}); err == nil {
+		t.Error("want error for unknown dataset")
+	}
+	if err := run([]string{"-dataset", "br", "-n", "0"}); err == nil {
+		t.Error("want error for n=0")
+	}
+}

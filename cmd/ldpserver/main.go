@@ -1,0 +1,98 @@
+// Command ldpserver runs the aggregator service: it accepts randomized
+// reports over HTTP, optionally persists them to a crash-recoverable
+// report log, and serves mean/frequency estimates.
+//
+// Usage:
+//
+//	ldpserver -addr :8080 -dataset br -eps 1 -logdir /var/lib/ldp
+//
+// The schema (and the privacy budget, which fixes the oracle debiasing
+// parameters) must match what the clients use. On startup, any existing
+// report log is recovered and replayed so estimates survive restarts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"ldp/internal/core"
+	"ldp/internal/dataset"
+	"ldp/internal/freq"
+	"ldp/internal/mech"
+	"ldp/internal/reportlog"
+	"ldp/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ldpserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ldpserver", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:8080", "listen address")
+		name   = fs.String("dataset", "br", "schema to serve: br or mx")
+		eps    = fs.Float64("eps", 1, "privacy budget the clients use")
+		logdir = fs.String("logdir", "", "report log directory (empty = no persistence)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var c *dataset.Census
+	switch *name {
+	case "br":
+		c = dataset.NewBR()
+	case "mx":
+		c = dataset.NewMX()
+	default:
+		return fmt.Errorf("unknown dataset %q (want br or mx)", *name)
+	}
+
+	pm := func(e float64) (mech.Mechanism, error) { return core.NewPiecewise(e) }
+	oue := func(e float64, k int) (freq.Oracle, error) { return freq.NewOUE(e, k) }
+	col, err := core.NewCollector(c.Schema(), *eps, pm, oue)
+	if err != nil {
+		return err
+	}
+	agg := core.NewAggregator(col)
+
+	var sink transport.Sink
+	if *logdir != "" {
+		stats, err := reportlog.Recover(*logdir)
+		if err != nil {
+			return fmt.Errorf("recover report log: %w", err)
+		}
+		if stats.Records > 0 {
+			n, err := transport.Replay(agg, func(fn func([]byte) error) error {
+				_, err := reportlog.Replay(*logdir, fn)
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("replay report log: %w", err)
+			}
+			log.Printf("replayed %d reports from %s", n, *logdir)
+		}
+		w, err := reportlog.Open(*logdir, 64<<20)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		sink = w
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           transport.NewServer(agg, sink),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("aggregator for %q (d=%d, eps=%g, k=%d) listening on %s",
+		*name, c.Schema().Dim(), *eps, col.K(), *addr)
+	return srv.ListenAndServe()
+}

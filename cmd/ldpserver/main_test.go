@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRejectsUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "nope", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("want error for unknown dataset")
+	}
+}
+
+func TestRejectsBadEps(t *testing.T) {
+	if err := run([]string{"-dataset", "br", "-eps", "-1", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("want error for negative eps")
+	}
+}
+
+func TestRejectsBadLogDir(t *testing.T) {
+	// A log directory that is actually a file must fail before serving.
+	if err := run([]string{"-dataset", "br", "-logdir", "/dev/null/xx", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("want error for unusable log directory")
+	}
+}

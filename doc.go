@@ -1,0 +1,27 @@
+// Package ldp is a Go implementation of "Collecting and Analyzing
+// Multidimensional Data with Local Differential Privacy" (Wang et al.,
+// ICDE 2019): the Piecewise Mechanism (PM) and Hybrid Mechanism (HM) for
+// numeric data, the attribute-sampling collector for multidimensional
+// records mixing numeric and categorical attributes (Algorithm 4), the
+// frequency oracles and baseline mechanisms the paper evaluates against,
+// and an LDP-compliant stochastic gradient descent for linear regression,
+// logistic regression and SVM classification.
+//
+// This root package is the public facade: it re-exports the implementation
+// packages under internal/ as a single coherent API. Quick tour:
+//
+//	m, _ := ldp.NewPiecewise(1.0)           // 1-D mechanism at eps = 1
+//	r := ldp.NewRand(42)
+//	noisy := m.Perturb(0.25, r)              // unbiased, in [-C, C]
+//
+//	// Multidimensional collection (Algorithm 4):
+//	col, _ := ldp.NewCollector(schema, 1.0, ldp.PM, ldp.OUE)
+//	agg := ldp.NewAggregator(col)
+//	rep, _ := col.Perturb(tuple, r)          // on the user's device
+//	_ = agg.Add(rep)                         // at the aggregator
+//	means := agg.MeanEstimates()
+//
+// See the examples/ directory for runnable end-to-end programs and
+// cmd/ldpbench for the harness that regenerates every table and figure of
+// the paper's evaluation.
+package ldp

@@ -1,0 +1,53 @@
+package ldp
+
+import (
+	"ldp/internal/audit"
+	"ldp/internal/freq"
+	"ldp/internal/hist"
+	"ldp/internal/mech"
+)
+
+// Distribution estimation (histograms over a numeric attribute).
+type (
+	// HistogramCollector randomizes a numeric value's bin membership.
+	HistogramCollector = hist.Collector
+	// HistogramEstimator aggregates responses into a distribution
+	// estimate with mean/quantile/range queries.
+	HistogramEstimator = hist.Estimator
+)
+
+// NewHistogramCollector builds a histogram collector over [-1, 1] with the
+// given bin count; oracle may be nil to use OUE.
+func NewHistogramCollector(eps float64, bins int, oracle OracleFactory) (*HistogramCollector, error) {
+	var f freq.Factory
+	if oracle != nil {
+		f = freq.Factory(oracle)
+	}
+	return hist.NewCollector(eps, bins, f)
+}
+
+// NewHistogramEstimator builds the matching aggregator-side estimator.
+func NewHistogramEstimator(c *HistogramCollector) *HistogramEstimator {
+	return hist.NewEstimator(c)
+}
+
+// ProjectSimplex returns the Euclidean projection of v onto the
+// probability simplex (useful for post-processing any debiased frequency
+// vector).
+func ProjectSimplex(v []float64) []float64 { return hist.ProjectSimplex(v) }
+
+// Privacy auditing.
+type (
+	// AuditConfig tunes the black-box eps-LDP audit.
+	AuditConfig = audit.Config
+	// AuditResult is the audit verdict.
+	AuditResult = audit.Result
+)
+
+// Audit empirically checks a mechanism's eps-LDP guarantee from samples
+// alone: it discretizes outputs for a grid of input pairs and bounds the
+// binned likelihood ratios. A Violated result is statistical evidence the
+// mechanism leaks more than its claimed Epsilon.
+func Audit(m Mechanism, cfg AuditConfig) AuditResult {
+	return audit.Mechanism(mech.Mechanism(m), cfg)
+}

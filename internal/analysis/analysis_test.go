@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"ldp/internal/core"
+	"ldp/internal/duchi"
+	"ldp/internal/mech"
+	"ldp/internal/noise"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestClosedFormsMatchMechanisms(t *testing.T) {
+	// The analysis formulas are written independently of the mechanism
+	// structs; they must agree everywhere.
+	for _, eps := range []float64{0.2, 0.61, 1, 1.29, 2, 5, 8} {
+		pm, _ := core.NewPiecewise(eps)
+		hm, _ := core.NewHybrid(eps)
+		du, _ := duchi.NewOneDim(eps)
+		la, _ := noise.NewLaplace(eps)
+		for _, ti := range []float64{0, 0.3, 0.8, 1} {
+			if !almostEqual(VarPM(eps, ti), pm.Variance(ti), 1e-9*pm.Variance(ti)) {
+				t.Errorf("eps=%v t=%v: VarPM mismatch", eps, ti)
+			}
+			if !almostEqual(VarHM(eps, ti), hm.Variance(ti), 1e-9*hm.Variance(ti)) {
+				t.Errorf("eps=%v t=%v: VarHM mismatch", eps, ti)
+			}
+			if !almostEqual(VarDuchi(eps, ti), du.Variance(ti), 1e-9*du.Variance(ti)) {
+				t.Errorf("eps=%v t=%v: VarDuchi mismatch", eps, ti)
+			}
+		}
+		if !almostEqual(VarLaplace(eps), la.Variance(0), 1e-9*la.Variance(0)) {
+			t.Errorf("eps=%v: VarLaplace mismatch", eps)
+		}
+		if !almostEqual(MaxVarPM(eps), pm.WorstCaseVariance(), 1e-9*MaxVarPM(eps)) {
+			t.Errorf("eps=%v: MaxVarPM mismatch", eps)
+		}
+		if !almostEqual(MaxVarHM(eps), hm.WorstCaseVariance(), 1e-9*MaxVarHM(eps)) {
+			t.Errorf("eps=%v: MaxVarHM mismatch", eps)
+		}
+	}
+}
+
+func TestMaxVarPMIsMaxOverT(t *testing.T) {
+	for _, eps := range []float64{0.5, 2} {
+		max := 0.0
+		for ti := 0.0; ti <= 1.0001; ti += 0.01 {
+			max = math.Max(max, VarPM(eps, math.Min(ti, 1)))
+		}
+		if !almostEqual(max, MaxVarPM(eps), 1e-9*max) {
+			t.Errorf("eps=%v: grid max %v != MaxVarPM %v", eps, max, MaxVarPM(eps))
+		}
+	}
+}
+
+func TestCrossoverMatchesEpsSharp(t *testing.T) {
+	// The numerically solved PM/Duchi crossover must equal the paper's
+	// closed-form eps#.
+	got, err := CrossoverPMDuchi()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, EpsSharp(), 1e-6) {
+		t.Errorf("crossover = %v, want eps# = %v", got, EpsSharp())
+	}
+}
+
+func TestNumericAlphaMatchesLemma3(t *testing.T) {
+	// Grid search over alpha must land on Eq. 7's closed form.
+	for _, eps := range []float64{0.3, 0.5, 0.7, 1, 2, 4} {
+		got := NumericOptimalAlpha(eps, 20000)
+		want := OptimalAlpha(eps)
+		if !almostEqual(got, want, 1e-3) {
+			t.Errorf("eps=%v: numeric alpha %v, want %v", eps, got, want)
+		}
+	}
+}
+
+func TestTableID1Regimes(t *testing.T) {
+	star, sharp := EpsStar(), EpsSharp()
+	cases := []struct {
+		eps  float64
+		want Ordering
+	}{
+		{sharp + 0.5, HMltPMltDu},
+		{4, HMltPMltDu},
+		{sharp, HMltPMeqDu},
+		{(star + sharp) / 2, HMltDultPM},
+		{0.8, HMltDultPM},
+		{star, HMeqDultPM},
+		{0.3, HMeqDultPM},
+		{0.05, HMeqDultPM},
+	}
+	for _, c := range cases {
+		if got := ClassifyD1(c.eps); got != c.want {
+			t.Errorf("ClassifyD1(%v) = %q, want %q", c.eps, got, c.want)
+		}
+	}
+}
+
+func TestCorollary2MultidimDominance(t *testing.T) {
+	// For every d > 1 and eps > 0: MaxVarHM < MaxVarPM < MaxVarDuchi
+	// (per coordinate, with the Eq. 12 sampling rule).
+	for _, d := range []int{2, 3, 5, 10, 20, 40, 90} {
+		for eps := 0.1; eps <= 8.01; eps += 0.1 {
+			h := MaxVarHMMulti(eps, d)
+			p := MaxVarPMMulti(eps, d)
+			du := MaxVarDuchiMulti(eps, d)
+			if !(h < p) {
+				t.Errorf("d=%d eps=%.2f: MaxVarHM %v !< MaxVarPM %v", d, eps, h, p)
+			}
+			if !(p < du) {
+				t.Errorf("d=%d eps=%.2f: MaxVarPM %v !< MaxVarDuchi %v", d, eps, p, du)
+			}
+		}
+	}
+}
+
+func TestFig3RatiosBelowOne(t *testing.T) {
+	// Figure 3: the PM/HM-to-Duchi worst-case ratio stays below 1, and
+	// for HM below ~0.77 for the plotted dimensionalities.
+	for _, d := range []int{5, 10, 20, 40} {
+		for eps := 0.1; eps <= 8.01; eps += 0.1 {
+			du := MaxVarDuchiMulti(eps, d)
+			if r := MaxVarPMMulti(eps, d) / du; r >= 1 {
+				t.Errorf("d=%d eps=%.2f: PM ratio %v >= 1", d, eps, r)
+			}
+			if r := MaxVarHMMulti(eps, d) / du; r > 0.77 {
+				t.Errorf("d=%d eps=%.2f: HM ratio %v > 0.77", d, eps, r)
+			}
+		}
+	}
+}
+
+func TestMultiFormulasMatchCollector(t *testing.T) {
+	// Eq. 14 / corrected Eq. 15 must match the collector's generic
+	// (d/k) E[x^2] - t^2 computation.
+	pmFactory := func(e float64) (mech.Mechanism, error) { return core.NewPiecewise(e) }
+	hmFactory := func(e float64) (mech.Mechanism, error) { return core.NewHybrid(e) }
+	for _, d := range []int{1, 4, 16} {
+		for _, eps := range []float64{0.5, 1, 4, 8} {
+			cp, err := core.NewNumericCollector(pmFactory, eps, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := core.NewNumericCollector(hmFactory, eps, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ti := range []float64{0, 0.5, 1} {
+				if got, want := VarPMMulti(eps, d, ti), cp.CoordinateVariance(ti); !almostEqual(got, want, 1e-9*want) {
+					t.Errorf("d=%d eps=%v t=%v: VarPMMulti %v != collector %v", d, eps, ti, got, want)
+				}
+				if got, want := VarHMMulti(eps, d, ti), ch.CoordinateVariance(ti); !almostEqual(got, want, 1e-9*want) {
+					t.Errorf("d=%d eps=%v t=%v: VarHMMulti %v != collector %v", d, eps, ti, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxVarDuchiMultiMatchesMechanism(t *testing.T) {
+	for _, d := range []int{2, 7, 16} {
+		for _, eps := range []float64{0.5, 2} {
+			m, err := duchi.NewMulti(eps, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := MaxVarDuchiMulti(eps, d), m.WorstCaseCoordinateVariance(); !almostEqual(got, want, 1e-9*want) {
+				t.Errorf("d=%d eps=%v: %v != %v", d, eps, got, want)
+			}
+		}
+	}
+}
+
+func TestFig1ShapeLaplaceVsDuchiCrossover(t *testing.T) {
+	// Figure 1's qualitative shape: Duchi beats Laplace at small eps but
+	// loses at large eps (its variance is bounded below by 1).
+	if !(MaxVarDuchi(0.5) < VarLaplace(0.5)) {
+		t.Error("at eps=0.5 Duchi should beat Laplace")
+	}
+	if !(MaxVarDuchi(6) > VarLaplace(6)) {
+		t.Error("at eps=6 Laplace should beat Duchi")
+	}
+	// Duchi's variance never drops below 1.
+	if MaxVarDuchi(50) < 1 {
+		t.Error("Duchi worst-case variance must stay above 1")
+	}
+}
+
+func TestHMBestEverywhere1D(t *testing.T) {
+	// Fig. 1: the HM curve lower-bounds PM, Duchi and Laplace throughout.
+	for eps := 0.05; eps <= 8; eps += 0.05 {
+		h := MaxVarHM(eps)
+		if h > MaxVarPM(eps)+1e-12 || h > MaxVarDuchi(eps)+1e-12 || h > VarLaplace(eps)+1e-12 {
+			t.Errorf("eps=%v: HM %v not minimal among {PM %v, Duchi %v, Laplace %v}",
+				eps, h, MaxVarPM(eps), MaxVarDuchi(eps), VarLaplace(eps))
+		}
+	}
+}

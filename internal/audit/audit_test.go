@@ -1,0 +1,129 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"ldp/internal/core"
+	"ldp/internal/duchi"
+	"ldp/internal/mech"
+	"ldp/internal/noise"
+)
+
+func quickCfg() Config {
+	return Config{Samples: 60_000, Bins: 24, Seed: 99}
+}
+
+func auditTargets(t *testing.T, eps float64) map[string]mech.Mechanism {
+	t.Helper()
+	pm, err := core.NewPiecewise(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := core.NewHybrid(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	du, err := duchi.NewOneDim(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := noise.NewLaplace(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := noise.NewSCDF(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := noise.NewStaircase(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]mech.Mechanism{
+		"pm": pm, "hm": hm, "duchi": du, "laplace": la, "scdf": sc, "staircase": st,
+	}
+}
+
+func TestAllMechanismsPassAudit(t *testing.T) {
+	for _, eps := range []float64{0.5, 2} {
+		for name, m := range auditTargets(t, eps) {
+			res := Mechanism(m, quickCfg())
+			if res.Violated {
+				t.Errorf("eps=%v %s: audit flagged a violation: %s", eps, name, res)
+			}
+		}
+	}
+}
+
+func TestAuditDetectsOverclaim(t *testing.T) {
+	// A mechanism actually spending eps=3 but claiming eps=0.5 must be
+	// caught: its output distributions differ far more than e^0.5 allows.
+	real, err := core.NewPiecewise(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Mechanism(Overclaim(real, 0.5), quickCfg())
+	if !res.Violated {
+		t.Errorf("audit failed to flag an eps=3 mechanism claiming eps=0.5: %s", res)
+	}
+}
+
+func TestAuditDetectsOverclaimTwoPoint(t *testing.T) {
+	// Same for the two-point Duchi mechanism, whose violation shows up
+	// directly in the two output atoms.
+	real, err := duchi.NewOneDim(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Mechanism(Overclaim(real, 1), quickCfg())
+	if !res.Violated {
+		t.Errorf("audit failed to flag an eps=4 Duchi claiming eps=1: %s", res)
+	}
+}
+
+func TestAuditNearTightForDuchi(t *testing.T) {
+	// Duchi's ratio bound is achieved exactly at t=1 vs t'=-1, so the
+	// point estimate should approach eps from below.
+	const eps = 1.0
+	du, err := duchi.NewOneDim(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Mechanism(du, Config{Samples: 200_000, Bins: 16, Seed: 5})
+	if res.WorstPointEstimate < 0.8*eps {
+		t.Errorf("point estimate %v should be close to eps=%v for Duchi", res.WorstPointEstimate, eps)
+	}
+	if res.Violated {
+		t.Errorf("tightness must not be flagged as violation: %s", res)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	pm, _ := core.NewPiecewise(1)
+	res := Mechanism(pm, quickCfg())
+	s := res.String()
+	if !strings.Contains(s, "consistent with") {
+		t.Errorf("unexpected verdict string: %s", s)
+	}
+	res.Violated = true
+	if !strings.Contains(res.String(), "VIOLATES") {
+		t.Error("violation verdict missing")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Samples <= 0 || c.Bins <= 0 || len(c.Inputs) == 0 || c.Z <= 0 || c.Seed == 0 {
+		t.Errorf("normalized config incomplete: %+v", c)
+	}
+}
+
+func TestAuditDeterministic(t *testing.T) {
+	pm, _ := core.NewPiecewise(1)
+	a := Mechanism(pm, quickCfg())
+	b := Mechanism(pm, quickCfg())
+	if a.WorstLowerBound != b.WorstLowerBound || a.WorstPointEstimate != b.WorstPointEstimate {
+		t.Error("audit must be deterministic for a fixed seed")
+	}
+}

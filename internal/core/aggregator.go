@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ldp/internal/freq"
+	"ldp/internal/schema"
+)
+
+// Aggregator is the server-side estimator for reports produced by a
+// Collector. It accumulates scaled numeric sums per attribute and
+// frequency-oracle support counts per categorical attribute, and answers
+// mean and frequency queries:
+//
+//   - the mean of numeric attribute j is estimated by sum_j / n over all n
+//     users (unsampled users contribute 0; the d/k scaling in the reports
+//     makes this unbiased, Lemma 4);
+//   - the frequency of value v of categorical attribute j is estimated by
+//     debiasing support counts over the users that actually reported j
+//     (a uniform random subsample of the population).
+//
+// Aggregator is safe for concurrent use.
+type Aggregator struct {
+	mu      sync.Mutex
+	sch     *schema.Schema
+	n       int64
+	numSum  []float64
+	catEst  []*freq.Estimator // indexed by attribute; nil for numeric
+	oracles []freq.Oracle
+	numVar  float64 // worst-case per-coordinate variance of numeric reports
+}
+
+// NewAggregator creates an aggregator matching the collector's
+// configuration (schema, budget split, and oracle parameters).
+func NewAggregator(c *Collector) *Aggregator {
+	d := c.sch.Dim()
+	a := &Aggregator{
+		sch:     c.sch,
+		numSum:  make([]float64, d),
+		catEst:  make([]*freq.Estimator, d),
+		oracles: c.oracles,
+		numVar:  c.WorstCaseNumericVariance(),
+	}
+	for i, o := range c.oracles {
+		if o != nil {
+			a.catEst[i] = freq.NewEstimator(o)
+		}
+	}
+	return a
+}
+
+// Add folds one user report into the aggregate state.
+func (a *Aggregator) Add(rep Report) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, e := range rep.Entries {
+		if e.Attr < 0 || e.Attr >= a.sch.Dim() {
+			return fmt.Errorf("core: report entry attribute %d out of range [0,%d)", e.Attr, a.sch.Dim())
+		}
+		isNum := a.sch.Attrs[e.Attr].Kind == schema.Numeric
+		if isNum != (e.Kind == EntryNumeric) {
+			return fmt.Errorf("core: report entry kind %d does not match attribute %q", e.Kind, a.sch.Attrs[e.Attr].Name)
+		}
+	}
+	a.n++
+	for _, e := range rep.Entries {
+		if e.Kind == EntryNumeric {
+			a.numSum[e.Attr] += e.Value
+		} else {
+			a.catEst[e.Attr].Add(e.Resp)
+		}
+	}
+	return nil
+}
+
+// N returns the number of reports received.
+func (a *Aggregator) N() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// Merge combines another aggregator built from the same collector
+// configuration.
+func (a *Aggregator) Merge(o *Aggregator) {
+	o.mu.Lock()
+	nsum := make([]float64, len(o.numSum))
+	copy(nsum, o.numSum)
+	on := o.n
+	o.mu.Unlock()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n += on
+	for i, s := range nsum {
+		a.numSum[i] += s
+	}
+	for i, est := range a.catEst {
+		if est != nil {
+			est.Merge(o.catEst[i])
+		}
+	}
+}
+
+// MeanEstimate returns the estimated mean of numeric attribute attr.
+func (a *Aggregator) MeanEstimate(attr int) (float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if attr < 0 || attr >= a.sch.Dim() {
+		return 0, fmt.Errorf("core: attribute %d out of range", attr)
+	}
+	if a.sch.Attrs[attr].Kind != schema.Numeric {
+		return 0, fmt.Errorf("core: attribute %q is not numeric", a.sch.Attrs[attr].Name)
+	}
+	if a.n == 0 {
+		return 0, nil
+	}
+	return a.numSum[attr] / float64(a.n), nil
+}
+
+// MeanEstimates returns estimated means for every numeric attribute, in
+// schema order (aligned with Schema().NumericIdx()).
+func (a *Aggregator) MeanEstimates() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []float64
+	for i, at := range a.sch.Attrs {
+		if at.Kind != schema.Numeric {
+			continue
+		}
+		if a.n == 0 {
+			out = append(out, 0)
+		} else {
+			out = append(out, a.numSum[i]/float64(a.n))
+		}
+	}
+	return out
+}
+
+// MeanCI returns the estimated mean of numeric attribute attr together
+// with a normal-approximation confidence half-width at the given z value
+// (1.96 for 95%), derived from the mechanism's worst-case per-report
+// variance: halfWidth = z * sqrt(maxVar / n). It is conservative — the
+// true variance depends on the data (Lemma 1 / Eq. 14) and is never
+// larger.
+func (a *Aggregator) MeanCI(attr int, z float64) (mean, halfWidth float64, err error) {
+	mean, err = a.MeanEstimate(attr)
+	if err != nil {
+		return 0, 0, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.n == 0 {
+		return mean, math.Inf(1), nil
+	}
+	return mean, z * math.Sqrt(a.numVar/float64(a.n)), nil
+}
+
+// FreqCI returns the estimated frequency of value v of categorical
+// attribute attr with a normal-approximation confidence half-width at z,
+// using the oracle's theoretical estimator variance over the users that
+// reported this attribute.
+func (a *Aggregator) FreqCI(attr, v int, z float64) (f, halfWidth float64, err error) {
+	ests, err := a.FreqEstimates(attr)
+	if err != nil {
+		return 0, 0, err
+	}
+	if v < 0 || v >= len(ests) {
+		return 0, 0, fmt.Errorf("core: value %d out of range [0,%d)", v, len(ests))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	est := a.catEst[attr]
+	if est.N() == 0 {
+		return ests[v], math.Inf(1), nil
+	}
+	// Clamp the plug-in frequency into [0,1] for the variance formula.
+	plug := math.Min(1, math.Max(0, ests[v]))
+	variance := freq.TheoreticalVariance(a.oracles[attr], plug, int(est.N()))
+	return ests[v], z * math.Sqrt(variance), nil
+}
+
+// FreqEstimates returns the debiased frequency estimates for every value of
+// categorical attribute attr.
+func (a *Aggregator) FreqEstimates(attr int) ([]float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if attr < 0 || attr >= a.sch.Dim() {
+		return nil, fmt.Errorf("core: attribute %d out of range", attr)
+	}
+	est := a.catEst[attr]
+	if est == nil {
+		return nil, fmt.Errorf("core: attribute %q is not categorical", a.sch.Attrs[attr].Name)
+	}
+	return est.Estimates(), nil
+}
+
+// Schema returns the aggregator's schema.
+func (a *Aggregator) Schema() *schema.Schema { return a.sch }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+func TestMeanCICoverage(t *testing.T) {
+	// Repeated collections: the 95% interval around the mean estimate
+	// should cover the true mean in at least ~95% of repetitions (it is
+	// conservative, so higher coverage is fine).
+	s := testSchema(t)
+	col, err := NewCollector(s, 1, pmFactory, oueFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reps, n = 120, 3000
+	const trueMean = 0.3
+	covered := 0
+	r := rng.New(91)
+	for rep := 0; rep < reps; rep++ {
+		agg := NewAggregator(col)
+		for i := 0; i < n; i++ {
+			tup := schema.NewTuple(s)
+			tup.Num[0] = trueMean
+			rp, err := col.Perturb(tup, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := agg.Add(rp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mean, hw, err := agg.MeanCI(0, 1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-trueMean) <= hw {
+			covered++
+		}
+	}
+	if rate := float64(covered) / reps; rate < 0.93 {
+		t.Errorf("MeanCI coverage = %v, want >= 0.93", rate)
+	}
+}
+
+func TestMeanCIShrinksWithN(t *testing.T) {
+	s := testSchema(t)
+	col, _ := NewCollector(s, 1, pmFactory, oueFactory)
+	r := rng.New(92)
+	widths := make([]float64, 0, 2)
+	for _, n := range []int{500, 5000} {
+		agg := NewAggregator(col)
+		for i := 0; i < n; i++ {
+			tup := schema.NewTuple(s)
+			rp, _ := col.Perturb(tup, r)
+			if err := agg.Add(rp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, hw, err := agg.MeanCI(0, 1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		widths = append(widths, hw)
+	}
+	// 10x users -> sqrt(10) ~ 3.16x narrower.
+	ratio := widths[0] / widths[1]
+	if ratio < 2.5 || ratio > 4 {
+		t.Errorf("CI width ratio = %v, want ~sqrt(10)", ratio)
+	}
+}
+
+func TestMeanCIEmptyAndErrors(t *testing.T) {
+	s := testSchema(t)
+	col, _ := NewCollector(s, 1, pmFactory, oueFactory)
+	agg := NewAggregator(col)
+	_, hw, err := agg.MeanCI(0, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(hw, 1) {
+		t.Errorf("empty aggregator half-width = %v, want +Inf", hw)
+	}
+	if _, _, err := agg.MeanCI(2, 1.96); err == nil {
+		t.Error("MeanCI on categorical attribute should error")
+	}
+}
+
+func TestFreqCICoverage(t *testing.T) {
+	s := testSchema(t)
+	col, err := NewCollector(s, 2, pmFactory, oueFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reps, n = 100, 4000
+	const trueFreq = 0.3 // value 0 of the binary "gender" attribute
+	covered := 0
+	r := rng.New(93)
+	for rep := 0; rep < reps; rep++ {
+		agg := NewAggregator(col)
+		for i := 0; i < n; i++ {
+			tup := schema.NewTuple(s)
+			if !rng.Bernoulli(r, trueFreq) {
+				tup.Cat[2] = 1
+			}
+			rp, err := col.Perturb(tup, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := agg.Add(rp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f, hw, err := agg.FreqCI(2, 0, 1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f-trueFreq) <= hw {
+			covered++
+		}
+	}
+	// The oracle variance formula ignores attribute-sampling variation,
+	// so allow slightly lower coverage than nominal.
+	if rate := float64(covered) / reps; rate < 0.88 {
+		t.Errorf("FreqCI coverage = %v, want >= 0.88", rate)
+	}
+}
+
+func TestFreqCIErrors(t *testing.T) {
+	s := testSchema(t)
+	col, _ := NewCollector(s, 1, pmFactory, oueFactory)
+	agg := NewAggregator(col)
+	if _, _, err := agg.FreqCI(0, 0, 1.96); err == nil {
+		t.Error("FreqCI on numeric attribute should error")
+	}
+	if _, _, err := agg.FreqCI(2, 9, 1.96); err == nil {
+		t.Error("FreqCI with out-of-range value should error")
+	}
+	_, hw, err := agg.FreqCI(2, 0, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(hw, 1) {
+		t.Errorf("empty aggregator freq half-width = %v, want +Inf", hw)
+	}
+}

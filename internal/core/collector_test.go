@@ -1,0 +1,396 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldp/internal/freq"
+	"ldp/internal/mech"
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+	"ldp/internal/stats"
+)
+
+func pmFactory(eps float64) (mech.Mechanism, error)      { return NewPiecewise(eps) }
+func hmFactory(eps float64) (mech.Mechanism, error)      { return NewHybrid(eps) }
+func oueFactory(eps float64, k int) (freq.Oracle, error) { return freq.NewOUE(eps, k) }
+
+func TestKForRule(t *testing.T) {
+	cases := []struct {
+		eps  float64
+		d    int
+		want int
+	}{
+		{0.5, 10, 1},
+		{2.4, 10, 1},
+		{2.5, 10, 1},
+		{2.6, 10, 1},
+		{5, 10, 2},
+		{7.5, 10, 3},
+		{7.6, 10, 3},
+		{10, 10, 4},
+		{100, 10, 10}, // capped at d
+		{100, 3, 3},
+		{0.1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := KFor(c.eps, c.d); got != c.want {
+			t.Errorf("KFor(%v, %d) = %d, want %d", c.eps, c.d, got, c.want)
+		}
+	}
+}
+
+func TestKForMonotoneProperty(t *testing.T) {
+	f := func(e1, e2 uint8, dRaw uint8) bool {
+		d := int(dRaw%20) + 1
+		a, b := float64(e1)/10, float64(e2)/10
+		if a == 0 {
+			a = 0.1
+		}
+		if b == 0 {
+			b = 0.1
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return KFor(a, d) <= KFor(b, d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumericCollectorValidation(t *testing.T) {
+	if _, err := NewNumericCollector(pmFactory, 0, 4); err == nil {
+		t.Error("want error for eps=0")
+	}
+	if _, err := NewNumericCollector(pmFactory, 1, 0); err == nil {
+		t.Error("want error for d=0")
+	}
+	if _, err := NewNumericCollectorK(pmFactory, 1, 4, 5); err == nil {
+		t.Error("want error for k>d")
+	}
+	if _, err := NewNumericCollectorK(pmFactory, 1, 4, 0); err == nil {
+		t.Error("want error for k=0")
+	}
+}
+
+func TestNumericCollectorSparsity(t *testing.T) {
+	c, err := NewNumericCollector(pmFactory, 6, 8) // k = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 2 {
+		t.Fatalf("K = %d, want 2", c.K())
+	}
+	r := rng.New(20)
+	in := make([]float64, 8)
+	for i := range in {
+		in[i] = 0.5
+	}
+	for trial := 0; trial < 200; trial++ {
+		out := c.PerturbVector(in, r)
+		nonzero := 0
+		for _, v := range out {
+			if v != 0 {
+				nonzero++
+			}
+		}
+		// PM output is continuous so sampled coordinates are almost
+		// surely nonzero.
+		if nonzero != 2 {
+			t.Fatalf("nonzero coordinates = %d, want 2", nonzero)
+		}
+	}
+}
+
+func TestNumericCollectorBudgetSplit(t *testing.T) {
+	c, _ := NewNumericCollector(pmFactory, 6, 8)
+	if !almostEqual(c.Inner().Epsilon(), 3, 1e-12) {
+		t.Errorf("inner budget = %v, want 3 (eps/k)", c.Inner().Epsilon())
+	}
+}
+
+func TestNumericCollectorUnbiased(t *testing.T) {
+	for _, factory := range []mech.Factory{pmFactory, hmFactory} {
+		c, err := NewNumericCollector(factory, 4, 5) // k = 1
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(21)
+		in := []float64{0.8, -0.3, 0.1, 1, -1}
+		const n = 300000
+		sums := make([]float64, 5)
+		for i := 0; i < n; i++ {
+			for j, v := range c.PerturbVector(in, r) {
+				sums[j] += v
+			}
+		}
+		for j := range sums {
+			got := sums[j] / n
+			tol := 5 * math.Sqrt(c.CoordinateVariance(in[j])/n)
+			if math.Abs(got-in[j]) > tol {
+				t.Errorf("%s coord %d: mean %v, want %v +- %v", c.Name(), j, got, in[j], tol)
+			}
+		}
+	}
+}
+
+func TestNumericCollectorVarianceMatchesEq14(t *testing.T) {
+	// Empirical per-coordinate variance must match the closed form, which
+	// for a PM inner mechanism is exactly Eq. 14.
+	c, _ := NewNumericCollector(pmFactory, 4, 5) // k=1
+	r := rng.New(22)
+	in := []float64{0, 0.5, -0.7, 1, 0.2}
+	const n = 300000
+	accs := make([]stats.Running, 5)
+	for i := 0; i < n; i++ {
+		for j, v := range c.PerturbVector(in, r) {
+			accs[j].Add(v)
+		}
+	}
+	for j := range accs {
+		want := c.CoordinateVariance(in[j])
+		if math.Abs(accs[j].Variance()-want) > 0.04*c.WorstCaseCoordinateVariance() {
+			t.Errorf("coord %d: var %v, want %v", j, accs[j].Variance(), want)
+		}
+	}
+}
+
+func TestEq14ClosedForm(t *testing.T) {
+	// CoordinateVariance with PM inner == the paper's Eq. 14 written out.
+	const eps, d = 4.0, 5
+	c, _ := NewNumericCollector(pmFactory, eps, d)
+	k := float64(c.K())
+	e := math.Exp(eps / (2 * k))
+	for _, ti := range []float64{0, 0.4, 1} {
+		want := float64(d)*(e+3)/(3*k*(e-1)*(e-1)) +
+			(float64(d)*e/(k*(e-1))-1)*ti*ti
+		if got := c.CoordinateVariance(ti); !almostEqual(got, want, 1e-9*want) {
+			t.Errorf("t=%v: CoordinateVariance = %v, want Eq.14 = %v", ti, got, want)
+		}
+	}
+}
+
+func TestNumericCollectorPanicsOnWrongLength(t *testing.T) {
+	c, _ := NewNumericCollector(pmFactory, 1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.PerturbVector([]float64{1, 2}, rng.New(23))
+}
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := schema.New(
+		schema.Attribute{Name: "age", Kind: schema.Numeric},
+		schema.Attribute{Name: "income", Kind: schema.Numeric},
+		schema.Attribute{Name: "gender", Kind: schema.Categorical, Cardinality: 2},
+		schema.Attribute{Name: "region", Kind: schema.Categorical, Cardinality: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCollectorEndToEnd(t *testing.T) {
+	// Full pipeline: population -> perturbed reports -> aggregator
+	// estimates of means and frequencies.
+	s := testSchema(t)
+	col, err := NewCollector(s, 1, pmFactory, oueFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(col)
+
+	const n = 200000
+	r := rng.New(24)
+	trueMeanAge, trueMeanIncome := 0.0, 0.0
+	genderCount := make([]float64, 2)
+	regionCount := make([]float64, 5)
+	for i := 0; i < n; i++ {
+		tup := schema.NewTuple(s)
+		tup.Num[0] = rng.Uniform(r, -1, 1)               // age
+		tup.Num[1] = rng.TruncGauss(r, 0.3, 0.25, -1, 1) // income
+		tup.Cat[2] = r.IntN(2)
+		tup.Cat[3] = int(math.Min(4, r.ExpFloat64()*1.5)) // skewed region
+		trueMeanAge += tup.Num[0]
+		trueMeanIncome += tup.Num[1]
+		genderCount[tup.Cat[2]]++
+		regionCount[tup.Cat[3]]++
+		rep, err := col.Perturb(tup, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trueMeanAge /= n
+	trueMeanIncome /= n
+
+	if agg.N() != n {
+		t.Fatalf("aggregator N = %d, want %d", agg.N(), n)
+	}
+	gotAge, err := agg.MeanEstimate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIncome, err := agg.MeanEstimate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerance from the collector's worst-case coordinate variance.
+	nc, _ := NewNumericCollector(pmFactory, 1, s.Dim())
+	tol := 6 * math.Sqrt(nc.WorstCaseCoordinateVariance()/n)
+	if math.Abs(gotAge-trueMeanAge) > tol {
+		t.Errorf("age mean: got %v, want %v +- %v", gotAge, trueMeanAge, tol)
+	}
+	if math.Abs(gotIncome-trueMeanIncome) > tol {
+		t.Errorf("income mean: got %v, want %v +- %v", gotIncome, trueMeanIncome, tol)
+	}
+
+	for attr, counts := range map[int][]float64{2: genderCount, 3: regionCount} {
+		got, err := agg.FreqEstimates(attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range counts {
+			want := counts[v] / n
+			// ~n*k/d users report this attribute.
+			nr := float64(n) * float64(col.K()) / float64(s.Dim())
+			ftol := 6 * math.Sqrt(freq.TheoreticalVariance(col.Oracle(attr), want, int(nr)))
+			if math.Abs(got[v]-want) > ftol {
+				t.Errorf("attr %d value %d: freq %v, want %v +- %v", attr, v, got[v], want, ftol)
+			}
+		}
+	}
+}
+
+func TestCollectorRejectsBadTuple(t *testing.T) {
+	s := testSchema(t)
+	col, _ := NewCollector(s, 1, pmFactory, oueFactory)
+	bad := schema.NewTuple(s)
+	bad.Num[0] = 3 // out of domain
+	if _, err := col.Perturb(bad, rng.New(25)); err == nil {
+		t.Error("want error for out-of-domain numeric value")
+	}
+	bad2 := schema.NewTuple(s)
+	bad2.Cat[2] = 9
+	if _, err := col.Perturb(bad2, rng.New(26)); err == nil {
+		t.Error("want error for out-of-range categorical value")
+	}
+	short := schema.Tuple{Num: []float64{0}, Cat: []int{0}}
+	if _, err := col.Perturb(short, rng.New(27)); err == nil {
+		t.Error("want error for wrong tuple arity")
+	}
+}
+
+func TestCollectorValidation(t *testing.T) {
+	s := testSchema(t)
+	if _, err := NewCollector(s, -1, pmFactory, oueFactory); err == nil {
+		t.Error("want error for negative eps")
+	}
+	var empty schema.Schema
+	if _, err := NewCollector(&empty, 1, pmFactory, oueFactory); err == nil {
+		t.Error("want error for empty schema")
+	}
+}
+
+func TestAggregatorRejectsOutOfRangeEntry(t *testing.T) {
+	s := testSchema(t)
+	col, _ := NewCollector(s, 1, pmFactory, oueFactory)
+	agg := NewAggregator(col)
+	if err := agg.Add(Report{Entries: []Entry{{Attr: 99, Value: 1}}}); err == nil {
+		t.Error("want error for out-of-range attribute")
+	}
+	if agg.N() != 0 {
+		t.Error("failed Add must not count the report")
+	}
+}
+
+func TestAggregatorQueryErrors(t *testing.T) {
+	s := testSchema(t)
+	col, _ := NewCollector(s, 1, pmFactory, oueFactory)
+	agg := NewAggregator(col)
+	if _, err := agg.MeanEstimate(2); err == nil {
+		t.Error("mean of categorical attribute should error")
+	}
+	if _, err := agg.MeanEstimate(-1); err == nil {
+		t.Error("mean of invalid attribute should error")
+	}
+	if _, err := agg.FreqEstimates(0); err == nil {
+		t.Error("frequencies of numeric attribute should error")
+	}
+	if _, err := agg.FreqEstimates(99); err == nil {
+		t.Error("frequencies of invalid attribute should error")
+	}
+	if got, err := agg.MeanEstimate(0); err != nil || got != 0 {
+		t.Error("empty aggregator mean should be 0, nil")
+	}
+}
+
+func TestAggregatorMerge(t *testing.T) {
+	s := testSchema(t)
+	col, _ := NewCollector(s, 1, pmFactory, oueFactory)
+	whole := NewAggregator(col)
+	a, b := NewAggregator(col), NewAggregator(col)
+	r := rng.New(28)
+	for i := 0; i < 5000; i++ {
+		tup := schema.NewTuple(s)
+		tup.Num[0] = rng.Uniform(r, -1, 1)
+		tup.Cat[2] = i % 2
+		tup.Cat[3] = i % 5
+		rep, err := col.Perturb(tup, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := whole.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+		dst := a
+		if i%2 == 1 {
+			dst = b
+		}
+		if err := dst.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	am, _ := a.MeanEstimate(0)
+	wm, _ := whole.MeanEstimate(0)
+	if !almostEqual(am, wm, 1e-12) {
+		t.Errorf("merged mean %v != whole mean %v", am, wm)
+	}
+	af, _ := a.FreqEstimates(3)
+	wf, _ := whole.FreqEstimates(3)
+	for v := range af {
+		if !almostEqual(af[v], wf[v], 1e-12) {
+			t.Errorf("value %d: merged freq %v != whole %v", v, af[v], wf[v])
+		}
+	}
+}
+
+func TestNumericCollectorKAblationSanity(t *testing.T) {
+	// The Eq. 12 k should be at least as good (in worst-case variance) as
+	// the extreme alternatives k=1 and k=d when they differ from it.
+	const eps, d = 7.5, 10 // KFor = 3
+	best, _ := NewNumericCollector(pmFactory, eps, d)
+	for _, k := range []int{1, d} {
+		alt, err := NewNumericCollectorK(pmFactory, eps, d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alt.WorstCaseCoordinateVariance() < best.WorstCaseCoordinateVariance()-1e-9 {
+			t.Errorf("k=%d beats Eq.12's k=%d: %v < %v", k, best.K(),
+				alt.WorstCaseCoordinateVariance(), best.WorstCaseCoordinateVariance())
+		}
+	}
+}

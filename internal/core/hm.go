@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ldp/internal/duchi"
+	"ldp/internal/mathx"
+	"ldp/internal/mech"
+	"ldp/internal/rng"
+)
+
+// Hybrid is the Hybrid Mechanism (Section III-C): with probability alpha it
+// perturbs with the Piecewise Mechanism, otherwise with Duchi et al.'s
+// one-dimensional mechanism. With the optimal coefficient of Eq. 7,
+// alpha = 1 - e^{-eps/2} for eps > eps* and 0 otherwise, the t^2 terms of
+// the two variances cancel, so for eps > eps* HM's noise variance is
+// constant in t and equals Eq. 8; its worst case is never above either
+// component's (Corollary 1).
+type Hybrid struct {
+	eps   float64
+	alpha float64
+	pm    *Piecewise
+	du    *duchi.OneDim
+}
+
+// NewHybrid constructs the Hybrid Mechanism with the optimal alpha of
+// Eq. 7.
+func NewHybrid(eps float64) (*Hybrid, error) {
+	alpha := 0.0
+	if eps > mathx.EpsStar() {
+		alpha = 1 - math.Exp(-eps/2)
+	}
+	return NewHybridAlpha(eps, alpha)
+}
+
+// NewHybridAlpha constructs a Hybrid Mechanism with an explicit mixing
+// coefficient alpha in [0, 1]. It exists for the alpha-ablation experiment;
+// NewHybrid is the paper's mechanism.
+func NewHybridAlpha(eps, alpha float64) (*Hybrid, error) {
+	if err := mech.ValidateEpsilon(eps); err != nil {
+		return nil, err
+	}
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("core: hybrid alpha must be in [0,1], got %v", alpha)
+	}
+	pm, err := NewPiecewise(eps)
+	if err != nil {
+		return nil, err
+	}
+	du, err := duchi.NewOneDim(eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{eps: eps, alpha: alpha, pm: pm, du: du}, nil
+}
+
+// Name returns "hm".
+func (m *Hybrid) Name() string { return "hm" }
+
+// Epsilon returns the privacy budget.
+func (m *Hybrid) Epsilon() float64 { return m.eps }
+
+// Alpha returns the mixing coefficient (probability of using PM).
+func (m *Hybrid) Alpha() float64 { return m.alpha }
+
+// Perturb flips the alpha-coin and delegates to PM or Duchi's mechanism.
+// Both branches run at the full budget eps, so the mixture satisfies
+// eps-LDP.
+func (m *Hybrid) Perturb(t float64, r *rng.Rand) float64 {
+	if rng.Bernoulli(r, m.alpha) {
+		return m.pm.Perturb(t, r)
+	}
+	return m.du.Perturb(t, r)
+}
+
+// Variance returns alpha * Var_PM(t) + (1-alpha) * Var_Duchi(t).
+func (m *Hybrid) Variance(t float64) float64 {
+	return m.alpha*m.pm.Variance(t) + (1-m.alpha)*m.du.Variance(t)
+}
+
+// WorstCaseVariance returns Eq. 8 when alpha is the optimal Eq. 7 value;
+// for ablation alphas it maximizes the closed-form variance over t in
+// {0, 1} (the variance is quadratic in t^2 so the extremes suffice).
+func (m *Hybrid) WorstCaseVariance() float64 {
+	return math.Max(m.Variance(0), m.Variance(1))
+}
+
+// SupportBound returns the largest output magnitude, the maximum of PM's
+// bound C and Duchi's two-point magnitude.
+func (m *Hybrid) SupportBound() float64 {
+	return math.Max(m.pm.SupportBound(), m.du.Bound())
+}
+
+var _ mech.Mechanism = (*Hybrid)(nil)

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"ldp/internal/schema"
+)
+
+// Snapshot serialization: a compact, CRC-protected dump of the
+// aggregator's sufficient statistics (report count, per-attribute numeric
+// sums, per-categorical support counts and reporter counts). A snapshot
+// plus the report-log tail written after it reconstructs the aggregator
+// exactly; for bounded state it is much cheaper than a full log replay.
+const (
+	snapMagic   = "LDPS"
+	snapVersion = 1
+)
+
+// ErrSnapshotMismatch is returned by LoadSnapshot when the snapshot was
+// taken under a different schema/oracle configuration.
+var ErrSnapshotMismatch = errors.New("core: snapshot does not match aggregator configuration")
+
+// ErrSnapshotCorrupt is returned when a snapshot fails structural or
+// checksum validation.
+var ErrSnapshotCorrupt = errors.New("core: snapshot corrupt")
+
+// Snapshot serializes the aggregator's current state.
+func (a *Aggregator) Snapshot() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	payload := make([]byte, 0, 64+8*len(a.numSum))
+	payload = binary.AppendUvarint(payload, uint64(a.sch.Dim()))
+	payload = binary.AppendUvarint(payload, uint64(a.n))
+	for _, s := range a.numSum {
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(s))
+	}
+	nCat := 0
+	for _, est := range a.catEst {
+		if est != nil {
+			nCat++
+		}
+	}
+	payload = binary.AppendUvarint(payload, uint64(nCat))
+	for attr, est := range a.catEst {
+		if est == nil {
+			continue
+		}
+		counts := est.Counts()
+		payload = binary.AppendUvarint(payload, uint64(attr))
+		payload = binary.AppendUvarint(payload, uint64(len(counts)))
+		payload = binary.AppendUvarint(payload, uint64(est.N()))
+		for _, c := range counts {
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(c))
+		}
+	}
+
+	out := make([]byte, 0, len(payload)+13)
+	out = append(out, snapMagic...)
+	out = append(out, snapVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return out
+}
+
+// LoadSnapshot restores state serialized by Snapshot into an aggregator
+// built from the same collector configuration. The aggregator must be
+// empty (no reports added yet).
+func (a *Aggregator) LoadSnapshot(data []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.n != 0 {
+		return fmt.Errorf("core: LoadSnapshot requires an empty aggregator (has %d reports)", a.n)
+	}
+	if len(data) < 13 || string(data[:4]) != snapMagic {
+		return fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	if data[4] != snapVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrSnapshotCorrupt, data[4])
+	}
+	plen := binary.LittleEndian.Uint32(data[5:9])
+	if int(plen) != len(data)-13 {
+		return fmt.Errorf("%w: truncated", ErrSnapshotCorrupt)
+	}
+	payload := data[9 : 9+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[9+plen:]) {
+		return fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: short varint", ErrSnapshotCorrupt)
+		}
+		pos += n
+		return v, nil
+	}
+	readFloat := func() (float64, error) {
+		if pos+8 > len(payload) {
+			return 0, fmt.Errorf("%w: short float", ErrSnapshotCorrupt)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
+		pos += 8
+		return v, nil
+	}
+
+	dim, err := readUvarint()
+	if err != nil {
+		return err
+	}
+	if int(dim) != a.sch.Dim() {
+		return fmt.Errorf("%w: snapshot dim %d, aggregator dim %d", ErrSnapshotMismatch, dim, a.sch.Dim())
+	}
+	n, err := readUvarint()
+	if err != nil {
+		return err
+	}
+	sums := make([]float64, dim)
+	for i := range sums {
+		if sums[i], err = readFloat(); err != nil {
+			return err
+		}
+	}
+	nCat, err := readUvarint()
+	if err != nil {
+		return err
+	}
+	type catBlock struct {
+		attr   int
+		nUsers int64
+		counts []float64
+	}
+	blocks := make([]catBlock, 0, nCat)
+	for i := uint64(0); i < nCat; i++ {
+		attr, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		card, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		nr, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		if int(attr) >= a.sch.Dim() || a.catEst[attr] == nil {
+			return fmt.Errorf("%w: attribute %d is not categorical here", ErrSnapshotMismatch, attr)
+		}
+		if int(card) != a.sch.Attrs[attr].Cardinality {
+			return fmt.Errorf("%w: attribute %d cardinality %d vs %d", ErrSnapshotMismatch, attr, card, a.sch.Attrs[attr].Cardinality)
+		}
+		counts := make([]float64, card)
+		for j := range counts {
+			if counts[j], err = readFloat(); err != nil {
+				return err
+			}
+		}
+		blocks = append(blocks, catBlock{attr: int(attr), nUsers: int64(nr), counts: counts})
+	}
+	if pos != len(payload) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(payload)-pos)
+	}
+
+	// Validation passed; commit.
+	a.n = int64(n)
+	copy(a.numSum, sums)
+	for _, b := range blocks {
+		if err := a.catEst[b.attr].AddCounts(b.counts, b.nUsers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attrIsNumeric reports whether attribute i of the aggregator's schema is
+// numeric (helper shared by snapshot tests).
+func (a *Aggregator) attrIsNumeric(i int) bool {
+	return a.sch.Attrs[i].Kind == schema.Numeric
+}

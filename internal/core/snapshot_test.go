@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+func filledAggregator(t *testing.T, n int) (*Collector, *Aggregator) {
+	t.Helper()
+	s := testSchema(t)
+	col, err := NewCollector(s, 1, pmFactory, oueFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(col)
+	r := rng.New(77)
+	for i := 0; i < n; i++ {
+		tup := schema.NewTuple(s)
+		tup.Num[0] = rng.Uniform(r, -1, 1)
+		tup.Num[1] = rng.Uniform(r, -1, 1)
+		tup.Cat[2] = i % 2
+		tup.Cat[3] = i % 5
+		rep, err := col.Perturb(tup, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return col, agg
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	col, agg := filledAggregator(t, 3000)
+	snap := agg.Snapshot()
+
+	fresh := NewAggregator(col)
+	if err := fresh.LoadSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.N() != agg.N() {
+		t.Fatalf("restored N = %d, want %d", fresh.N(), agg.N())
+	}
+	for attr := 0; attr < 2; attr++ {
+		a, _ := agg.MeanEstimate(attr)
+		b, _ := fresh.MeanEstimate(attr)
+		if a != b {
+			t.Errorf("attr %d: restored mean %v != %v", attr, b, a)
+		}
+	}
+	for _, attr := range []int{2, 3} {
+		a, _ := agg.FreqEstimates(attr)
+		b, _ := fresh.FreqEstimates(attr)
+		for v := range a {
+			if a[v] != b[v] {
+				t.Errorf("attr %d value %d: restored freq %v != %v", attr, v, b[v], a[v])
+			}
+		}
+	}
+}
+
+func TestSnapshotThenContinue(t *testing.T) {
+	// Snapshot, restore, keep adding: behaves exactly like the original.
+	col, agg := filledAggregator(t, 500)
+	fresh := NewAggregator(col)
+	if err := fresh.LoadSnapshot(agg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Schema()
+	r := rng.New(5)
+	for i := 0; i < 200; i++ {
+		tup := schema.NewTuple(s)
+		tup.Num[0] = 0.5
+		rep, err := col.Perturb(tup, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	am, _ := agg.MeanEstimate(0)
+	fm, _ := fresh.MeanEstimate(0)
+	if am != fm {
+		t.Errorf("diverged after continuing: %v vs %v", am, fm)
+	}
+}
+
+func TestLoadSnapshotRequiresEmpty(t *testing.T) {
+	_, agg := filledAggregator(t, 100)
+	if err := agg.LoadSnapshot(agg.Snapshot()); err == nil {
+		t.Error("loading into a non-empty aggregator must fail")
+	}
+}
+
+func TestLoadSnapshotRejectsCorruption(t *testing.T) {
+	col, agg := filledAggregator(t, 100)
+	good := agg.Snapshot()
+
+	cases := map[string]func([]byte) []byte{
+		"badMagic":  func(b []byte) []byte { b[0] = 'X'; return b },
+		"badVer":    func(b []byte) []byte { b[4] = 99; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"bitFlip":   func(b []byte) []byte { b[15] ^= 0xFF; return b },
+		"badCRC":    func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"short":     func([]byte) []byte { return []byte("LD") },
+	}
+	for name, corrupt := range cases {
+		cp := append([]byte(nil), good...)
+		fresh := NewAggregator(col)
+		if err := fresh.LoadSnapshot(corrupt(cp)); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		} else if !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrSnapshotCorrupt", name, err)
+		}
+		if fresh.N() != 0 {
+			t.Errorf("%s: failed load mutated the aggregator", name)
+		}
+	}
+}
+
+func TestLoadSnapshotRejectsSchemaMismatch(t *testing.T) {
+	_, agg := filledAggregator(t, 50)
+	snap := agg.Snapshot()
+
+	other, err := schema.New(schema.Attribute{Name: "only", Kind: schema.Numeric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherCol, err := NewCollector(other, 1, pmFactory, oueFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewAggregator(otherCol)
+	if err := fresh.LoadSnapshot(snap); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Errorf("err = %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+func TestSnapshotEmptyAggregator(t *testing.T) {
+	col, _ := filledAggregator(t, 0)
+	agg := NewAggregator(col)
+	fresh := NewAggregator(col)
+	if err := fresh.LoadSnapshot(agg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.N() != 0 {
+		t.Error("empty snapshot should restore empty state")
+	}
+	if !fresh.attrIsNumeric(0) || fresh.attrIsNumeric(2) {
+		t.Error("schema kinds wrong after restore")
+	}
+}

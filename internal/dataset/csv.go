@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+// WriteCSV writes n census records (with a header row) to w, generated
+// deterministically from seed. Numeric attributes are written as decimal
+// floats in [-1, 1], categorical attributes as value indices.
+func WriteCSV(w io.Writer, c *Census, n int, seed uint64) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, c.sch.Dim())
+	for i, a := range c.sch.Attrs {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, c.sch.Dim())
+	for i := 0; i < n; i++ {
+		t := c.Tuple(rng.NewStream(seed, uint64(i)))
+		for j, a := range c.sch.Attrs {
+			if a.Kind == schema.Numeric {
+				row[j] = strconv.FormatFloat(t.Num[j], 'g', 9, 64)
+			} else {
+				row[j] = strconv.Itoa(t.Cat[j])
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records written by WriteCSV against the given schema. The
+// header row must match the schema's attribute names in order.
+func ReadCSV(r io.Reader, s *schema.Schema) ([]schema.Tuple, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) != s.Dim() {
+		return nil, fmt.Errorf("dataset: header has %d columns, schema has %d", len(header), s.Dim())
+	}
+	for i, name := range header {
+		if s.Attrs[i].Name != name {
+			return nil, fmt.Errorf("dataset: column %d is %q, schema expects %q", i, name, s.Attrs[i].Name)
+		}
+	}
+	var out []schema.Tuple
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		t := schema.NewTuple(s)
+		for j, a := range s.Attrs {
+			if a.Kind == schema.Numeric {
+				v, err := strconv.ParseFloat(row[j], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d column %q: %w", line, a.Name, err)
+				}
+				t.Num[j] = v
+			} else {
+				v, err := strconv.Atoi(row[j])
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d column %q: %w", line, a.Name, err)
+				}
+				t.Cat[j] = v
+			}
+		}
+		if err := t.Check(s); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		out = append(out, t)
+	}
+}

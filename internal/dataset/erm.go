@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+// ERMExample is one training example for the empirical-risk-minimization
+// tasks of Section V: a feature vector X in [-1, 1]^d, the regression
+// target YReg in [-1, 1] (normalized income), and the classification label
+// YCls in {-1, +1} (income above/below the population median).
+type ERMExample struct {
+	X    []float64
+	YReg float64
+	YCls float64
+}
+
+// ERMDim returns the encoded feature dimensionality of the census: every
+// numeric attribute except income contributes one feature, and every
+// categorical attribute with cardinality c contributes c-1 binary features
+// (the Section VI-B encoding). For BR this is 90, for MX 94.
+func (c *Census) ERMDim() int {
+	d := 0
+	for i, a := range c.sch.Attrs {
+		if i == c.incAt {
+			continue
+		}
+		if a.Kind == schema.Numeric {
+			d++
+		} else {
+			d += a.Cardinality - 1
+		}
+	}
+	return d
+}
+
+// EncodeERM converts a census tuple into an ERM example. The l-th value
+// (l < cardinality-1) of a categorical attribute sets the l-th of its
+// binary features to 1; the last value sets none (reference level).
+func (c *Census) EncodeERM(t schema.Tuple) ERMExample {
+	x := make([]float64, 0, c.ERMDim())
+	for i, a := range c.sch.Attrs {
+		if i == c.incAt {
+			continue
+		}
+		if a.Kind == schema.Numeric {
+			x = append(x, t.Num[i])
+			continue
+		}
+		bits := make([]float64, a.Cardinality-1)
+		if v := t.Cat[i]; v < a.Cardinality-1 {
+			bits[v] = 1
+		}
+		x = append(x, bits...)
+	}
+	y := t.Num[c.incAt]
+	cls := -1.0
+	if y > c.IncomeThreshold() {
+		cls = 1
+	}
+	return ERMExample{X: x, YReg: y, YCls: cls}
+}
+
+// ERMExamples generates n encoded examples deterministically from the base
+// seed (user i draws from stream (seed, i)).
+func (c *Census) ERMExamples(n int, seed uint64) []ERMExample {
+	out := make([]ERMExample, n)
+	for i := range out {
+		r := rng.NewStream(seed, uint64(i))
+		out[i] = c.EncodeERM(c.Tuple(r))
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ldp/internal/analysis"
+	"ldp/internal/core"
+)
+
+func init() {
+	register(Runner{
+		Name: "table1",
+		Desc: "Table I: worst-case variance regimes of HM/PM/Duchi (d=1 and d>1)",
+		Run:  runTable1,
+	})
+	register(Runner{
+		Name: "fig1",
+		Desc: "Fig 1: worst-case noise variance vs eps, one-dimensional mechanisms",
+		Run:  runFig1,
+	})
+	register(Runner{
+		Name: "fig2",
+		Desc: "Fig 2: Piecewise Mechanism output pdf for t in {0, 0.5, 1}",
+		Run:  runFig2,
+	})
+	register(Runner{
+		Name: "fig3",
+		Desc: "Fig 3: worst-case variance of PM/HM as a fraction of Duchi's, d in {5,10,20,40}",
+		Run:  runFig3,
+	})
+	register(Runner{
+		Name: "ablation-alpha",
+		Desc: "Ablation: HM worst-case variance across mixing coefficients alpha vs Eq. 7",
+		Run:  runAblationAlpha,
+	})
+}
+
+// epsGrid returns the dense eps axis used by the analytic figures.
+func epsGrid() []float64 {
+	var out []float64
+	for e := 0.1; e <= 8.001; e += 0.1 {
+		out = append(out, e)
+	}
+	return out
+}
+
+func runTable1(Options) ([]Table, error) {
+	star, sharp := analysis.EpsStar(), analysis.EpsSharp()
+	d1 := Table{
+		ID:      "table1",
+		Title:   "worst-case variances and regime, d = 1",
+		XLabel:  "eps",
+		YLabel:  "MaxVar (HM, PM, Duchi); regime per Table I",
+		Columns: []string{"MaxVarHM", "MaxVarPM", "MaxVarDuchi"},
+	}
+	probes := []struct {
+		label string
+		eps   float64
+	}{
+		{"0.30", 0.3},
+		{fmt.Sprintf("eps*=%.4f", star), star},
+		{"0.90", 0.9},
+		{fmt.Sprintf("eps#=%.4f", sharp), sharp},
+		{"2.00", 2},
+		{"4.00", 4},
+		{"8.00", 8},
+	}
+	for _, p := range probes {
+		d1.Rows = append(d1.Rows, TableRow{
+			X: fmt.Sprintf("%s  [%s]", p.label, analysis.ClassifyD1(p.eps)),
+			Values: []float64{
+				analysis.MaxVarHM(p.eps),
+				analysis.MaxVarPM(p.eps),
+				analysis.MaxVarDuchi(p.eps),
+			},
+		})
+	}
+
+	dMulti := Table{
+		ID:      "table1",
+		Title:   "worst-case per-coordinate variances, d > 1 (HM < PM < Duchi everywhere)",
+		XLabel:  "d,eps",
+		YLabel:  "MaxVar per coordinate",
+		Columns: []string{"MaxVarHM", "MaxVarPM", "MaxVarDuchi"},
+	}
+	for _, d := range []int{2, 5, 10, 40} {
+		for _, eps := range []float64{0.5, 1, 4, 8} {
+			dMulti.Rows = append(dMulti.Rows, TableRow{
+				X: fmt.Sprintf("d=%d eps=%g", d, eps),
+				Values: []float64{
+					analysis.MaxVarHMMulti(eps, d),
+					analysis.MaxVarPMMulti(eps, d),
+					analysis.MaxVarDuchiMulti(eps, d),
+				},
+			})
+		}
+	}
+	return []Table{d1, dMulti}, nil
+}
+
+func runFig1(Options) ([]Table, error) {
+	t := Table{
+		ID:      "fig1",
+		Title:   "worst-case noise variance vs privacy budget (1-D)",
+		XLabel:  "eps",
+		YLabel:  "worst-case noise variance",
+		Columns: []string{"laplace", "duchi", "pm", "hm"},
+	}
+	for _, eps := range epsGrid() {
+		t.Rows = append(t.Rows, TableRow{
+			X: fmt.Sprintf("%.2f", eps),
+			Values: []float64{
+				analysis.VarLaplace(eps),
+				analysis.MaxVarDuchi(eps),
+				analysis.MaxVarPM(eps),
+				analysis.MaxVarHM(eps),
+			},
+		})
+	}
+	return []Table{t}, nil
+}
+
+func runFig2(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	pm, err := core.NewPiecewise(opts.Eps)
+	if err != nil {
+		return nil, err
+	}
+	c := pm.SupportBound()
+	t := Table{
+		ID:      "fig2",
+		Title:   fmt.Sprintf("PM output pdf at eps=%g (C=%.4f)", opts.Eps, c),
+		XLabel:  "x",
+		YLabel:  "pdf(t*=x | t)",
+		Columns: []string{"t=0", "t=0.5", "t=1"},
+	}
+	const steps = 200
+	for i := 0; i <= steps; i++ {
+		x := -c + 2*c*float64(i)/steps
+		t.Rows = append(t.Rows, TableRow{
+			X: fmt.Sprintf("%.4f", x),
+			Values: []float64{
+				pm.Pdf(0, x),
+				pm.Pdf(0.5, x),
+				pm.Pdf(1, x),
+			},
+		})
+	}
+	return []Table{t}, nil
+}
+
+func runFig3(Options) ([]Table, error) {
+	var tables []Table
+	for _, d := range []int{5, 10, 20, 40} {
+		t := Table{
+			ID:      "fig3",
+			Title:   fmt.Sprintf("worst-case variance relative to Duchi et al., d=%d", d),
+			XLabel:  "eps",
+			YLabel:  "MaxVar(method)/MaxVar(Duchi)",
+			Columns: []string{"pm/duchi", "hm/duchi"},
+		}
+		for _, eps := range epsGrid() {
+			du := analysis.MaxVarDuchiMulti(eps, d)
+			t.Rows = append(t.Rows, TableRow{
+				X: fmt.Sprintf("%.2f", eps),
+				Values: []float64{
+					analysis.MaxVarPMMulti(eps, d) / du,
+					analysis.MaxVarHMMulti(eps, d) / du,
+				},
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runAblationAlpha(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	alphas := []float64{0, 0.25, 0.5, 0.75, 1}
+	cols := make([]string, 0, len(alphas)+1)
+	for _, a := range alphas {
+		cols = append(cols, fmt.Sprintf("alpha=%.2f", a))
+	}
+	cols = append(cols, "alpha=Eq.7")
+	t := Table{
+		ID:      "ablation-alpha",
+		Title:   "HM worst-case variance for fixed mixing coefficients vs the optimal Eq. 7 rule",
+		XLabel:  "eps",
+		YLabel:  "worst-case noise variance",
+		Columns: cols,
+	}
+	for _, eps := range []float64{0.25, 0.5, 0.61, 1, 1.29, 2, 4, 8} {
+		row := TableRow{X: fmt.Sprintf("%.2f", eps)}
+		for _, a := range alphas {
+			m, err := core.NewHybridAlpha(eps, a)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, m.WorstCaseVariance())
+		}
+		opt, err := core.NewHybrid(eps)
+		if err != nil {
+			return nil, err
+		}
+		row.Values = append(row.Values, opt.WorstCaseVariance())
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"testing"
+
+	"ldp/internal/erm"
+)
+
+func TestERMFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ERM figure is slow; skipped with -short")
+	}
+	opts := small()
+	opts.ERMUsers = 3_000
+	opts.EpsList = []float64{4}
+	opts.Splits = 1
+	tables, err := runERMFigure("fig9", erm.LogisticRegression, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 { // BR and MX
+		t.Fatalf("got %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 1 || len(tb.Rows[0].Values) != len(ermMethods) {
+			t.Fatalf("unexpected table shape: %+v", tb.Rows)
+		}
+		for j, v := range tb.Rows[0].Values {
+			if v < 0 || v > 0.7 {
+				t.Errorf("%s %s: misclassification %v implausible", tb.Title, tb.Columns[j], v)
+			}
+		}
+		// The non-private baseline should be no worse than the Laplace
+		// baseline at this scale.
+		np := tb.Rows[0].Values[indexOf(tb.Columns, "nonprivate")]
+		lap := tb.Rows[0].Values[indexOf(tb.Columns, "laplace")]
+		if np > lap+0.05 {
+			t.Errorf("%s: non-private %v worse than laplace %v", tb.Title, np, lap)
+		}
+		// At this tiny scale the eps/d Laplace baseline's gradients are
+		// pure noise, so its model must be near-random — this guards
+		// against accidentally rescaled metrics (the mergeRuns vs
+		// averageRuns distinction).
+		if lap < 0.2 {
+			t.Errorf("%s: laplace misclassification %v implausibly low", tb.Title, lap)
+		}
+	}
+}
+
+func TestMergeRunsDoesNotAverage(t *testing.T) {
+	merged, err := mergeRuns(3, 2, func(run int) (map[string]float64, error) {
+		return map[string]float64{string(rune('a' + run)): 2}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("merged %d keys, want 3", len(merged))
+	}
+	for k, v := range merged {
+		if v != 2 {
+			t.Errorf("key %s = %v, want 2 (mergeRuns must not divide)", k, v)
+		}
+	}
+}
+
+func TestScaledPerturberUnbiasedWrapper(t *testing.T) {
+	p, err := buildERMPerturber("pm", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &scaledPerturber{inner: p, scale: 8}
+	if sp.Dim() != 3 || sp.Epsilon() != 4 {
+		t.Error("scaled perturber must preserve dim and epsilon")
+	}
+	if sp.Name() == p.Name() {
+		t.Error("scaled perturber should rename itself")
+	}
+}
+
+func TestBuildERMPerturber(t *testing.T) {
+	for _, m := range ermMethods {
+		p, err := buildERMPerturber(m, 1, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if m == "nonprivate" {
+			if p != nil {
+				t.Error("nonprivate should be nil perturber")
+			}
+			continue
+		}
+		if p.Dim() != 5 {
+			t.Errorf("%s: dim %d", m, p.Dim())
+		}
+	}
+	if _, err := buildERMPerturber("bogus", 1, 5); err == nil {
+		t.Error("unknown method should error")
+	}
+	if _, err := buildNumericPerturber("bogus", 1, 5); err == nil {
+		t.Error("unknown numeric method should error")
+	}
+}

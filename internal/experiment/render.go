@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes a table as aligned human-readable text.
+func Render(w io.Writer, t Table) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "# values: %s\n", t.YLabel); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	for _, r := range t.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Values))
+		for j, v := range r.Values {
+			cells[i][j] = formatValue(v)
+		}
+	}
+	for j, c := range t.Columns {
+		widths[j+1] = len(c)
+		for i := range cells {
+			if j < len(cells[i]) && len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	head := make([]string, 0, len(widths))
+	head = append(head, pad(t.XLabel, widths[0]))
+	for j, c := range t.Columns {
+		head = append(head, pad(c, widths[j+1]))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(head, "  ")); err != nil {
+		return err
+	}
+	for i, r := range t.Rows {
+		line := make([]string, 0, len(widths))
+		line = append(line, pad(r.X, widths[0]))
+		for j := range r.Values {
+			line = append(line, pad(cells[i][j], widths[j+1]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(line, "  ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderTSV writes a table as tab-separated values (one header line),
+// convenient for gnuplot or spreadsheet import.
+func RenderTSV(w io.Writer, t Table) error {
+	cols := append([]string{t.XLabel}, t.Columns...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, "\t")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		fields := make([]string, 0, len(r.Values)+1)
+		fields = append(fields, r.X)
+		for _, v := range r.Values {
+			fields = append(fields, formatValue(v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatValue(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 0.01 && av < 10000:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+	default:
+		return fmt.Sprintf("%.4e", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

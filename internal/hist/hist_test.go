@@ -1,0 +1,258 @@
+package hist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldp/internal/freq"
+	"ldp/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(0, 8, nil); err == nil {
+		t.Error("want error for eps=0")
+	}
+	if _, err := NewCollector(1, 1, nil); err == nil {
+		t.Error("want error for 1 bin")
+	}
+	failing := func(float64, int) (freq.Oracle, error) { return nil, errFake }
+	if _, err := NewCollector(1, 4, failing); err == nil {
+		t.Error("factory error must propagate")
+	}
+}
+
+var errFake = errString("fake")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestBinEdges(t *testing.T) {
+	c, err := NewCollector(1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-1, 0}, {-0.51, 0}, {-0.5, 1}, {-0.01, 1},
+		{0, 2}, {0.49, 2}, {0.5, 3}, {1, 3},
+		{-7, 0}, {7, 3}, // clamped
+	}
+	for _, cse := range cases {
+		if got := c.Bin(cse.v); got != cse.want {
+			t.Errorf("Bin(%v) = %d, want %d", cse.v, got, cse.want)
+		}
+	}
+}
+
+func TestMidpoints(t *testing.T) {
+	c, _ := NewCollector(1, 4, nil)
+	wants := []float64{-0.75, -0.25, 0.25, 0.75}
+	for b, w := range wants {
+		if got := c.Midpoint(b); !almostEqual(got, w, 1e-12) {
+			t.Errorf("Midpoint(%d) = %v, want %v", b, got, w)
+		}
+	}
+	// Midpoint of the bin containing v is within half a bin width of v.
+	f := func(vRaw int8) bool {
+		v := float64(vRaw) / 128
+		return math.Abs(c.Midpoint(c.Bin(v))-v) <= 0.25+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramRecovery(t *testing.T) {
+	// A mixture population: the estimated histogram must match the true
+	// bin frequencies within oracle noise.
+	c, err := NewCollector(2, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(c)
+	truth := make([]float64, 8)
+	r := rng.New(1)
+	const n = 150000
+	for i := 0; i < n; i++ {
+		v := rng.TruncGauss(r, 0.2, 0.3, -1, 1)
+		truth[c.Bin(v)]++
+		est.Add(c.Perturb(v, r))
+	}
+	got := est.Histogram()
+	for b := range truth {
+		want := truth[b] / n
+		tol := 6 * math.Sqrt(freq.TheoreticalVariance(c.Oracle(), want, n))
+		if math.Abs(got[b]-want) > tol {
+			t.Errorf("bin %d: freq %v, want %v +- %v", b, got[b], want, tol)
+		}
+	}
+}
+
+func TestSmoothedIsDistribution(t *testing.T) {
+	c, _ := NewCollector(0.5, 16, nil) // low eps: noisy raw histogram
+	est := NewEstimator(c)
+	r := rng.New(2)
+	for i := 0; i < 5000; i++ {
+		est.Add(c.Perturb(rng.Uniform(r, -1, 1), r))
+	}
+	smoothed := est.Smoothed()
+	sum := 0.0
+	for _, f := range smoothed {
+		if f < 0 {
+			t.Fatalf("negative smoothed frequency %v", f)
+		}
+		sum += f
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("smoothed histogram sums to %v", sum)
+	}
+}
+
+func TestMeanFromHistogram(t *testing.T) {
+	c, _ := NewCollector(4, 32, nil)
+	est := NewEstimator(c)
+	r := rng.New(3)
+	const n = 200000
+	trueSum := 0.0
+	for i := 0; i < n; i++ {
+		v := rng.TruncGauss(r, -0.3, 0.2, -1, 1)
+		trueSum += v
+		est.Add(c.Perturb(v, r))
+	}
+	got := est.Mean()
+	want := trueSum / n
+	// Discretization bias is at most half a bin width (1/32) plus noise.
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("histogram mean %v, want %v", got, want)
+	}
+}
+
+func TestQuantileFromHistogram(t *testing.T) {
+	c, _ := NewCollector(4, 32, nil)
+	est := NewEstimator(c)
+	r := rng.New(4)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		est.Add(c.Perturb(rng.Uniform(r, -1, 1), r))
+	}
+	// Uniform data: quantile q should be near 2q-1.
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9} {
+		got := est.Quantile(q)
+		if math.Abs(got-(2*q-1)) > 0.1 {
+			t.Errorf("quantile %v = %v, want ~%v", q, got, 2*q-1)
+		}
+	}
+	if est.Quantile(0) != -1 || est.Quantile(1) != 1 {
+		t.Error("extreme quantiles should hit the domain bounds")
+	}
+}
+
+func TestRangeMass(t *testing.T) {
+	c, _ := NewCollector(4, 16, nil)
+	est := NewEstimator(c)
+	r := rng.New(5)
+	const n = 150000
+	for i := 0; i < n; i++ {
+		est.Add(c.Perturb(rng.Uniform(r, -1, 1), r))
+	}
+	// Uniform: mass of [lo, hi] ~ (hi-lo)/2.
+	for _, rg := range [][2]float64{{-1, 1}, {-0.5, 0.5}, {0, 0.25}} {
+		got := est.RangeMass(rg[0], rg[1])
+		want := (rg[1] - rg[0]) / 2
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("mass[%v,%v] = %v, want ~%v", rg[0], rg[1], got, want)
+		}
+	}
+	if est.RangeMass(0.5, 0.5) != 0 || est.RangeMass(0.7, 0.2) != 0 {
+		t.Error("degenerate ranges should have zero mass")
+	}
+}
+
+func TestEstimatorMerge(t *testing.T) {
+	c, _ := NewCollector(1, 8, nil)
+	whole, a, b := NewEstimator(c), NewEstimator(c), NewEstimator(c)
+	r := rng.New(6)
+	for i := 0; i < 2000; i++ {
+		resp := c.Perturb(rng.Uniform(r, -1, 1), r)
+		whole.Add(resp)
+		if i%2 == 0 {
+			a.Add(resp)
+		} else {
+			b.Add(resp)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatal("merged N mismatch")
+	}
+	ha, hw := a.Histogram(), whole.Histogram()
+	for i := range ha {
+		if ha[i] != hw[i] {
+			t.Fatal("merged histogram mismatch")
+		}
+	}
+}
+
+func TestProjectSimplexProperties(t *testing.T) {
+	f := func(raw [6]int8) bool {
+		v := make([]float64, 6)
+		for i, x := range raw {
+			v[i] = float64(x) / 32
+		}
+		p := ProjectSimplex(v)
+		sum := 0.0
+		for _, x := range p {
+			if x < 0 {
+				return false
+			}
+			sum += x
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectSimplexIdempotentOnSimplex(t *testing.T) {
+	v := []float64{0.1, 0.2, 0.3, 0.4}
+	p := ProjectSimplex(v)
+	for i := range v {
+		if !almostEqual(p[i], v[i], 1e-9) {
+			t.Errorf("projection moved a simplex point: %v -> %v", v, p)
+		}
+	}
+}
+
+func TestProjectSimplexKnownCase(t *testing.T) {
+	// Projecting (1,1) onto the simplex gives (0.5, 0.5).
+	p := ProjectSimplex([]float64{1, 1})
+	if !almostEqual(p[0], 0.5, 1e-9) || !almostEqual(p[1], 0.5, 1e-9) {
+		t.Errorf("ProjectSimplex([1,1]) = %v", p)
+	}
+	if out := ProjectSimplex(nil); out != nil {
+		t.Error("empty projection should be nil")
+	}
+}
+
+func TestHistogramLDPComesFromOracle(t *testing.T) {
+	// The collector must not weaken the oracle's guarantee: its response
+	// for value v equals the oracle's response for Bin(v) on the same
+	// stream.
+	c, _ := NewCollector(1, 8, nil)
+	for seed := uint64(0); seed < 10; seed++ {
+		direct := c.Oracle().Perturb(c.Bin(0.3), rng.New(seed))
+		viaCol := c.Perturb(0.3, rng.New(seed))
+		for w := range direct.Bits {
+			if direct.Bits[w] != viaCol.Bits[w] {
+				t.Fatal("collector response differs from oracle response")
+			}
+		}
+	}
+}

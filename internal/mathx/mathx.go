@@ -1,0 +1,164 @@
+// Package mathx provides small numeric helpers shared by the mechanism and
+// analysis packages: log-factorials and log-binomials (stable for large n),
+// log-sum-exp, bisection root finding, and adaptive numeric integration.
+//
+// Everything here is deterministic pure math on float64; the package has no
+// dependencies beyond the standard library math package.
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned by Bisect when f(lo) and f(hi) have the same sign.
+var ErrNoBracket = errors.New("mathx: root not bracketed")
+
+// LogFactorial returns ln(n!). It is exact for small n and uses the
+// log-gamma function for large n.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		return math.NaN()
+	}
+	if n < len(logFactTable) {
+		return logFactTable[n]
+	}
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg
+}
+
+// logFactTable caches ln(k!) for k < 128 so the hot path taken by the Duchi
+// corner sampler avoids Lgamma calls for common dimensionalities.
+var logFactTable = func() []float64 {
+	t := make([]float64, 128)
+	acc := 0.0
+	for k := 1; k < len(t); k++ {
+		acc += math.Log(float64(k))
+		t[k] = acc
+	}
+	return t
+}()
+
+// LogBinomial returns ln(C(n, k)), or -Inf when k is out of range.
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// Binomial returns C(n, k) as a float64. For n beyond ~1029 the result
+// overflows to +Inf; callers that need ratios of large binomials should work
+// with LogBinomial instead.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	return math.Exp(LogBinomial(n, k))
+}
+
+// LogSumExp returns ln(sum_i e^{xs[i]}) computed stably. It returns -Inf for
+// an empty input.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}
+
+// Bisect finds a root of f in [lo, hi] to within tol using bisection.
+// f(lo) and f(hi) must have opposite signs.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, ErrNoBracket
+	}
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi {
+			break // float64 exhausted
+		}
+		fmid := f(mid)
+		if fmid == 0 {
+			return mid, nil
+		}
+		if (fmid > 0) == (flo > 0) {
+			lo, flo = mid, fmid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// Integrate approximates the integral of f over [a, b] with composite
+// Simpson's rule using n subintervals (rounded up to an even number).
+func Integrate(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// Clamp limits x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Cbrt-based helpers for the paper's closed-form constants.
+
+// EpsStar is the constant eps* from Eq. 6 of the paper: below it the optimal
+// Hybrid Mechanism coefficient alpha is 0 (HM degenerates to Duchi et al.'s
+// method). Approximately 0.6097.
+func EpsStar() float64 {
+	s := math.Sqrt(241)
+	inner := -5 + 2*math.Cbrt(6353-405*s) + 2*math.Cbrt(6353+405*s)
+	return math.Log(inner / 27)
+}
+
+// EpsSharp is the constant eps# from Table I: the privacy budget at which the
+// worst-case variances of PM and Duchi et al.'s 1-D method coincide.
+// Approximately 1.2899.
+func EpsSharp() float64 {
+	s := math.Sqrt(7)
+	inner := 7 + 4*s + 2*math.Sqrt(20+14*s)
+	return math.Log(inner / 9)
+}

@@ -1,0 +1,200 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestLogFactorialSmall(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		got := math.Exp(LogFactorial(n))
+		if !almostEqual(got, w, 1e-9*w) {
+			t.Errorf("LogFactorial(%d): exp = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestLogFactorialLargeMatchesLgamma(t *testing.T) {
+	for _, n := range []int{127, 128, 129, 500, 10000} {
+		lg, _ := math.Lgamma(float64(n) + 1)
+		if got := LogFactorial(n); !almostEqual(got, lg, 1e-9*math.Abs(lg)) {
+			t.Errorf("LogFactorial(%d) = %v, want %v", n, got, lg)
+		}
+	}
+}
+
+func TestLogFactorialNegative(t *testing.T) {
+	if !math.IsNaN(LogFactorial(-1)) {
+		t.Error("LogFactorial(-1) should be NaN")
+	}
+}
+
+func TestBinomialExact(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1},
+		{5, 2, 10}, {10, 5, 252}, {20, 10, 184756},
+		{52, 5, 2598960},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); !almostEqual(got, c.want, 1e-6*c.want) {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialOutOfRange(t *testing.T) {
+	if Binomial(5, -1) != 0 || Binomial(5, 6) != 0 {
+		t.Error("out-of-range binomial should be 0")
+	}
+	if !math.IsInf(LogBinomial(5, 6), -1) {
+		t.Error("out-of-range log binomial should be -Inf")
+	}
+}
+
+func TestBinomialSymmetryProperty(t *testing.T) {
+	f := func(n uint8, k uint8) bool {
+		nn := int(n%60) + 1
+		kk := int(k) % (nn + 1)
+		return almostEqual(LogBinomial(nn, kk), LogBinomial(nn, nn-kk), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialPascalProperty(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) for 1 <= k <= n-1.
+	f := func(n uint8, k uint8) bool {
+		nn := int(n%40) + 2
+		kk := int(k)%(nn-1) + 1
+		lhs := Binomial(nn, kk)
+		rhs := Binomial(nn-1, kk-1) + Binomial(nn-1, kk)
+		return almostEqual(lhs, rhs, 1e-6*lhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, math.Inf(-1)},
+		{[]float64{0}, 0},
+		{[]float64{math.Log(2), math.Log(3)}, math.Log(5)},
+		{[]float64{1000, 1000}, 1000 + math.Log(2)},
+		{[]float64{math.Inf(-1), 0}, 0},
+		{[]float64{math.Inf(-1), math.Inf(-1)}, math.Inf(-1)},
+	}
+	for _, c := range cases {
+		got := LogSumExp(c.xs)
+		if math.IsInf(c.want, -1) {
+			if !math.IsInf(got, -1) {
+				t.Errorf("LogSumExp(%v) = %v, want -Inf", c.xs, got)
+			}
+			continue
+		}
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("LogSumExp(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestBisectFindsSqrt2(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != 0 {
+		t.Errorf("root = %v, want 0", root)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectDecreasing(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return 1 - x }, 0, 3, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(root, 1, 1e-10) {
+		t.Errorf("root = %v, want 1", root)
+	}
+}
+
+func TestIntegratePolynomial(t *testing.T) {
+	// Simpson's rule is exact for cubics.
+	got := Integrate(func(x float64) float64 { return x*x*x - 2*x + 1 }, -1, 3, 10)
+	want := 81.0/4 - 9 + 3 - (1.0/4 - 1 - 1)
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("integral = %v, want %v", got, want)
+	}
+}
+
+func TestIntegrateSin(t *testing.T) {
+	got := Integrate(math.Sin, 0, math.Pi, 1000)
+	if !almostEqual(got, 2, 1e-8) {
+		t.Errorf("integral of sin over [0,pi] = %v, want 2", got)
+	}
+}
+
+func TestIntegrateOddSubintervals(t *testing.T) {
+	// n is rounded up to even; result must still be sane.
+	got := Integrate(func(x float64) float64 { return x }, 0, 2, 3)
+	if !almostEqual(got, 2, 1e-9) {
+		t.Errorf("integral = %v, want 2", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{0.5, 0, 1, 0.5},
+		{-3, 0, 1, 0},
+		{7, 0, 1, 1},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestEpsStarValue(t *testing.T) {
+	// Paper Eq. 6 reports eps* ~= 0.61.
+	if got := EpsStar(); !almostEqual(got, 0.61, 0.005) {
+		t.Errorf("EpsStar() = %v, want ~0.61", got)
+	}
+}
+
+func TestEpsSharpValue(t *testing.T) {
+	// Table I reports eps# ~= 1.29.
+	if got := EpsSharp(); !almostEqual(got, 1.29, 0.005) {
+		t.Errorf("EpsSharp() = %v, want ~1.29", got)
+	}
+}

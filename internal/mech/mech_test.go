@@ -1,0 +1,98 @@
+package mech
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ldp/internal/rng"
+)
+
+// fakeMech is a deterministic test double: it "perturbs" by adding a fixed
+// offset, and records the budget it was built with.
+type fakeMech struct{ eps, offset float64 }
+
+func (f *fakeMech) Name() string                           { return "fake" }
+func (f *fakeMech) Epsilon() float64                       { return f.eps }
+func (f *fakeMech) Perturb(t float64, _ *rng.Rand) float64 { return Clamp1(t) + f.offset }
+func (f *fakeMech) Variance(float64) float64               { return 1 }
+func (f *fakeMech) WorstCaseVariance() float64             { return 1 }
+
+func fakeFactory(eps float64) (Mechanism, error) {
+	if err := ValidateEpsilon(eps); err != nil {
+		return nil, err
+	}
+	return &fakeMech{eps: eps, offset: 0.25}, nil
+}
+
+func TestValidateEpsilon(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := ValidateEpsilon(eps); err == nil {
+			t.Errorf("ValidateEpsilon(%v): want error", eps)
+		} else if !errors.Is(err, ErrInvalidEpsilon) {
+			t.Errorf("ValidateEpsilon(%v): error %v not wrapping ErrInvalidEpsilon", eps, err)
+		}
+	}
+	for _, eps := range []float64{1e-9, 0.5, 8, 100} {
+		if err := ValidateEpsilon(eps); err != nil {
+			t.Errorf("ValidateEpsilon(%v): unexpected error %v", eps, err)
+		}
+	}
+}
+
+func TestClamp1(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.5, 0.5}, {-1.5, -1}, {3, 1}, {-1, -1}, {1, 1}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp1(c.in); got != c.want {
+			t.Errorf("Clamp1(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNewComposedSplitsBudget(t *testing.T) {
+	c, err := NewComposed(fakeFactory, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Inner().Epsilon() != 0.5 {
+		t.Errorf("inner eps = %v, want 0.5", c.Inner().Epsilon())
+	}
+	if c.Epsilon() != 2 || c.Dim() != 4 {
+		t.Errorf("Epsilon=%v Dim=%d", c.Epsilon(), c.Dim())
+	}
+	if c.Name() != "split-fake" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.CoordinateVariance(0.3) != 1 {
+		t.Errorf("CoordinateVariance = %v", c.CoordinateVariance(0.3))
+	}
+}
+
+func TestNewComposedValidation(t *testing.T) {
+	if _, err := NewComposed(fakeFactory, 0, 4); err == nil {
+		t.Error("want error for eps=0")
+	}
+	if _, err := NewComposed(fakeFactory, 1, 0); err == nil {
+		t.Error("want error for d=0")
+	}
+	failing := func(float64) (Mechanism, error) { return nil, errors.New("boom") }
+	if _, err := NewComposed(failing, 1, 2); err == nil {
+		t.Error("factory error must propagate")
+	}
+}
+
+func TestComposedPerturbsEveryCoordinate(t *testing.T) {
+	c, err := NewComposed(fakeFactory, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.PerturbVector([]float64{0, 0.5, 2 /* clamped to 1 */}, rng.New(1))
+	want := []float64{0.25, 0.75, 1.25}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("coord %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package noise implements the additive-noise baselines reviewed in Section
+// III-A of the paper. Each perturbs a numeric value t in [-1, 1] (input
+// sensitivity 2) by adding data-independent noise:
+//
+//   - Laplace: the classic Laplace mechanism, noise Lap(2/eps) with
+//     variance 8/eps^2.
+//   - SCDF (Soria-Comas and Domingo-Ferrer) and Staircase (Geng et al.):
+//     two members of the banded piecewise-constant noise family of Eq. 2 —
+//     a flat center band [-m, m] of density a, flanked by width-2 bands
+//     whose density decays geometrically by e^{-eps} per band.
+//
+// Unlike the paper's PM/HM, all three produce unbounded outputs; their
+// variance is independent of the input value.
+package noise
+
+import (
+	"math"
+
+	"ldp/internal/mech"
+	"ldp/internal/rng"
+)
+
+// Laplace is the Laplace mechanism for one numeric attribute in [-1, 1]:
+// t* = t + Lap(2/eps).
+type Laplace struct {
+	eps   float64
+	scale float64
+}
+
+// NewLaplace constructs a Laplace mechanism with sensitivity 2.
+func NewLaplace(eps float64) (*Laplace, error) {
+	if err := mech.ValidateEpsilon(eps); err != nil {
+		return nil, err
+	}
+	return &Laplace{eps: eps, scale: 2 / eps}, nil
+}
+
+// Name returns "laplace".
+func (m *Laplace) Name() string { return "laplace" }
+
+// Epsilon returns the privacy budget.
+func (m *Laplace) Epsilon() float64 { return m.eps }
+
+// Perturb returns t + Lap(2/eps). Inputs outside [-1,1] are clamped.
+func (m *Laplace) Perturb(t float64, r *rng.Rand) float64 {
+	return mech.Clamp1(t) + rng.Laplace(r, m.scale)
+}
+
+// Variance returns 8/eps^2, independent of t.
+func (m *Laplace) Variance(float64) float64 { return 2 * m.scale * m.scale }
+
+// WorstCaseVariance returns 8/eps^2.
+func (m *Laplace) WorstCaseVariance() float64 { return m.Variance(0) }
+
+var _ mech.Mechanism = (*Laplace)(nil)
+
+// banded is the shared implementation of the piecewise-constant noise
+// family of Eq. 2: density a on the center band [-m, m] and a*e^{-(j+1)eps}
+// on the bands ±[m+2j, m+2(j+1)], j = 0, 1, ...
+type banded struct {
+	name     string
+	eps      float64
+	m        float64 // center band half-width
+	a        float64 // center band density
+	pCenter  float64 // probability mass of the center band: 2am
+	q        float64 // per-band decay e^{-eps}
+	variance float64 // E[noise^2], precomputed
+}
+
+func newBanded(name string, eps, m, a float64) *banded {
+	b := &banded{
+		name:    name,
+		eps:     eps,
+		m:       m,
+		a:       a,
+		pCenter: 2 * a * m,
+		q:       math.Exp(-eps),
+	}
+	b.variance = b.secondMoment()
+	return b
+}
+
+// secondMoment integrates x^2 against the band density, summing bands until
+// the terms are negligible.
+func (b *banded) secondMoment() float64 {
+	acc := 2 * b.a * b.m * b.m * b.m / 3
+	for j := 0; ; j++ {
+		lo := b.m + 2*float64(j)
+		hi := lo + 2
+		term := 2 * b.a * math.Exp(-float64(j+1)*b.eps) * (hi*hi*hi - lo*lo*lo) / 3
+		acc += term
+		if term < 1e-16*acc || j > 10000 {
+			return acc
+		}
+	}
+}
+
+// Name returns the mechanism identifier.
+func (b *banded) Name() string { return b.name }
+
+// Epsilon returns the privacy budget.
+func (b *banded) Epsilon() float64 { return b.eps }
+
+// CenterHalfWidth returns m, the half-width of the flat center band.
+func (b *banded) CenterHalfWidth() float64 { return b.m }
+
+// CenterDensity returns a, the density on the center band.
+func (b *banded) CenterDensity() float64 { return b.a }
+
+// Noise draws one sample from the banded noise distribution.
+func (b *banded) Noise(r *rng.Rand) float64 {
+	if rng.Bernoulli(r, b.pCenter) {
+		return rng.Uniform(r, -b.m, b.m)
+	}
+	// Conditional band index is geometric with ratio e^{-eps}.
+	j := rng.Geometric(r, b.q)
+	x := b.m + 2*float64(j) + rng.Uniform(r, 0, 2)
+	if rng.Bernoulli(r, 0.5) {
+		return -x
+	}
+	return x
+}
+
+// Perturb returns t + noise. Inputs outside [-1,1] are clamped.
+func (b *banded) Perturb(t float64, r *rng.Rand) float64 {
+	return mech.Clamp1(t) + b.Noise(r)
+}
+
+// Variance returns the (input-independent) noise variance.
+func (b *banded) Variance(float64) float64 { return b.variance }
+
+// WorstCaseVariance equals Variance since the noise is data independent.
+func (b *banded) WorstCaseVariance() float64 { return b.variance }
+
+// Pdf evaluates the noise density at x (used by the LDP ratio tests).
+func (b *banded) Pdf(x float64) float64 {
+	x = math.Abs(x)
+	if x <= b.m {
+		return b.a
+	}
+	j := math.Floor((x - b.m) / 2)
+	return b.a * math.Exp(-(j+1)*b.eps)
+}
+
+// SCDF is the Soria-Comas/Domingo-Ferrer optimal data-independent noise for
+// sensitivity 2: center density a = eps/4 and half-width
+// m = 2(1 - e^{-eps} - eps e^{-eps}) / (eps (1 - e^{-eps})).
+type SCDF struct{ *banded }
+
+// NewSCDF constructs the SCDF mechanism.
+func NewSCDF(eps float64) (*SCDF, error) {
+	if err := mech.ValidateEpsilon(eps); err != nil {
+		return nil, err
+	}
+	em := math.Exp(-eps)
+	m := 2 * (1 - em - eps*em) / (eps * (1 - em))
+	return &SCDF{newBanded("scdf", eps, m, eps/4)}, nil
+}
+
+var _ mech.Mechanism = (*SCDF)(nil)
+
+// Staircase is Geng et al.'s staircase mechanism for sensitivity 2 with the
+// variance-optimal break point m = 2/(1+e^{eps/2}) and center density
+// a = (1-e^{-eps}) / (2m + 4e^{-eps} - 2m e^{-eps}).
+type Staircase struct{ *banded }
+
+// NewStaircase constructs the staircase mechanism.
+func NewStaircase(eps float64) (*Staircase, error) {
+	if err := mech.ValidateEpsilon(eps); err != nil {
+		return nil, err
+	}
+	em := math.Exp(-eps)
+	m := 2 / (1 + math.Exp(eps/2))
+	a := (1 - em) / (2*m + 4*em - 2*m*em)
+	return &Staircase{newBanded("staircase", eps, m, a)}, nil
+}
+
+var _ mech.Mechanism = (*Staircase)(nil)

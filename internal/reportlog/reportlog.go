@@ -1,0 +1,273 @@
+// Package reportlog is an append-only, segmented, CRC-checked log for the
+// raw report frames an aggregator receives. It gives the collection
+// pipeline durability: the aggregator's in-memory state can be rebuilt by
+// replaying the log after a crash.
+//
+// Record layout (little endian):
+//
+//	[ length uint32 ][ crc32(payload) uint32 ][ payload ... ]
+//
+// Segments are named seg-NNNNNN.log and rotated when they exceed the
+// configured size. Replay stops cleanly at the first torn or corrupt
+// record (the expected state after a crash mid-write); Recover truncates
+// that tail so appends can resume safely.
+package reportlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const (
+	headerSize = 8
+	segPrefix  = "seg-"
+	segSuffix  = ".log"
+)
+
+// ErrCorruptRecord reports a record whose checksum did not match; it is
+// wrapped in errors returned by Replay when strict verification is on.
+var ErrCorruptRecord = errors.New("reportlog: corrupt record")
+
+// MaxRecordSize bounds a single record payload (a defensive limit against
+// reading a garbage length field as a huge allocation).
+const MaxRecordSize = 16 << 20
+
+// Writer appends records to the newest segment of a log directory.
+// Writer is not safe for concurrent use; guard it externally (the transport
+// server does).
+type Writer struct {
+	dir         string
+	segmentSize int64
+	f           *os.File
+	seq         int
+	size        int64
+}
+
+// Open prepares dir (created if missing) for appending, continuing after
+// the newest existing segment. segmentSize is the rotation threshold in
+// bytes (minimum 1 KiB).
+func Open(dir string, segmentSize int64) (*Writer, error) {
+	if segmentSize < 1024 {
+		return nil, fmt.Errorf("reportlog: segment size %d below 1KiB minimum", segmentSize)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("reportlog: create dir: %w", err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{dir: dir, segmentSize: segmentSize}
+	if len(segs) == 0 {
+		if err := w.rotate(); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	last := segs[len(segs)-1]
+	w.seq = seqOf(last)
+	f, err := os.OpenFile(filepath.Join(dir, last), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("reportlog: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("reportlog: stat segment: %w", err)
+	}
+	w.f, w.size = f, st.Size()
+	return w, nil
+}
+
+func segName(seq int) string { return fmt.Sprintf("%s%06d%s", segPrefix, seq, segSuffix) }
+
+func seqOf(name string) int {
+	var seq int
+	fmt.Sscanf(name, segPrefix+"%06d"+segSuffix, &seq)
+	return seq
+}
+
+// Segments lists the log's segment file names in replay order.
+func Segments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("reportlog: list segments: %w", err)
+	}
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && len(name) > len(segPrefix)+len(segSuffix) &&
+			name[:len(segPrefix)] == segPrefix && filepath.Ext(name) == segSuffix {
+			segs = append(segs, name)
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+func (w *Writer) rotate() error {
+	if w.f != nil {
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("reportlog: close segment: %w", err)
+		}
+	}
+	w.seq++
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("reportlog: create segment: %w", err)
+	}
+	w.f, w.size = f, 0
+	return nil
+}
+
+// Append writes one record. The payload is copied into the record frame;
+// it may be reused by the caller afterwards.
+func (w *Writer) Append(payload []byte) error {
+	if len(payload) > MaxRecordSize {
+		return fmt.Errorf("reportlog: record of %d bytes exceeds limit %d", len(payload), MaxRecordSize)
+	}
+	if w.size >= w.segmentSize {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("reportlog: write header: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("reportlog: write payload: %w", err)
+	}
+	w.size += int64(headerSize + len(payload))
+	return nil
+}
+
+// Sync flushes the current segment to stable storage.
+func (w *Writer) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("reportlog: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the current segment.
+func (w *Writer) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("reportlog: sync on close: %w", err)
+	}
+	return w.f.Close()
+}
+
+// ReplayStats summarizes a replay.
+type ReplayStats struct {
+	// Records is the number of intact records delivered.
+	Records int
+	// Truncated is true if a torn or corrupt tail record was found (and
+	// replay stopped there).
+	Truncated bool
+	// Segment and Offset locate the start of the bad tail when Truncated.
+	Segment string
+	Offset  int64
+}
+
+// Replay feeds every intact record in order to fn. It stops without error
+// at the first torn or corrupt record — the normal post-crash state —
+// reporting it in the stats. An error from fn aborts the replay.
+func Replay(dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	var stats ReplayStats
+	segs, err := Segments(dir)
+	if err != nil {
+		return stats, err
+	}
+	for _, seg := range segs {
+		ok, err := replaySegment(dir, seg, fn, &stats)
+		if err != nil {
+			return stats, err
+		}
+		if !ok {
+			return stats, nil // truncated: stop at the bad tail
+		}
+	}
+	return stats, nil
+}
+
+func replaySegment(dir, seg string, fn func([]byte) error, stats *ReplayStats) (bool, error) {
+	f, err := os.Open(filepath.Join(dir, seg))
+	if err != nil {
+		return false, fmt.Errorf("reportlog: open %s: %w", seg, err)
+	}
+	defer f.Close()
+	var offset int64
+	hdr := make([]byte, headerSize)
+	for {
+		_, err := io.ReadFull(f, hdr)
+		if err == io.EOF {
+			return true, nil
+		}
+		if err != nil { // torn header
+			stats.Truncated, stats.Segment, stats.Offset = true, seg, offset
+			return false, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxRecordSize {
+			stats.Truncated, stats.Segment, stats.Offset = true, seg, offset
+			return false, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil { // torn payload
+			stats.Truncated, stats.Segment, stats.Offset = true, seg, offset
+			return false, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			stats.Truncated, stats.Segment, stats.Offset = true, seg, offset
+			return false, nil
+		}
+		if err := fn(payload); err != nil {
+			return false, err
+		}
+		stats.Records++
+		offset += int64(headerSize) + int64(length)
+	}
+}
+
+// Recover scans the log and truncates any torn or corrupt tail (and removes
+// any later segments) so that appending can resume on a clean prefix. It
+// returns the replay stats of the intact prefix.
+func Recover(dir string) (ReplayStats, error) {
+	stats, err := Replay(dir, func([]byte) error { return nil })
+	if err != nil {
+		return stats, err
+	}
+	if !stats.Truncated {
+		return stats, nil
+	}
+	if err := os.Truncate(filepath.Join(dir, stats.Segment), stats.Offset); err != nil {
+		return stats, fmt.Errorf("reportlog: truncate %s: %w", stats.Segment, err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		return stats, err
+	}
+	bad := seqOf(stats.Segment)
+	for _, seg := range segs {
+		if seqOf(seg) > bad {
+			if err := os.Remove(filepath.Join(dir, seg)); err != nil {
+				return stats, fmt.Errorf("reportlog: remove %s: %w", seg, err)
+			}
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,324 @@
+package reportlog
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, segSize int64) *Writer {
+	t.Helper()
+	w, err := Open(dir, segSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestOpenRejectsTinySegments(t *testing.T) {
+	if _, err := Open(t.TempDir(), 100); err == nil {
+		t.Error("want error for segment size below 1KiB")
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, 1<<20)
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	stats, err := Replay(dir, func(p []byte) error {
+		cp := append([]byte(nil), p...)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated {
+		t.Error("clean log reported truncated")
+	}
+	if stats.Records != len(want) {
+		t.Fatalf("replayed %d records, want %d", stats.Records, len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRotationCreatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, 1024)
+	rec := bytes.Repeat([]byte("x"), 300)
+	for i := 0; i < 20; i++ { // ~6KB total
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Errorf("expected rotation to create >= 3 segments, got %d (%v)", len(segs), segs)
+	}
+	stats, err := Replay(dir, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 20 {
+		t.Errorf("replayed %d, want 20", stats.Records)
+	}
+}
+
+func TestReopenContinuesAppending(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, 1<<20)
+	if err := w.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openT(t, dir, 1<<20)
+	if err := w2.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if _, err := Replay(dir, func(p []byte) error { got = append(got, string(p)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTornTailStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, 1<<20)
+	for i := 0; i < 10; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: chop 3 bytes off the tail.
+	segs, _ := Segments(dir)
+	path := filepath.Join(dir, segs[len(segs)-1])
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Replay(dir, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Fatal("expected truncation to be detected")
+	}
+	if stats.Records != 9 {
+		t.Errorf("replayed %d intact records, want 9", stats.Records)
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, 1<<20)
+	for i := 0; i < 5; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := Segments(dir)
+	path := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the third record's payload.
+	recLen := 8 + len("payload-0")
+	data[2*recLen+8+3] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Replay(dir, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated || stats.Records != 2 {
+		t.Errorf("stats = %+v, want truncated after 2 records", stats)
+	}
+}
+
+func TestRecoverTruncatesTailAndLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, 1024)
+	rec := bytes.Repeat([]byte("y"), 300)
+	for i := 0; i < 12; i++ {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := Segments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Corrupt the second segment's first record payload.
+	path := filepath.Join(dir, segs[1])
+	data, _ := os.ReadFile(path)
+	data[8+10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Fatal("Recover should report truncation")
+	}
+	// After recovery: replay is clean and later segments are gone.
+	after, err := Replay(dir, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Truncated {
+		t.Error("log still corrupt after Recover")
+	}
+	if after.Records != stats.Records {
+		t.Errorf("post-recovery records %d != pre %d", after.Records, stats.Records)
+	}
+	segsAfter, _ := Segments(dir)
+	if len(segsAfter) != 2 {
+		t.Errorf("later segments not removed: %v", segsAfter)
+	}
+	// Appending after recovery works.
+	w2 := openT(t, dir, 1024)
+	if err := w2.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := Replay(dir, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Truncated || final.Records != stats.Records+1 {
+		t.Errorf("final stats = %+v", final)
+	}
+}
+
+func TestRecoverCleanLogIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, 1<<20)
+	if err := w.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated || stats.Records != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestAppendRejectsHugeRecord(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, 1<<20)
+	defer w.Close()
+	if err := w.Append(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("want error for oversized record")
+	}
+}
+
+func TestReplayEmptyDir(t *testing.T) {
+	stats, err := Replay(t.TempDir(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 0 || stats.Truncated {
+		t.Errorf("stats = %+v", stats)
+	}
+	// Nonexistent directory is also fine (no segments).
+	stats, err = Replay(filepath.Join(t.TempDir(), "missing"), func([]byte) error { return nil })
+	if err != nil || stats.Records != 0 {
+		t.Errorf("missing dir: stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, 1<<20)
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte("z")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("stop")
+	n := 0
+	_, err := Replay(dir, func([]byte) error {
+		n++
+		if n == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "stop" {
+		t.Errorf("err = %v, want stop", err)
+	}
+}
+
+func TestEmptyPayloadRecord(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, 1<<20)
+	if err := w.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Replay(dir, func(p []byte) error {
+		if len(p) != 0 {
+			t.Errorf("payload = %v, want empty", p)
+		}
+		return nil
+	})
+	if err != nil || stats.Records != 1 {
+		t.Errorf("stats=%+v err=%v", stats, err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package rng centralizes the randomness used by the LDP mechanisms and the
+// simulation harness.
+//
+// Reproducibility is a first-class requirement for the experiment harness:
+// every user in a simulated population draws from an independent stream
+// derived deterministically from (base seed, stream index) via SplitMix64,
+// so results are identical regardless of how work is partitioned across
+// goroutines.
+//
+// The package also provides the distribution samplers the paper needs that
+// the standard library lacks: Laplace, truncated Gaussian, the power-law
+// density c(x+2)^{-10} used in Section VI, and without-replacement index
+// sampling for Algorithm 4.
+package rng
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Rand is the concrete PRNG type used throughout the module. It is
+// math/rand/v2's generator seeded with PCG; a *Rand must not be shared
+// between goroutines without external synchronization.
+type Rand = rand.Rand
+
+// New returns a PRNG seeded from the given 64-bit seed.
+func New(seed uint64) *Rand {
+	return rand.New(rand.NewPCG(seed, splitmix64(seed+0x9e3779b97f4a7c15)))
+}
+
+// NewStream returns an independent PRNG for stream index i under the given
+// base seed. Streams with distinct (seed, i) pairs are statistically
+// independent for all practical purposes.
+func NewStream(seed, i uint64) *Rand {
+	s1 := splitmix64(seed ^ 0xa0761d6478bd642f*(i+1))
+	s2 := splitmix64(s1 + i)
+	return rand.New(rand.NewPCG(s1, s2))
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to derive well-mixed seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func Bernoulli(r *Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Uniform returns a sample from the uniform distribution on [a, b).
+func Uniform(r *Rand, a, b float64) float64 {
+	return a + r.Float64()*(b-a)
+}
+
+// Laplace returns a sample from the Laplace distribution with mean 0 and
+// scale b (variance 2b^2).
+func Laplace(r *Rand, b float64) float64 {
+	// Difference of two i.i.d. exponentials is Laplace; this form avoids
+	// the log-of-zero edge case of the inverse-CDF method.
+	return b * (r.ExpFloat64() - r.ExpFloat64())
+}
+
+// TruncGauss returns a sample from N(mu, sigma^2) conditioned on lying in
+// [lo, hi], via rejection sampling. The paper's Figure 5 workload uses
+// N(mu, 1/16) truncated to [-1, 1], for which acceptance is high; for
+// pathological parameter choices where fewer than 1 in 10^6 proposals
+// would be accepted, the midpoint of the interval is returned.
+func TruncGauss(r *Rand, mu, sigma, lo, hi float64) float64 {
+	for i := 0; i < 1_000_000; i++ {
+		x := mu + sigma*r.NormFloat64()
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// PowerLaw samples from the density proportional to (x+2)^{-10} on [-1, 1]
+// (the power-law workload of Section VI) using the inverse CDF.
+func PowerLaw(r *Rand) float64 {
+	// F(x) = (1 - (x+2)^{-9}) / (1 - 3^{-9}) on [-1, 1].
+	const inv39 = 1.0 / 19683 // 3^{-9}
+	u := r.Float64()
+	return math.Pow(1-u*(1-inv39), -1.0/9) - 2
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// {0, ..., n-1} via a partial Fisher-Yates shuffle. It panics if k > n or
+// k < 0; callers control both values. The returned slice has length k and
+// is in shuffle order (not sorted).
+func SampleWithoutReplacement(r *Rand, n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleWithoutReplacement requires 0 <= k <= n")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k:k]
+}
+
+// Geometric returns a sample from the geometric distribution on {0, 1, ...}
+// with P(X >= t) = q^t, i.e. success probability 1-q. It requires 0 < q < 1.
+// It is used to pick the band index of the staircase-family noise
+// distributions, where q = e^{-eps}.
+func Geometric(r *Rand, q float64) int {
+	// Inverse CDF: X = floor(ln U / ln q).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Log(u) / math.Log(q))
+}
+
+// WeightedIndexLog samples an index i with probability proportional to
+// exp(logw[i]), computed stably. Entries may be -Inf (zero weight).
+// It panics if the weights are all zero or the slice is empty.
+func WeightedIndexLog(r *Rand, logw []float64) int {
+	if len(logw) == 0 {
+		panic("rng: WeightedIndexLog on empty weights")
+	}
+	max := math.Inf(-1)
+	for _, w := range logw {
+		if w > max {
+			max = w
+		}
+	}
+	if math.IsInf(max, -1) {
+		panic("rng: WeightedIndexLog with all-zero weights")
+	}
+	total := 0.0
+	for _, w := range logw {
+		total += math.Exp(w - max)
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range logw {
+		acc += math.Exp(w - max)
+		if u < acc {
+			return i
+		}
+	}
+	return len(logw) - 1 // floating point slack
+}

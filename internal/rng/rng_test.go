@@ -1,0 +1,282 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce the same sequence")
+		}
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	a, b := NewStream(7, 0), NewStream(7, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams 0 and 1 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestNewStreamDeterministic(t *testing.T) {
+	f := func(seed, i uint64) bool {
+		return NewStream(seed, i).Uint64() == NewStream(seed, i).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if Bernoulli(r, 0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !Bernoulli(r, 1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if Bernoulli(r, -0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !Bernoulli(r, 1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(2)
+	const n = 200000
+	const p = 0.3
+	hits := 0
+	for i := 0; i < n; i++ {
+		if Bernoulli(r, p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	// 5-sigma band for a binomial proportion.
+	tol := 5 * math.Sqrt(p*(1-p)/n)
+	if math.Abs(got-p) > tol {
+		t.Errorf("Bernoulli frequency = %v, want %v +- %v", got, p, tol)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		x := Uniform(r, -2, 5)
+		if x < -2 || x >= 5 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(4)
+	const n = 500000
+	const b = 2.0
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := Laplace(r, b)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	want := 2 * b * b // variance of Laplace(b)
+	if math.Abs(variance-want) > 0.15*want {
+		t.Errorf("Laplace variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestTruncGaussBoundsAndMean(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := TruncGauss(r, 0.5, 0.25, -1, 1)
+		if x < -1 || x > 1 {
+			t.Fatalf("TruncGauss out of bounds: %v", x)
+		}
+		sum += x
+	}
+	// Analytic mean of N(0.5, 0.25^2) truncated to [-1, 1]:
+	// mu + sigma*(phi(-6)-phi(2))/(Phi(2)-Phi(-6)) ~= 0.48619.
+	if mean := sum / n; math.Abs(mean-0.48619) > 0.005 {
+		t.Errorf("TruncGauss mean = %v, want ~0.48619", mean)
+	}
+}
+
+func TestPowerLawBoundsAndSkew(t *testing.T) {
+	r := New(6)
+	const n = 100000
+	below := 0
+	for i := 0; i < n; i++ {
+		x := PowerLaw(r)
+		if x < -1 || x > 1 {
+			t.Fatalf("PowerLaw out of bounds: %v", x)
+		}
+		if x < -0.5 {
+			below++
+		}
+	}
+	// The density ~ (x+2)^{-10} is heavily skewed toward -1: analytically
+	// P(X < -0.5) = (1 - 1.5^{-9})/(1 - 3^{-9}) ~= 0.974.
+	got := float64(below) / n
+	if math.Abs(got-0.974) > 0.01 {
+		t.Errorf("P(X < -0.5) = %v, want ~0.974", got)
+	}
+}
+
+func TestSampleWithoutReplacementProperties(t *testing.T) {
+	r := New(7)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		got := SampleWithoutReplacement(r, n, k)
+		if len(got) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each index should appear with probability k/n.
+	r := New(8)
+	const n, k, trials = 10, 3, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range SampleWithoutReplacement(r, n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("index %d drawn %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k > n")
+		}
+	}()
+	SampleWithoutReplacement(New(9), 3, 4)
+}
+
+func TestGeometricDistribution(t *testing.T) {
+	r := New(10)
+	const q = 0.4
+	const n = 200000
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		counts[Geometric(r, q)]++
+	}
+	// P(X = t) = q^t (1-q).
+	for x := 0; x <= 4; x++ {
+		want := math.Pow(q, float64(x)) * (1 - q)
+		got := float64(counts[x]) / n
+		if math.Abs(got-want) > 5*math.Sqrt(want*(1-want)/n)+1e-4 {
+			t.Errorf("P(X=%d) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestWeightedIndexLog(t *testing.T) {
+	r := New(11)
+	logw := []float64{math.Log(1), math.Log(2), math.Log(7)}
+	const n = 200000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		counts[WeightedIndexLog(r, logw)]++
+	}
+	wants := []float64{0.1, 0.2, 0.7}
+	for i, w := range wants {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w) > 0.01 {
+			t.Errorf("P(i=%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestWeightedIndexLogWithNegInf(t *testing.T) {
+	r := New(12)
+	logw := []float64{math.Inf(-1), 0, math.Inf(-1)}
+	for i := 0; i < 1000; i++ {
+		if got := WeightedIndexLog(r, logw); got != 1 {
+			t.Fatalf("index = %d, want 1", got)
+		}
+	}
+}
+
+func TestWeightedIndexLogPanicsAllZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for all -Inf weights")
+		}
+	}()
+	WeightedIndexLog(New(13), []float64{math.Inf(-1), math.Inf(-1)})
+}
+
+func TestWeightedIndexLogLargeMagnitudes(t *testing.T) {
+	// Stability: weights far outside exp range must still normalize.
+	r := New(14)
+	logw := []float64{-1000, -1000 + math.Log(3)}
+	counts := make([]int, 2)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[WeightedIndexLog(r, logw)]++
+	}
+	got := float64(counts[1]) / n
+	if math.Abs(got-0.75) > 0.01 {
+		t.Errorf("P(i=1) = %v, want 0.75", got)
+	}
+}
+
+func TestStreamsCoverUnitInterval(t *testing.T) {
+	// Sanity check that stream-derived generators are not badly biased.
+	r := NewStream(99, 1234)
+	const n = 100000
+	var xs []float64
+	for i := 0; i < n; i++ {
+		xs = append(xs, r.Float64())
+	}
+	sort.Float64s(xs)
+	// Kolmogorov-Smirnov style check at a few quantiles.
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got := xs[int(q*float64(n))]
+		if math.Abs(got-q) > 0.01 {
+			t.Errorf("quantile %v = %v", q, got)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package schema describes the shape of user records collected under local
+// differential privacy: an ordered list of attributes, each either numeric
+// with domain [-1, 1] or categorical with a finite value domain
+// {0, ..., Cardinality-1}.
+//
+// The schema is shared knowledge between users and the aggregator (Section
+// II of the paper assumes the aggregator knows attribute domains); it is the
+// contract that the perturbation mechanisms, the wire format, and the
+// estimators all agree on.
+package schema
+
+import (
+	"fmt"
+)
+
+// Kind distinguishes numeric from categorical attributes.
+type Kind int
+
+const (
+	// Numeric attributes take values in the continuous domain [-1, 1].
+	Numeric Kind = iota
+	// Categorical attributes take values in {0, ..., Cardinality-1}.
+	Categorical
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute is one column of a user record.
+type Attribute struct {
+	// Name identifies the attribute in reports and output tables.
+	Name string
+	// Kind is Numeric or Categorical.
+	Kind Kind
+	// Cardinality is the number of distinct values of a categorical
+	// attribute; it is ignored for numeric attributes.
+	Cardinality int
+}
+
+// Schema is an ordered list of attributes. The zero value is an empty
+// schema.
+type Schema struct {
+	Attrs []Attribute
+}
+
+// New constructs a schema from the given attributes and validates it.
+func New(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{Attrs: attrs}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dim returns the number of attributes d.
+func (s *Schema) Dim() int { return len(s.Attrs) }
+
+// Validate checks the schema for structural errors: empty schemas, blank or
+// duplicate names, and categorical attributes with cardinality below 2.
+func (s *Schema) Validate() error {
+	if len(s.Attrs) == 0 {
+		return fmt.Errorf("schema: no attributes")
+	}
+	seen := make(map[string]bool, len(s.Attrs))
+	for i, a := range s.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("schema: attribute %d has empty name", i)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("schema: duplicate attribute name %q", a.Name)
+		}
+		seen[a.Name] = true
+		switch a.Kind {
+		case Numeric:
+		case Categorical:
+			if a.Cardinality < 2 {
+				return fmt.Errorf("schema: categorical attribute %q needs cardinality >= 2, got %d", a.Name, a.Cardinality)
+			}
+		default:
+			return fmt.Errorf("schema: attribute %q has unknown kind %d", a.Name, int(a.Kind))
+		}
+	}
+	return nil
+}
+
+// NumericIdx returns the indices of the numeric attributes, in order.
+func (s *Schema) NumericIdx() []int {
+	var idx []int
+	for i, a := range s.Attrs {
+		if a.Kind == Numeric {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// CategoricalIdx returns the indices of the categorical attributes, in order.
+func (s *Schema) CategoricalIdx() []int {
+	var idx []int
+	for i, a := range s.Attrs {
+		if a.Kind == Categorical {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// OneHotDim returns the dimensionality after the ERM one-hot encoding of
+// Section VI-B: each numeric attribute contributes 1 and each categorical
+// attribute with cardinality c contributes c-1 binary attributes.
+func (s *Schema) OneHotDim() int {
+	d := 0
+	for _, a := range s.Attrs {
+		if a.Kind == Numeric {
+			d++
+		} else {
+			d += a.Cardinality - 1
+		}
+	}
+	return d
+}
+
+// Tuple is a single user's record under a schema. Both slices have length
+// Dim(); Num[i] is meaningful when attribute i is numeric (value in [-1,1]),
+// and Cat[i] when it is categorical (value in {0..Cardinality-1}).
+type Tuple struct {
+	Num []float64
+	Cat []int
+}
+
+// NewTuple allocates an all-zero tuple for schema s.
+func NewTuple(s *Schema) Tuple {
+	return Tuple{Num: make([]float64, s.Dim()), Cat: make([]int, s.Dim())}
+}
+
+// Check verifies that t is well-formed for schema s: slice lengths match,
+// numeric values lie in [-1, 1], and categorical values are in range.
+func (t Tuple) Check(s *Schema) error {
+	if len(t.Num) != s.Dim() || len(t.Cat) != s.Dim() {
+		return fmt.Errorf("schema: tuple has %d/%d slots, schema has %d", len(t.Num), len(t.Cat), s.Dim())
+	}
+	for i, a := range s.Attrs {
+		switch a.Kind {
+		case Numeric:
+			if v := t.Num[i]; v < -1 || v > 1 {
+				return fmt.Errorf("schema: attribute %q value %v outside [-1,1]", a.Name, v)
+			}
+		case Categorical:
+			if v := t.Cat[i]; v < 0 || v >= a.Cardinality {
+				return fmt.Errorf("schema: attribute %q value %d outside [0,%d)", a.Name, v, a.Cardinality)
+			}
+		}
+	}
+	return nil
+}

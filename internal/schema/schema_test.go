@@ -1,0 +1,112 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func validSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := New(
+		Attribute{Name: "x", Kind: Numeric},
+		Attribute{Name: "y", Kind: Numeric},
+		Attribute{Name: "c", Kind: Categorical, Cardinality: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValid(t *testing.T) {
+	s := validSchema(t)
+	if s.Dim() != 3 {
+		t.Errorf("Dim = %d", s.Dim())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string][]Attribute{
+		"empty":         {},
+		"blank name":    {{Name: "", Kind: Numeric}},
+		"duplicate":     {{Name: "a", Kind: Numeric}, {Name: "a", Kind: Numeric}},
+		"cardinality 1": {{Name: "c", Kind: Categorical, Cardinality: 1}},
+		"cardinality 0": {{Name: "c", Kind: Categorical}},
+		"unknown kind":  {{Name: "c", Kind: Kind(9)}},
+	}
+	for name, attrs := range cases {
+		if _, err := New(attrs...); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Numeric.String() != "numeric" || Categorical.String() != "categorical" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(7).String(), "7") {
+		t.Error("unknown kind should include its value")
+	}
+}
+
+func TestIndexHelpers(t *testing.T) {
+	s := validSchema(t)
+	num, cat := s.NumericIdx(), s.CategoricalIdx()
+	if len(num) != 2 || num[0] != 0 || num[1] != 1 {
+		t.Errorf("NumericIdx = %v", num)
+	}
+	if len(cat) != 1 || cat[0] != 2 {
+		t.Errorf("CategoricalIdx = %v", cat)
+	}
+}
+
+func TestOneHotDim(t *testing.T) {
+	s := validSchema(t)
+	// 2 numeric + (4-1) binaries.
+	if got := s.OneHotDim(); got != 5 {
+		t.Errorf("OneHotDim = %d, want 5", got)
+	}
+}
+
+func TestTupleCheck(t *testing.T) {
+	s := validSchema(t)
+	good := NewTuple(s)
+	good.Num[0], good.Cat[2] = 0.5, 3
+	if err := good.Check(s); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+
+	outOfDomain := NewTuple(s)
+	outOfDomain.Num[1] = 1.5
+	if err := outOfDomain.Check(s); err == nil {
+		t.Error("numeric out of [-1,1] accepted")
+	}
+
+	outOfRange := NewTuple(s)
+	outOfRange.Cat[2] = 4
+	if err := outOfRange.Check(s); err == nil {
+		t.Error("categorical out of range accepted")
+	}
+
+	negative := NewTuple(s)
+	negative.Cat[2] = -1
+	if err := negative.Check(s); err == nil {
+		t.Error("negative categorical accepted")
+	}
+
+	short := Tuple{Num: []float64{0}, Cat: []int{0}}
+	if err := short.Check(s); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestTupleBoundaryValues(t *testing.T) {
+	s := validSchema(t)
+	tup := NewTuple(s)
+	tup.Num[0], tup.Num[1] = -1, 1
+	tup.Cat[2] = 0
+	if err := tup.Check(s); err != nil {
+		t.Errorf("boundary values rejected: %v", err)
+	}
+}

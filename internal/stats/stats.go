@@ -1,0 +1,173 @@
+// Package stats provides the estimation-quality statistics used by the
+// experiment harness: numerically stable running moments (Welford), mean
+// squared error, quantiles, and normal-approximation confidence intervals.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrLengthMismatch is returned by MSE and MaxAbsErr when the two slices
+// have different lengths.
+var ErrLengthMismatch = errors.New("stats: slice length mismatch")
+
+// Running accumulates count, mean and variance in one pass using Welford's
+// algorithm. The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// AddN folds x in as if it had been observed weight times (weight >= 1).
+func (r *Running) AddN(x float64, weight int64) {
+	for i := int64(0); i < weight; i++ {
+		r.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean, or 0 before any observation.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance (dividing by n), or 0 when fewer
+// than two observations have been seen.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n-1), or
+// 0 when fewer than two observations have been seen.
+func (r *Running) SampleVariance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// StdErr returns the standard error of the mean (sample stddev / sqrt(n)).
+func (r *Running) StdErr() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.SampleVariance() / float64(r.n))
+}
+
+// Merge combines another accumulator into r (parallel Welford merge).
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	n := r.n + o.n
+	delta := o.mean - r.mean
+	r.m2 += o.m2 + delta*delta*float64(r.n)*float64(o.n)/float64(n)
+	r.mean += delta * float64(o.n) / float64(n)
+	r.n = n
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than two
+// elements).
+func Variance(xs []float64) float64 {
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r.Variance()
+}
+
+// MSE returns the mean squared error between estimates and truth.
+func MSE(estimate, truth []float64) (float64, error) {
+	if len(estimate) != len(truth) {
+		return 0, ErrLengthMismatch
+	}
+	if len(estimate) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range estimate {
+		d := estimate[i] - truth[i]
+		sum += d * d
+	}
+	return sum / float64(len(estimate)), nil
+}
+
+// MaxAbsErr returns the maximum absolute coordinate error between the two
+// vectors (the L-infinity error bounded by Lemma 5 of the paper).
+func MaxAbsErr(estimate, truth []float64) (float64, error) {
+	if len(estimate) != len(truth) {
+		return 0, ErrLengthMismatch
+	}
+	max := 0.0
+	for i := range estimate {
+		if d := math.Abs(estimate[i] - truth[i]); d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns 0 for an empty slice
+// and does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// NormalCI returns the mean and half-width of a normal-approximation
+// confidence interval at the given z value (e.g. 1.96 for 95%) for the
+// observations accumulated in r.
+func NormalCI(r *Running, z float64) (mean, halfWidth float64) {
+	return r.Mean(), z * r.StdErr()
+}

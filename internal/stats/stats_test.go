@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldp/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunningBasic(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d, want 8", r.N())
+	}
+	if !almostEqual(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	if !almostEqual(r.Variance(), 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", r.Variance())
+	}
+	if !almostEqual(r.SampleVariance(), 32.0/7, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", r.SampleVariance(), 32.0/7)
+	}
+	if !almostEqual(r.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", r.StdDev())
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 {
+		t.Error("zero-value accumulator should report zeros")
+	}
+	r.Add(3)
+	if r.Mean() != 3 || r.Variance() != 0 {
+		t.Error("single observation: mean 3, variance 0")
+	}
+}
+
+func TestRunningAddN(t *testing.T) {
+	var a, b Running
+	a.AddN(2, 3)
+	for i := 0; i < 3; i++ {
+		b.Add(2)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() {
+		t.Error("AddN(x,3) should equal three Add(x) calls")
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	r := rng.New(20)
+	f := func(seed uint64) bool {
+		local := rng.New(seed)
+		var whole, left, right Running
+		for i := 0; i < 500; i++ {
+			x := local.NormFloat64()*3 + 1
+			whole.Add(x)
+			if i%2 == 0 {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			almostEqual(left.Mean(), whole.Mean(), 1e-9) &&
+			almostEqual(left.Variance(), whole.Variance(), 1e-9)
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(3)
+	before := a.Mean()
+	a.Merge(&b) // merging empty is a no-op
+	if a.Mean() != before || a.N() != 2 {
+		t.Error("merging an empty accumulator changed state")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != before {
+		t.Error("merging into empty accumulator should copy")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almostEqual(Mean(xs), 2.5, 1e-12) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !almostEqual(Variance(xs), 1.25, 1e-12) {
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty slice should give 0")
+	}
+}
+
+func TestMSE(t *testing.T) {
+	got, err := MSE([]float64{1, 2, 3}, []float64{1, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, (0.0+1+4)/3, 1e-12) {
+		t.Errorf("MSE = %v", got)
+	}
+	if _, err := MSE([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Errorf("err = %v, want ErrLengthMismatch", err)
+	}
+	if got, err := MSE(nil, nil); err != nil || got != 0 {
+		t.Error("empty MSE should be 0, nil")
+	}
+}
+
+func TestMaxAbsErr(t *testing.T) {
+	got, err := MaxAbsErr([]float64{1, -2, 3}, []float64{0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("MaxAbsErr = %v, want 4", got)
+	}
+	if _, err := MaxAbsErr([]float64{1}, nil); err != ErrLengthMismatch {
+		t.Errorf("err = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestNormalCICoverage(t *testing.T) {
+	// 95% CI should cover the true mean in roughly 95% of repetitions.
+	r := rng.New(21)
+	const reps = 400
+	covered := 0
+	for rep := 0; rep < reps; rep++ {
+		var acc Running
+		for i := 0; i < 200; i++ {
+			acc.Add(r.NormFloat64() + 7)
+		}
+		mean, hw := NormalCI(&acc, 1.96)
+		if math.Abs(mean-7) <= hw {
+			covered++
+		}
+	}
+	rate := float64(covered) / reps
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestRunningLargeShiftStability(t *testing.T) {
+	// Welford must stay accurate with a large offset where naive sum of
+	// squares loses precision.
+	var r Running
+	const offset = 1e9
+	for _, x := range []float64{offset + 1, offset + 2, offset + 3} {
+		r.Add(x)
+	}
+	if !almostEqual(r.Variance(), 2.0/3, 1e-6) {
+		t.Errorf("Variance = %v, want %v", r.Variance(), 2.0/3)
+	}
+}

@@ -1,0 +1,57 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ldp/internal/core"
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+// Client runs on the user's side: it randomizes tuples locally with a
+// core.Collector and sends only the perturbed frames to the aggregator.
+// The true tuple never leaves the process.
+type Client struct {
+	baseURL   string
+	collector *core.Collector
+	http      *http.Client
+}
+
+// NewClient builds a client for the aggregator at baseURL (no trailing
+// slash required). httpClient may be nil to use http.DefaultClient.
+func NewClient(baseURL string, collector *core.Collector, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Client{baseURL: baseURL, collector: collector, http: httpClient}
+}
+
+// SendTuple perturbs the tuple locally and posts the resulting frame.
+func (c *Client) SendTuple(t schema.Tuple, r *rng.Rand) error {
+	rep, err := c.collector.Perturb(t, r)
+	if err != nil {
+		return fmt.Errorf("transport: perturb: %w", err)
+	}
+	return c.SendReport(rep)
+}
+
+// SendReport posts an already-perturbed report.
+func (c *Client) SendReport(rep core.Report) error {
+	frame := EncodeReport(rep)
+	resp, err := c.http.Post(c.baseURL+"/v1/report", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return fmt.Errorf("transport: post report: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("transport: aggregator rejected report: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package transport implements the collection pipeline of the paper's
+// system model (Section II): users randomize their records locally and send
+// only the perturbed reports to an aggregator over HTTP.
+//
+// The wire format is a compact CRC-framed binary encoding of core.Report;
+// the server accumulates reports into a core.Aggregator (optionally
+// persisting raw frames to a reportlog for crash recovery) and serves mean
+// and frequency estimates as JSON.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"ldp/internal/core"
+	"ldp/internal/freq"
+)
+
+// Frame constants for the report wire format.
+const (
+	wireMagic   = "LDPR"
+	wireVersion = 1
+
+	entryNumeric  = 0
+	entryCatBits  = 1
+	entryCatValue = 2
+
+	// MaxFrameSize bounds a report frame (defensive limit).
+	MaxFrameSize = 1 << 20
+)
+
+// Errors returned by DecodeReport.
+var (
+	ErrBadMagic    = errors.New("transport: bad frame magic")
+	ErrBadVersion  = errors.New("transport: unsupported frame version")
+	ErrBadChecksum = errors.New("transport: frame checksum mismatch")
+	ErrTruncated   = errors.New("transport: truncated frame")
+)
+
+// EncodeReport serializes a report into a self-contained frame:
+//
+//	magic(4) version(1) payloadLen(u32) payload crc32(u32)
+//
+// Payload: entryCount(uvarint) then per entry: attr(uvarint), kind(byte),
+// and the kind-specific body (float64 bits, a bitset, or a value index).
+func EncodeReport(rep core.Report) []byte {
+	payload := make([]byte, 0, 16+16*len(rep.Entries))
+	payload = binary.AppendUvarint(payload, uint64(len(rep.Entries)))
+	for _, e := range rep.Entries {
+		payload = binary.AppendUvarint(payload, uint64(e.Attr))
+		switch e.Kind {
+		case core.EntryCategoricalBits:
+			payload = append(payload, entryCatBits)
+			payload = binary.AppendUvarint(payload, uint64(len(e.Resp.Bits)))
+			for _, w := range e.Resp.Bits {
+				payload = binary.LittleEndian.AppendUint64(payload, w)
+			}
+		case core.EntryCategoricalValue:
+			payload = append(payload, entryCatValue)
+			payload = binary.AppendUvarint(payload, uint64(e.Resp.Value))
+		default:
+			payload = append(payload, entryNumeric)
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(e.Value))
+		}
+	}
+	frame := make([]byte, 0, len(payload)+13)
+	frame = append(frame, wireMagic...)
+	frame = append(frame, wireVersion)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	return frame
+}
+
+// DecodeReport parses a frame produced by EncodeReport.
+func DecodeReport(frame []byte) (core.Report, error) {
+	if len(frame) > MaxFrameSize {
+		return core.Report{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	if len(frame) < 13 {
+		return core.Report{}, ErrTruncated
+	}
+	if string(frame[:4]) != wireMagic {
+		return core.Report{}, ErrBadMagic
+	}
+	if frame[4] != wireVersion {
+		return core.Report{}, fmt.Errorf("%w: %d", ErrBadVersion, frame[4])
+	}
+	plen := binary.LittleEndian.Uint32(frame[5:9])
+	if int(plen) != len(frame)-13 {
+		return core.Report{}, ErrTruncated
+	}
+	payload := frame[9 : 9+plen]
+	sum := binary.LittleEndian.Uint32(frame[9+plen:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return core.Report{}, ErrBadChecksum
+	}
+
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		pos += n
+		return v, nil
+	}
+	count, err := readUvarint()
+	if err != nil {
+		return core.Report{}, err
+	}
+	if count > 1<<16 {
+		return core.Report{}, fmt.Errorf("transport: implausible entry count %d", count)
+	}
+	rep := core.Report{Entries: make([]core.Entry, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		attr, err := readUvarint()
+		if err != nil {
+			return core.Report{}, err
+		}
+		if pos >= len(payload) {
+			return core.Report{}, ErrTruncated
+		}
+		kind := payload[pos]
+		pos++
+		var e core.Entry
+		e.Attr = int(attr)
+		switch kind {
+		case entryNumeric:
+			if pos+8 > len(payload) {
+				return core.Report{}, ErrTruncated
+			}
+			e.Kind = core.EntryNumeric
+			e.Value = math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
+			pos += 8
+		case entryCatBits:
+			words, err := readUvarint()
+			if err != nil {
+				return core.Report{}, err
+			}
+			if words > 1<<12 || pos+int(words)*8 > len(payload) {
+				return core.Report{}, ErrTruncated
+			}
+			bits := make(freq.Bitset, words)
+			for w := range bits {
+				bits[w] = binary.LittleEndian.Uint64(payload[pos:])
+				pos += 8
+			}
+			e.Kind = core.EntryCategoricalBits
+			e.Resp = freq.Response{Bits: bits}
+		case entryCatValue:
+			v, err := readUvarint()
+			if err != nil {
+				return core.Report{}, err
+			}
+			e.Kind = core.EntryCategoricalValue
+			e.Resp = freq.Response{Value: int(v)}
+		default:
+			return core.Report{}, fmt.Errorf("transport: unknown entry kind %d", kind)
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	if pos != len(payload) {
+		return core.Report{}, fmt.Errorf("transport: %d trailing payload bytes", len(payload)-pos)
+	}
+	return rep, nil
+}

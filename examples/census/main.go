@@ -8,18 +8,23 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"ldp"
 	"ldp/internal/dataset"
 )
 
 func main() {
-	const (
-		eps   = 1.0
-		users = 50000
-	)
+	if err := run(50_000, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(users int, out io.Writer) error {
+	const eps = 1.0
 	census := dataset.NewBR()
 	sch := census.Schema()
 
@@ -27,14 +32,14 @@ func main() {
 	// and OUE for categorical ones.
 	col, err := ldp.NewCollector(sch, eps, ldp.HM, ldp.OUE)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	agg := ldp.NewAggregator(col)
 
 	// Baseline: every attribute perturbed independently at eps/d.
 	base, err := ldp.NewLaplace(eps / float64(sch.Dim()))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	numIdx := sch.NumericIdx()
@@ -53,36 +58,37 @@ func main() {
 
 		rep, err := col.Perturb(tup, r)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := agg.Add(rep); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
-	fmt.Printf("BR-like census, %d users, eps=%g, d=%d (k=%d attributes reported per user)\n\n",
+	fmt.Fprintf(out, "BR-like census, %d users, eps=%g, d=%d (k=%d attributes reported per user)\n\n",
 		users, eps, sch.Dim(), col.K())
-	fmt.Println("numeric attribute means:")
-	fmt.Printf("  %-10s %10s %12s %12s\n", "attribute", "truth", "algorithm4", "split-laplace")
+	fmt.Fprintln(out, "numeric attribute means:")
+	fmt.Fprintf(out, "  %-10s %10s %12s %12s\n", "attribute", "truth", "algorithm4", "split-laplace")
 	means := agg.MeanEstimates()
 	var mseAlg, mseBase float64
 	for j, a := range numIdx {
-		tm := truth[j] / users
-		bm := baseSum[j] / users
-		fmt.Printf("  %-10s %+10.4f %+12.4f %+12.4f\n", sch.Attrs[a].Name, tm, means[j], bm)
+		tm := truth[j] / float64(users)
+		bm := baseSum[j] / float64(users)
+		fmt.Fprintf(out, "  %-10s %+10.4f %+12.4f %+12.4f\n", sch.Attrs[a].Name, tm, means[j], bm)
 		mseAlg += (means[j] - tm) * (means[j] - tm)
 		mseBase += (bm - tm) * (bm - tm)
 	}
-	fmt.Printf("\n  MSE: algorithm4 %.3e  vs  split-laplace %.3e  (%.1fx better)\n\n",
+	fmt.Fprintf(out, "\n  MSE: algorithm4 %.3e  vs  split-laplace %.3e  (%.1fx better)\n\n",
 		mseAlg/float64(len(numIdx)), mseBase/float64(len(numIdx)), mseBase/mseAlg)
 
 	freqs, err := agg.FreqEstimates(6)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("gender frequencies:")
+	fmt.Fprintln(out, "gender frequencies:")
 	for v, f := range freqs {
-		tf := genderCounts[v] / users
-		fmt.Printf("  value %d: truth %.4f, estimate %.4f (err %.4f)\n", v, tf, f, math.Abs(f-tf))
+		tf := genderCounts[v] / float64(users)
+		fmt.Fprintf(out, "  value %d: truth %.4f, estimate %.4f (err %.4f)\n", v, tf, f, math.Abs(f-tf))
 	}
+	return nil
 }

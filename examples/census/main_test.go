@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSmoke runs the demo end to end with a tiny population so the
+// example cannot rot silently.
+func TestSmoke(t *testing.T) {
+	if err := run(300, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,8 +8,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 	"sort"
 
 	"ldp"
@@ -17,17 +19,22 @@ import (
 )
 
 func main() {
+	if err := run(100_000, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(users int, out io.Writer) error {
 	const (
-		eps   = 1.0
-		users = 100000
-		bins  = 20
+		eps  = 1.0
+		bins = 20
 	)
 	census := dataset.NewBR()
 	incomeAttr := census.IncomeAttr()
 
 	col, err := ldp.NewHistogramCollector(eps, bins, nil) // OUE inside
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	est := ldp.NewHistogramEstimator(col)
 
@@ -40,34 +47,35 @@ func main() {
 	}
 	sort.Float64s(truth)
 
-	fmt.Printf("income distribution from %d users at eps=%g (%d bins)\n\n", users, eps, bins)
-	fmt.Println("bin      true    estimated")
+	fmt.Fprintf(out, "income distribution from %d users at eps=%g (%d bins)\n\n", users, eps, bins)
+	fmt.Fprintln(out, "bin      true    estimated")
 	smoothed := est.Smoothed()
 	for b := 0; b < bins; b++ {
 		lo := -1 + 2*float64(b)/bins
 		hi := lo + 2.0/bins
-		trueMass := float64(sort.SearchFloat64s(truth, hi)-sort.SearchFloat64s(truth, lo)) / users
+		trueMass := float64(sort.SearchFloat64s(truth, hi)-sort.SearchFloat64s(truth, lo)) / float64(users)
 		bar := ""
 		for i := 0; i < int(smoothed[b]*100); i++ {
 			bar += "#"
 		}
-		fmt.Printf("[%+.1f,%+.1f) %.4f  %.4f %s\n", lo, hi, trueMass, smoothed[b], bar)
+		fmt.Fprintf(out, "[%+.1f,%+.1f) %.4f  %.4f %s\n", lo, hi, trueMass, smoothed[b], bar)
 	}
 
-	fmt.Println("\nquantiles from the private histogram:")
+	fmt.Fprintln(out, "\nquantiles from the private histogram:")
 	for _, q := range []float64{0.25, 0.5, 0.75, 0.9} {
 		trueQ := truth[int(q*float64(users))]
-		fmt.Printf("  q=%.2f: true %+.3f, estimated %+.3f (err %.3f)\n",
+		fmt.Fprintf(out, "  q=%.2f: true %+.3f, estimated %+.3f (err %.3f)\n",
 			q, trueQ, est.Quantile(q), math.Abs(trueQ-est.Quantile(q)))
 	}
-	trueTop := float64(users-sort.SearchFloat64s(truth, 0)) / users
-	fmt.Printf("  P(income > 0): true %.4f, estimated %.4f\n\n", trueTop, est.RangeMass(0, 1))
+	trueTop := float64(users-sort.SearchFloat64s(truth, 0)) / float64(users)
+	fmt.Fprintf(out, "  P(income > 0): true %.4f, estimated %.4f\n\n", trueTop, est.RangeMass(0, 1))
 
 	// Black-box privacy audit of the numeric mechanism used elsewhere.
 	pm, err := ldp.NewPiecewise(eps)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res := ldp.Audit(pm, ldp.AuditConfig{Samples: 100000})
-	fmt.Println(res)
+	fmt.Fprintln(out, res)
+	return nil
 }

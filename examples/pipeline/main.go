@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -22,31 +23,34 @@ import (
 )
 
 func main() {
-	const (
-		eps   = 1.0
-		users = 5000
-	)
+	if err := run(5000, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(users int, out io.Writer) error {
+	const eps = 1.0
 	census := dataset.NewMX()
 	col, err := ldp.NewCollector(census.Schema(), eps, ldp.PM, ldp.OUE)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	logDir, err := os.MkdirTemp("", "ldp-pipeline-*")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer os.RemoveAll(logDir)
 	sink, err := reportlog.Open(logDir, 4<<20)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Aggregator on an ephemeral localhost port.
 	agg := ldp.NewAggregator(col)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	srv := &http.Server{Handler: ldp.NewServer(agg, sink)}
 	go func() {
@@ -55,7 +59,7 @@ func main() {
 		}
 	}()
 	baseURL := "http://" + ln.Addr().String()
-	fmt.Printf("aggregator listening on %s (report log in %s)\n", baseURL, filepath.Base(logDir))
+	fmt.Fprintf(out, "aggregator listening on %s (report log in %s)\n", baseURL, filepath.Base(logDir))
 
 	// Clients: randomize locally, upload only perturbed frames.
 	start := time.Now()
@@ -63,24 +67,24 @@ func main() {
 	for i := 0; i < users; i++ {
 		r := ldp.NewRandStream(3, uint64(i))
 		if err := client.SendTuple(census.Tuple(r), r); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
-	fmt.Printf("uploaded %d reports in %v\n", users, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "uploaded %d reports in %v\n", users, time.Since(start).Round(time.Millisecond))
 
 	means := agg.MeanEstimates()
-	fmt.Printf("estimated mean age (normalized): %+.4f from n=%d reports\n", means[0], agg.N())
+	fmt.Fprintf(out, "estimated mean age (normalized): %+.4f from n=%d reports\n", means[0], agg.N())
 
 	if err := srv.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := sink.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Simulate a restart: recover the log and rebuild the aggregator.
 	if _, err := reportlog.Recover(logDir); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fresh := ldp.NewAggregator(col)
 	replayed, err := transport.Replay(fresh, func(fn func([]byte) error) error {
@@ -88,9 +92,10 @@ func main() {
 		return err
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	freshMeans := fresh.MeanEstimates()
-	fmt.Printf("after restart: replayed %d reports, mean age %+.4f (identical: %v)\n",
+	fmt.Fprintf(out, "after restart: replayed %d reports, mean age %+.4f (identical: %v)\n",
 		replayed, freshMeans[0], freshMeans[0] == means[0])
+	return nil
 }

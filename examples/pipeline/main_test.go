@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSmoke runs the client/server demo end to end with a tiny
+// population so the example cannot rot silently.
+func TestSmoke(t *testing.T) {
+	if err := run(50, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,21 +9,26 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"ldp"
 )
 
 func main() {
-	const (
-		eps   = 1.0    // privacy budget
-		users = 100000 // population size
-	)
+	if err := run(100_000, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(users int, out io.Writer) error {
+	const eps = 1.0 // privacy budget
 
 	mechanism, err := ldp.NewPiecewise(eps)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Simulate a population whose private values are skewed toward small
@@ -41,13 +46,14 @@ func main() {
 		noisySum += report
 	}
 
-	trueMean := trueSum / users
-	estimate := noisySum / users
-	fmt.Printf("mechanism:        %s (eps=%g)\n", mechanism.Name(), eps)
-	fmt.Printf("output range:     [-%.4f, %.4f]\n", mechanism.SupportBound(), mechanism.SupportBound())
-	fmt.Printf("true mean:        %+.6f\n", trueMean)
-	fmt.Printf("LDP estimate:     %+.6f\n", estimate)
-	fmt.Printf("absolute error:   %.6f\n", math.Abs(estimate-trueMean))
-	fmt.Printf("stddev predicted: %.6f (sqrt(worst-case var / n))\n",
-		math.Sqrt(mechanism.WorstCaseVariance()/users))
+	trueMean := trueSum / float64(users)
+	estimate := noisySum / float64(users)
+	fmt.Fprintf(out, "mechanism:        %s (eps=%g)\n", mechanism.Name(), eps)
+	fmt.Fprintf(out, "output range:     [-%.4f, %.4f]\n", mechanism.SupportBound(), mechanism.SupportBound())
+	fmt.Fprintf(out, "true mean:        %+.6f\n", trueMean)
+	fmt.Fprintf(out, "LDP estimate:     %+.6f\n", estimate)
+	fmt.Fprintf(out, "absolute error:   %.6f\n", math.Abs(estimate-trueMean))
+	fmt.Fprintf(out, "stddev predicted: %.6f (sqrt(worst-case var / n))\n",
+		math.Sqrt(mechanism.WorstCaseVariance()/float64(users)))
+	return nil
 }

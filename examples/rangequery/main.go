@@ -1,0 +1,129 @@
+// Rangequery: answer analytics questions like "what fraction of users
+// have age in [30, 40] AND income in the top band?" under eps-LDP,
+// without the aggregator ever seeing a raw record.
+//
+// Each user answers exactly one randomized sub-task: either a dyadic
+// interval of one attribute at a sampled depth of the interval hierarchy
+// (serving 1-D range queries), or one cell of a coarse 2-D grid over an
+// attribute pair (serving conjunctive range queries).
+//
+//	go run ./examples/rangequery
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+
+	"ldp"
+)
+
+// The demo population: age and income, both normalized into [-1, 1]
+// (age 0..100 -> [-1,1], income in arbitrary units). Age is bimodal,
+// income is correlated with age.
+func sample(r *ldp.Rand) (age, income float64) {
+	if r.Float64() < 0.6 {
+		age = clamp(-0.3 + 0.25*r.NormFloat64())
+	} else {
+		age = clamp(0.45 + 0.2*r.NormFloat64())
+	}
+	income = clamp(0.4*age + 0.1 + 0.3*r.NormFloat64())
+	return age, income
+}
+
+func clamp(v float64) float64 { return math.Max(-1, math.Min(1, v)) }
+
+// ageToUnit maps years to the normalized domain.
+func ageToUnit(years float64) float64 { return years/50 - 1 }
+
+func main() {
+	if err := run(300_000, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(users int, out io.Writer) error {
+	const eps = 1.0
+
+	sch, err := ldp.NewSchema(
+		ldp.Attribute{Name: "age", Kind: ldp.Numeric},
+		ldp.Attribute{Name: "income", Kind: ldp.Numeric},
+	)
+	if err != nil {
+		return err
+	}
+	col, err := ldp.NewRangeCollector(sch, eps, ldp.RangeConfig{Buckets: 256, GridCells: 8})
+	if err != nil {
+		return err
+	}
+	agg := ldp.NewRangeAggregator(col)
+
+	type rec struct{ age, income float64 }
+	population := make([]rec, users)
+	for i := range population {
+		r := ldp.NewRandStream(29, uint64(i))
+		age, income := sample(r)
+		population[i] = rec{age, income}
+
+		tup := ldp.NewTuple(sch)
+		tup.Num[0], tup.Num[1] = age, income
+		// Everything above stays on the device; only the report leaves.
+		rep, err := col.Perturb(tup, r)
+		if err != nil {
+			return err
+		}
+		if err := agg.Add(rep); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(out, "range queries over %d users at eps=%g (B=%d buckets, %dx%d grids)\n\n",
+		users, eps, col.Hierarchy().Buckets(), col.Grid().Cells(), col.Grid().Cells())
+
+	fmt.Fprintln(out, "1-D: fraction of users by age band")
+	fmt.Fprintf(out, "  %-14s %9s %9s %7s\n", "age band", "truth", "estimate", "err")
+	for _, band := range [][2]float64{{20, 35}, {30, 40}, {40, 65}, {65, 100}} {
+		lo, hi := ageToUnit(band[0]), ageToUnit(band[1])
+		truth := 0.0
+		for _, p := range population {
+			if p.age >= lo && p.age <= hi {
+				truth++
+			}
+		}
+		truth /= float64(users)
+		est, err := agg.Range1D(0, lo, hi)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  [%3.0f, %3.0f]     %9.4f %9.4f %7.4f\n",
+			band[0], band[1], truth, est, math.Abs(est-truth))
+	}
+
+	fmt.Fprintln(out, "\n2-D: age band AND income band (conjunctive ranges from the grid)")
+	fmt.Fprintf(out, "  %-32s %9s %9s %7s\n", "query", "truth", "estimate", "err")
+	queries := []struct {
+		name                   string
+		aLo, aHi, incLo, incHi float64
+	}{
+		{"age 30-40 & income [0.2,0.6]", ageToUnit(30), ageToUnit(40), 0.2, 0.6},
+		{"age 20-35 & income [-0.2,0.2]", ageToUnit(20), ageToUnit(35), -0.2, 0.2},
+		{"age 65-100 & income [0.5,1]", ageToUnit(65), ageToUnit(100), 0.5, 1},
+	}
+	for _, q := range queries {
+		truth := 0.0
+		for _, p := range population {
+			if p.age >= q.aLo && p.age <= q.aHi && p.income >= q.incLo && p.income <= q.incHi {
+				truth++
+			}
+		}
+		truth /= float64(users)
+		est, err := agg.Range2D(0, 1, q.aLo, q.aHi, q.incLo, q.incHi)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-32s %9.4f %9.4f %7.4f\n", q.name, truth, est, math.Abs(est-truth))
+	}
+	return nil
+}

@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"ldp"
 	"ldp/internal/dataset"
@@ -17,10 +19,15 @@ import (
 )
 
 func main() {
+	if err := run(30_000, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(users int, out io.Writer) error {
 	const (
-		eps   = 2.0
-		users = 30000
-		seed  = 11
+		eps  = 2.0
+		seed = 11
 	)
 	census := dataset.NewBR()
 	examples := census.ERMExamples(users, seed)
@@ -33,37 +40,44 @@ func main() {
 		Eta:       1.0,
 		GroupSize: erm.DefaultGroupSize(len(train), d, eps),
 	}
-	fmt.Printf("logistic regression on BR-like census: d=%d, train=%d, test=%d\n",
+	fmt.Fprintf(out, "logistic regression on BR-like census: d=%d, train=%d, test=%d\n",
 		d, len(train), len(test))
-	fmt.Printf("eps=%g, group size=%d (%d SGD iterations)\n\n",
+	fmt.Fprintf(out, "eps=%g, group size=%d (%d SGD iterations)\n\n",
 		eps, cfg.GroupSize, len(train)/cfg.GroupSize)
 
-	run := func(name string, pert mech.VectorPerturber) {
+	runOne := func(name string, pert mech.VectorPerturber) error {
 		beta, err := erm.Train(cfg, train, pert, seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  %-12s misclassification rate: %.4f\n",
+		fmt.Fprintf(out, "  %-12s misclassification rate: %.4f\n",
 			name, erm.MisclassificationRate(beta, test))
+		return nil
 	}
 
-	run("non-private", nil)
+	if err := runOne("non-private", nil); err != nil {
+		return err
+	}
 
 	hm, err := ldp.NewNumericCollector(ldp.HM, eps, d)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	run("hm (eps=2)", hm)
+	if err := runOne("hm (eps=2)", hm); err != nil {
+		return err
+	}
 
 	pm, err := ldp.NewNumericCollector(ldp.PM, eps, d)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	run("pm (eps=2)", pm)
+	if err := runOne("pm (eps=2)", pm); err != nil {
+		return err
+	}
 
 	du, err := ldp.NewDuchiMulti(eps, d)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	run("duchi", du)
+	return runOne("duchi", du)
 }

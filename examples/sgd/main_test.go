@@ -1,0 +1,13 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSmoke trains on a tiny dataset so the example cannot rot silently.
+func TestSmoke(t *testing.T) {
+	if err := run(500, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

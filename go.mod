@@ -1,0 +1,3 @@
+module ldp
+
+go 1.24

@@ -1,0 +1,39 @@
+package experiment
+
+import "testing"
+
+func TestRangeRuns(t *testing.T) {
+	tables, err := runRange(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want accuracy + throughput", len(tables))
+	}
+	acc, speed := tables[0], tables[1]
+	if len(acc.Rows) != 2 || len(speed.Rows) != 2 {
+		t.Fatalf("want one row per eps: got %d/%d", len(acc.Rows), len(speed.Rows))
+	}
+	for _, row := range acc.Rows {
+		if len(row.Values) != 3 {
+			t.Fatalf("accuracy row has %d columns, want 3", len(row.Values))
+		}
+		for i, v := range row.Values {
+			if v < 0 || v > 1 {
+				t.Errorf("eps=%s: MSE column %d = %v outside [0,1]", row.X, i, v)
+			}
+		}
+	}
+	// Higher eps must not make things dramatically worse; check the grid
+	// column shrinks from eps=0.5 to eps=4 (it is the best-conditioned
+	// estimate and the gap is large).
+	if acc.Rows[1].Values[2] >= acc.Rows[0].Values[2] {
+		t.Errorf("2-D grid MSE did not improve with eps: %v -> %v",
+			acc.Rows[0].Values[2], acc.Rows[1].Values[2])
+	}
+	for _, row := range speed.Rows {
+		if row.Values[0] <= 0 {
+			t.Errorf("eps=%s: non-positive throughput %v", row.X, row.Values[0])
+		}
+	}
+}

@@ -180,6 +180,61 @@ func maxF(a, b float64) float64 {
 	return b
 }
 
+// NormSub post-processes a debiased frequency vector into a consistent
+// distribution with the iterative Norm-Sub rule (Wang et al., "Locally
+// Differentially Private Frequency Estimation with Consistency", NDSS
+// 2020): repeatedly clamp non-positive entries to zero and shift the
+// surviving positive entries by a uniform delta so the total is one,
+// until the support stabilizes. Entries clamped in an earlier pass stay
+// at zero even when the remaining mass is below one, which is where this
+// differs from ProjectSimplex (whose water-filling shift is derived over
+// the final support directly); both return a non-negative vector summing
+// to exactly one. This is the consistency step the grid-based range-query
+// estimators use. The input is not modified; an empty input returns nil.
+func NormSub(v []float64) []float64 {
+	n := len(v)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	copy(out, v)
+	// Iterate: zero out non-positive entries, then shift the surviving
+	// support so the total is one. Each pass can only shrink the support,
+	// so this terminates in at most n passes.
+	for {
+		sum, cnt := 0.0, 0
+		for _, x := range out {
+			if x > 0 {
+				sum += x
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			// Everything was clamped away: fall back to uniform.
+			for i := range out {
+				out[i] = 1 / float64(n)
+			}
+			return out
+		}
+		delta := (1 - sum) / float64(cnt)
+		changed := false
+		for i, x := range out {
+			switch {
+			case x <= 0:
+				out[i] = 0
+			case x+delta <= 0:
+				out[i] = 0
+				changed = true
+			default:
+				out[i] = x + delta
+			}
+		}
+		if !changed {
+			return out
+		}
+	}
+}
+
 // ProjectSimplex returns the Euclidean projection of v onto the
 // probability simplex {x : x >= 0, sum x = 1} (Duchi, Shalev-Shwartz,
 // Singer, Chandra 2008). The input is not modified.

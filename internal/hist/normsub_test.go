@@ -1,0 +1,59 @@
+package hist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormSubBasics(t *testing.T) {
+	if got := NormSub(nil); got != nil {
+		t.Errorf("NormSub(nil) = %v, want nil", got)
+	}
+	cases := [][]float64{
+		{0.2, 0.3, 0.5},               // already consistent
+		{0.4, -0.1, 0.8},              // negative entry, oversum
+		{-0.2, -0.3, 0.1},             // mostly negative
+		{-1, -2, -3},                  // all negative: uniform fallback
+		{0, 0, 0},                     // all zero: uniform fallback
+		{1e-9, -5, 2.5},               // support shrinks across passes
+		{0.25, 0.25, 0.25, 0.25, 0.1}, // mild oversum
+	}
+	for _, v := range cases {
+		in := make([]float64, len(v))
+		copy(in, v)
+		got := NormSub(v)
+		sum := 0.0
+		for i, f := range got {
+			if f < 0 {
+				t.Errorf("NormSub(%v)[%d] = %v < 0", in, i, f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("NormSub(%v) sums to %v, want 1", in, sum)
+		}
+		for i := range v {
+			if v[i] != in[i] {
+				t.Errorf("NormSub modified its input at %d", i)
+			}
+		}
+	}
+}
+
+func TestNormSubPreservesConsistentInput(t *testing.T) {
+	in := []float64{0.1, 0.2, 0.3, 0.4}
+	got := NormSub(in)
+	for i := range in {
+		if math.Abs(got[i]-in[i]) > 1e-12 {
+			t.Errorf("consistent input changed: got[%d] = %v, want %v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestNormSubOrderingPreserved(t *testing.T) {
+	// The uniform shift preserves the ordering of surviving entries.
+	got := NormSub([]float64{0.9, 0.5, -0.2, 0.3})
+	if !(got[0] > got[1] && got[1] > got[3] && got[2] == 0) {
+		t.Errorf("ordering not preserved: %v", got)
+	}
+}

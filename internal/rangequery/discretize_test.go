@@ -1,0 +1,114 @@
+package rangequery
+
+import (
+	"testing"
+
+	"ldp/internal/schema"
+)
+
+func twoNumSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := schema.New(
+		schema.Attribute{Name: "age", Kind: schema.Numeric},
+		schema.Attribute{Name: "income", Kind: schema.Numeric},
+		schema.Attribute{Name: "state", Kind: schema.Categorical, Cardinality: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewDiscretizerValidation(t *testing.T) {
+	s := twoNumSchema(t)
+	for _, bad := range []int{0, 1, 3, 12, -8} {
+		if _, err := NewDiscretizer(s, bad); err == nil {
+			t.Errorf("buckets=%d: want error for non-power-of-two", bad)
+		}
+	}
+	if _, err := NewDiscretizer(s, 64); err != nil {
+		t.Fatalf("buckets=64: %v", err)
+	}
+}
+
+func TestDiscretizerSchema(t *testing.T) {
+	d, err := NewDiscretizer(twoNumSchema(t), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Schema()
+	if g.Dim() != 3 {
+		t.Fatalf("derived schema has %d attrs, want 3", g.Dim())
+	}
+	for i, a := range g.Attrs {
+		if a.Kind != schema.Categorical {
+			t.Errorf("derived attr %d is %v, want categorical", i, a.Kind)
+		}
+	}
+	if got := d.Cardinality(0); got != 16 {
+		t.Errorf("numeric attr cardinality = %d, want 16", got)
+	}
+	if got := d.Cardinality(2); got != 5 {
+		t.Errorf("categorical attr cardinality = %d, want 5 (pass-through)", got)
+	}
+}
+
+func TestBucketOfCoversDomain(t *testing.T) {
+	d, err := NewDiscretizer(twoNumSchema(t), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-1, 0}, {-0.75001, 0}, {-0.75, 1}, {0, 4}, {0.99, 7}, {1, 7},
+		{-2, 0}, {2, 7}, // clamped
+	}
+	for _, c := range cases {
+		if got := d.BucketOf(c.v); got != c.want {
+			t.Errorf("BucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Bucket intervals tile [-1, 1] and agree with BucketOf.
+	for b := 0; b < 8; b++ {
+		lo, hi := d.Interval(b)
+		mid := (lo + hi) / 2
+		if got := d.BucketOf(mid); got != b {
+			t.Errorf("BucketOf(midpoint of bucket %d) = %d", b, got)
+		}
+	}
+}
+
+func TestDiscretizerValue(t *testing.T) {
+	s := twoNumSchema(t)
+	d, err := NewDiscretizer(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := schema.NewTuple(s)
+	tp.Num[0] = 0.5
+	tp.Cat[2] = 3
+	if got := d.Value(0, tp); got != d.BucketOf(0.5) {
+		t.Errorf("Value(numeric) = %d, want bucket of 0.5", got)
+	}
+	if got := d.Value(2, tp); got != 3 {
+		t.Errorf("Value(categorical) = %d, want 3", got)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	d, err := NewDiscretizer(twoNumSchema(t), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b0, b1, ok := d.Span(-1, 1); !ok || b0 != 0 || b1 != 7 {
+		t.Errorf("Span(-1,1) = (%d,%d,%v), want (0,7,true)", b0, b1, ok)
+	}
+	if b0, b1, ok := d.Span(-0.1, 0.1); !ok || b0 != 3 || b1 != 4 {
+		t.Errorf("Span(-0.1,0.1) = (%d,%d,%v), want (3,4,true)", b0, b1, ok)
+	}
+	if _, _, ok := d.Span(0.5, -0.5); ok {
+		t.Error("Span with hi < lo should report !ok")
+	}
+}

@@ -1,0 +1,161 @@
+package rangequery
+
+import (
+	"math"
+	"testing"
+
+	"ldp/internal/rng"
+)
+
+func TestGridCollectorConstruction(t *testing.T) {
+	if _, err := NewGridCollector(0, 8, nil); err == nil {
+		t.Error("want error for eps=0")
+	}
+	if _, err := NewGridCollector(1, 1, nil); err == nil {
+		t.Error("want error for 1 cell per axis")
+	}
+	c, err := NewGridCollector(1, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := c.Oracle().Cardinality(); k != 64 {
+		t.Errorf("oracle cardinality = %d, want g^2 = 64", k)
+	}
+}
+
+func TestCellOf(t *testing.T) {
+	c, err := NewGridCollector(1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x, y float64
+		want int
+	}{
+		{-1, -1, 0},
+		{-1, 1, 3},
+		{1, -1, 12},
+		{1, 1, 15},
+		{0, 0, 10},           // both in cell 2 of 4
+		{-2, 5, 3},           // clamped
+		{0.49, -0.51, 8 + 0}, // x cell 2, y cell 0
+	}
+	for _, tc := range cases {
+		if got := c.CellOf(tc.x, tc.y); got != tc.want {
+			t.Errorf("CellOf(%v,%v) = %d, want %d", tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+// gridRun simulates n users with correlated coordinates, returning the
+// estimator and the empirical cell histogram of the population.
+func gridRun(t *testing.T, c *GridCollector, n int, seed uint64) (*GridEstimator, []float64) {
+	t.Helper()
+	est := NewGridEstimator(c)
+	g := c.Cells()
+	truth := make([]float64, g*g)
+	for i := 0; i < n; i++ {
+		r := rng.NewStream(seed, uint64(i))
+		x := rng.TruncGauss(r, 0.3, 0.35, -1, 1)
+		y := mechClamp(x/2 + 0.3*r.NormFloat64())
+		truth[c.CellOf(x, y)]++
+		est.Add(c.Perturb(x, y, r))
+	}
+	for i := range truth {
+		truth[i] /= float64(n)
+	}
+	return est, truth
+}
+
+func mechClamp(v float64) float64 {
+	if v < -1 {
+		return -1
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// TestGridJointConsistent checks the acceptance criterion: post-processed
+// grid answers are non-negative and the joint sums to at most one —
+// Norm-Sub in fact normalizes it to exactly one.
+func TestGridJointConsistent(t *testing.T) {
+	c, err := NewGridCollector(1, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 10, 5000} {
+		est, _ := gridRun(t, c, n, 99)
+		joint := est.Joint()
+		sum := 0.0
+		for i, f := range joint {
+			if f < 0 {
+				t.Fatalf("n=%d: joint[%d] = %v < 0 after Norm-Sub", n, i, f)
+			}
+			sum += f
+		}
+		if sum > 1+1e-9 {
+			t.Errorf("n=%d: joint sums to %v > 1", n, sum)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("n=%d: Norm-Sub should normalize to 1, got %v", n, sum)
+		}
+	}
+}
+
+func TestGridRectMassAccuracy(t *testing.T) {
+	const (
+		eps = 1.0
+		n   = 50_000
+	)
+	c, err := NewGridCollector(eps, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, truth := gridRun(t, c, n, 3)
+	g := c.Cells()
+	// Cell-aligned rectangle: x cells [4,6], y cells [3,5].
+	trueMass := 0.0
+	for cx := 4; cx <= 6; cx++ {
+		for cy := 3; cy <= 5; cy++ {
+			trueMass += truth[cx*g+cy]
+		}
+	}
+	w := 2 / float64(g)
+	got := est.RectMass(-1+4*w, -1+7*w, -1+3*w, -1+6*w)
+	if math.Abs(got-trueMass) > 0.08 {
+		t.Errorf("rect mass = %.4f, true %.4f", got, trueMass)
+	}
+	// Whole square has mass 1 under the consistent joint.
+	if whole := est.RectMass(-1, 1, -1, 1); math.Abs(whole-1) > 1e-9 {
+		t.Errorf("whole-square mass = %v, want 1", whole)
+	}
+}
+
+func TestGridRectMassEdgeCases(t *testing.T) {
+	c, err := NewGridCollector(1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewGridEstimator(c)
+	if m := est.RectMass(0.5, -0.5, -1, 1); m != 0 {
+		t.Errorf("inverted x range: mass %v, want 0", m)
+	}
+	if m := est.RectMass(-1, 1, 0.3, 0.3); m != 0 {
+		t.Errorf("empty y range: mass %v, want 0", m)
+	}
+}
+
+func TestGridMerge(t *testing.T) {
+	c, err := NewGridCollector(1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := gridRun(t, c, 500, 1)
+	b, _ := gridRun(t, c, 700, 2)
+	a.Merge(b)
+	if a.N() != 1200 {
+		t.Errorf("merged N = %d, want 1200", a.N())
+	}
+}

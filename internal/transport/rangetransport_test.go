@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ldp/internal/core"
+	"ldp/internal/freq"
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+func rangeFixture(t *testing.T) (*schema.Schema, *rangequery.Collector) {
+	t.Helper()
+	s, err := schema.New(
+		schema.Attribute{Name: "age", Kind: schema.Numeric},
+		schema.Attribute{Name: "income", Kind: schema.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := rangequery.NewCollector(s, 1, rangequery.Config{Buckets: 32, GridCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, col
+}
+
+func TestRangeReportRoundTrip(t *testing.T) {
+	s, col := rangeFixture(t)
+	r := rng.New(3)
+	tp := schema.NewTuple(s)
+	tp.Num[0], tp.Num[1] = 0.3, -0.6
+	for i := 0; i < 50; i++ {
+		rep, err := col.Perturb(tp, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRangeReport(EncodeRangeReport(rep))
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if got.Kind != rep.Kind || got.Attr != rep.Attr || got.Depth != rep.Depth || got.Pair != rep.Pair {
+			t.Fatalf("round trip header mismatch: got %+v, want %+v", got, rep)
+		}
+		if got.Resp.Value != rep.Resp.Value || len(got.Resp.Bits) != len(rep.Resp.Bits) {
+			t.Fatalf("round trip response mismatch: got %+v, want %+v", got.Resp, rep.Resp)
+		}
+		for w := range rep.Resp.Bits {
+			if got.Resp.Bits[w] != rep.Resp.Bits[w] {
+				t.Fatal("round trip bitset mismatch")
+			}
+		}
+	}
+}
+
+func TestRangeReportGRRRoundTrip(t *testing.T) {
+	rep := rangequery.Report{Kind: rangequery.KindHier, Attr: 1, Depth: 3, Resp: freq.Response{Value: 5}}
+	got, err := DecodeRangeReport(EncodeRangeReport(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != rangequery.KindHier || got.Attr != 1 || got.Depth != 3 ||
+		got.Resp.Value != 5 || got.Resp.Bits != nil {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeRangeReportRejectsCorruption(t *testing.T) {
+	frame := EncodeRangeReport(rangequery.Report{Kind: rangequery.KindGrid, Pair: 2, Resp: freq.Response{Value: 7}})
+
+	if _, err := DecodeRangeReport(frame[:5]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated frame: got %v, want ErrTruncated", err)
+	}
+	bad := append([]byte("XXXX"), frame[4:]...)
+	if _, err := DecodeRangeReport(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: got %v, want ErrBadMagic", err)
+	}
+	flip := append([]byte(nil), frame...)
+	flip[len(flip)-5] ^= 0xff // corrupt payload, keep length
+	if _, err := DecodeRangeReport(flip); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupt payload: got %v, want ErrBadChecksum", err)
+	}
+	ver := append([]byte(nil), frame...)
+	ver[4] = 9
+	if _, err := DecodeRangeReport(ver); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: got %v, want ErrBadVersion", err)
+	}
+	// A mean/frequency frame is not a range frame.
+	_, coreReps := sampleReports(t, oueFactory, 1)
+	if _, err := DecodeRangeReport(EncodeReport(coreReps[0])); !errors.Is(err, ErrBadMagic) {
+		t.Error("mean/frequency frame must be rejected by magic")
+	}
+	// And vice versa.
+	if _, err := DecodeReport(frame); !errors.Is(err, ErrBadMagic) {
+		t.Error("range frame must be rejected by the report decoder")
+	}
+}
+
+// TestCraftedShortBitsetRejectedByAggregator covers the decode->Add seam:
+// a well-formed frame whose bitset is too small for the claimed depth
+// decodes fine but must be rejected (not panic) by the aggregator.
+func TestCraftedShortBitsetRejectedByAggregator(t *testing.T) {
+	_, col := rangeFixture(t)
+	agg := rangequery.NewAggregator(col)
+	crafted := EncodeRangeReport(rangequery.Report{
+		Kind:  rangequery.KindHier,
+		Attr:  0,
+		Depth: 1,
+		Resp:  freq.Response{Bits: freq.NewBitset(0)}, // zero words
+	})
+	rep, err := DecodeRangeReport(crafted)
+	if err != nil {
+		t.Fatalf("crafted frame should decode at the wire layer: %v", err)
+	}
+	if err := agg.Add(rep); err == nil {
+		t.Fatal("aggregator accepted a bitset narrower than the depth's domain")
+	}
+}
+
+func TestRangeServiceEndToEnd(t *testing.T) {
+	s, col := rangeFixture(t)
+	ragg := rangequery.NewAggregator(col)
+
+	// The range service piggybacks on a normal server; give it a minimal
+	// mean/frequency aggregator to wrap.
+	coreCol, err := core.NewCollector(testSchema(t), 1, pmFactory, oueFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(core.NewAggregator(coreCol), nil)
+	srv.EnableRange(ragg, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	client := NewRangeClient(ts.URL+"/", col, nil)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		r := rng.NewStream(9, uint64(i))
+		tp := schema.NewTuple(s)
+		tp.Num[0] = rng.Uniform(r, -0.5, 0.5)
+		tp.Num[1] = rng.Uniform(r, -1, 1)
+		if err := client.SendTuple(tp, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ragg.N() != n {
+		t.Fatalf("aggregator saw %d reports, want %d", ragg.N(), n)
+	}
+
+	var stats struct{ N int64 }
+	getJSON(t, ts.URL+"/v1/rangestats", &stats)
+	if stats.N != n {
+		t.Errorf("rangestats n = %d, want %d", stats.N, n)
+	}
+
+	var r1 struct{ Mass float64 }
+	getJSON(t, ts.URL+"/v1/range?attr=age&lo=-0.5&hi=0.5", &r1)
+	if math.Abs(r1.Mass-1) > 0.3 {
+		t.Errorf("1-D mass over the full data support = %v, want ~1", r1.Mass)
+	}
+
+	var r2 struct{ Mass float64 }
+	getJSON(t, ts.URL+"/v1/range2d?x=age&y=income&xlo=-1&xhi=1&ylo=-1&yhi=1", &r2)
+	if math.Abs(r2.Mass-1) > 1e-9 {
+		t.Errorf("2-D whole-square mass = %v, want 1", r2.Mass)
+	}
+
+	// Error paths surface as HTTP status codes.
+	for _, url := range []string{
+		ts.URL + "/v1/range?attr=nope&lo=0&hi=1",
+		ts.URL + "/v1/range?attr=age&lo=x&hi=1",
+		ts.URL + "/v1/range2d?x=age&y=income&xlo=0&xhi=1&ylo=0&yhi=bad",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s: want non-200", url)
+		}
+	}
+}
+
+func TestReplayRange(t *testing.T) {
+	s, col := rangeFixture(t)
+	var frames [][]byte
+	r := rng.New(4)
+	for i := 0; i < 100; i++ {
+		tp := schema.NewTuple(s)
+		tp.Num[0], tp.Num[1] = rng.Uniform(r, -1, 1), rng.Uniform(r, -1, 1)
+		rep, err := col.Perturb(tp, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, EncodeRangeReport(rep))
+	}
+	agg := rangequery.NewAggregator(col)
+	n, err := ReplayRange(agg, func(fn func([]byte) error) error {
+		for _, f := range frames {
+			if err := fn(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 || agg.N() != 100 {
+		t.Errorf("replayed %d frames into N=%d, want 100/100", n, agg.N())
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

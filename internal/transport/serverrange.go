@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+// RangeService answers the range-query routes of a Server:
+//
+//	POST /v1/rangereport  binary range frame -> 204
+//	GET  /v1/rangestats   {"n": ...}
+//	GET  /v1/range        ?attr=name&lo=&hi=          1-D range mass
+//	GET  /v1/range2d      ?x=name&y=name&xlo=&xhi=&ylo=&yhi=   2-D mass
+type RangeService struct {
+	agg *rangequery.Aggregator
+
+	mu   sync.Mutex
+	sink Sink
+}
+
+// EnableRange attaches a range-query aggregator (and optional persistence
+// sink for its frames — keep it separate from the mean/frequency report
+// log, the frame formats differ) to the server's mux. Call once, before
+// serving.
+func (s *Server) EnableRange(agg *rangequery.Aggregator, sink Sink) *RangeService {
+	r := &RangeService{agg: agg, sink: sink}
+	s.mux.HandleFunc("POST /v1/rangereport", r.handleReport)
+	s.mux.HandleFunc("GET /v1/rangestats", r.handleStats)
+	s.mux.HandleFunc("GET /v1/range", r.handleRange1D)
+	s.mux.HandleFunc("GET /v1/range2d", r.handleRange2D)
+	return r
+}
+
+// Aggregator exposes the underlying range aggregator (for replay).
+func (r *RangeService) Aggregator() *rangequery.Aggregator { return r.agg }
+
+func (r *RangeService) handleReport(w http.ResponseWriter, req *http.Request) {
+	frame, err := io.ReadAll(io.LimitReader(req.Body, MaxFrameSize+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(frame) > MaxFrameSize {
+		http.Error(w, "frame too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	rep, err := DecodeRangeReport(frame)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := r.agg.Add(rep); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if r.sink != nil {
+		r.mu.Lock()
+		err := r.sink.Append(frame)
+		r.mu.Unlock()
+		if err != nil {
+			http.Error(w, "persist: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (r *RangeService) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"n": r.agg.N()})
+}
+
+func (r *RangeService) handleRange1D(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	attr, err := attrIndex(r.agg.Schema(), q.Get("attr"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	lo, err1 := strconv.ParseFloat(q.Get("lo"), 64)
+	hi, err2 := strconv.ParseFloat(q.Get("hi"), 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "lo and hi must be numbers in [-1,1]", http.StatusBadRequest)
+		return
+	}
+	mass, err := r.agg.Range1D(attr, lo, hi)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{"attr": q.Get("attr"), "lo": lo, "hi": hi, "mass": mass})
+}
+
+func (r *RangeService) handleRange2D(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	ax, err := attrIndex(r.agg.Schema(), q.Get("x"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	ay, err := attrIndex(r.agg.Schema(), q.Get("y"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	var bounds [4]float64
+	for i, key := range []string{"xlo", "xhi", "ylo", "yhi"} {
+		v, err := strconv.ParseFloat(q.Get(key), 64)
+		if err != nil {
+			http.Error(w, key+" must be a number in [-1,1]", http.StatusBadRequest)
+			return
+		}
+		bounds[i] = v
+	}
+	mass, err := r.agg.Range2D(ax, ay, bounds[0], bounds[1], bounds[2], bounds[3])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"x": q.Get("x"), "y": q.Get("y"),
+		"xlo": bounds[0], "xhi": bounds[1], "ylo": bounds[2], "yhi": bounds[3],
+		"mass": mass,
+	})
+}
+
+func attrIndex(s *schema.Schema, name string) (int, error) {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown attribute %q", name)
+}
+
+// ReplayRange rebuilds range-aggregator state from persisted range frames.
+func ReplayRange(agg *rangequery.Aggregator, frames func(fn func(payload []byte) error) error) (int, error) {
+	n := 0
+	err := frames(func(payload []byte) error {
+		rep, err := DecodeRangeReport(payload)
+		if err != nil {
+			return fmt.Errorf("transport: replay range frame %d: %w", n, err)
+		}
+		if err := agg.Add(rep); err != nil {
+			return fmt.Errorf("transport: replay range frame %d: %w", n, err)
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// RangeClient runs on the user's side of the range-query pipeline: it
+// randomizes tuples locally with a rangequery.Collector and sends only
+// the perturbed frames to the aggregator.
+type RangeClient struct {
+	baseURL   string
+	collector *rangequery.Collector
+	http      *http.Client
+}
+
+// NewRangeClient builds a client for the aggregator at baseURL.
+// httpClient may be nil to use http.DefaultClient.
+func NewRangeClient(baseURL string, collector *rangequery.Collector, httpClient *http.Client) *RangeClient {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &RangeClient{baseURL: baseURL, collector: collector, http: httpClient}
+}
+
+// SendTuple perturbs the tuple locally and posts the resulting frame.
+func (c *RangeClient) SendTuple(t schema.Tuple, r *rng.Rand) error {
+	rep, err := c.collector.Perturb(t, r)
+	if err != nil {
+		return fmt.Errorf("transport: perturb: %w", err)
+	}
+	return c.SendReport(rep)
+}
+
+// SendReport posts an already-perturbed range report.
+func (c *RangeClient) SendReport(rep rangequery.Report) error {
+	frame := EncodeRangeReport(rep)
+	resp, err := c.http.Post(c.baseURL+"/v1/rangereport", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return fmt.Errorf("transport: post range report: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("transport: aggregator rejected range report: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

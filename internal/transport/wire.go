@@ -32,13 +32,53 @@ const (
 	MaxFrameSize = 1 << 20
 )
 
-// Errors returned by DecodeReport.
+// Errors returned by DecodeReport and DecodeRangeReport.
 var (
 	ErrBadMagic    = errors.New("transport: bad frame magic")
 	ErrBadVersion  = errors.New("transport: unsupported frame version")
 	ErrBadChecksum = errors.New("transport: frame checksum mismatch")
 	ErrTruncated   = errors.New("transport: truncated frame")
 )
+
+// encodeFrame wraps a payload in the common self-contained envelope
+// shared by every frame type:
+//
+//	magic(4) version(1) payloadLen(u32) payload crc32(u32)
+func encodeFrame(magic string, version byte, payload []byte) []byte {
+	frame := make([]byte, 0, len(payload)+13)
+	frame = append(frame, magic...)
+	frame = append(frame, version)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	return frame
+}
+
+// decodeFrame validates the common envelope (size limit, magic, version,
+// length, checksum) and returns the payload.
+func decodeFrame(magic string, version byte, frame []byte) ([]byte, error) {
+	if len(frame) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	if len(frame) < 13 {
+		return nil, ErrTruncated
+	}
+	if string(frame[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	if frame[4] != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, frame[4])
+	}
+	plen := binary.LittleEndian.Uint32(frame[5:9])
+	if int(plen) != len(frame)-13 {
+		return nil, ErrTruncated
+	}
+	payload := frame[9 : 9+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[9+plen:]) {
+		return nil, ErrBadChecksum
+	}
+	return payload, nil
+}
 
 // EncodeReport serializes a report into a self-contained frame:
 //
@@ -66,37 +106,14 @@ func EncodeReport(rep core.Report) []byte {
 			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(e.Value))
 		}
 	}
-	frame := make([]byte, 0, len(payload)+13)
-	frame = append(frame, wireMagic...)
-	frame = append(frame, wireVersion)
-	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
-	frame = append(frame, payload...)
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
-	return frame
+	return encodeFrame(wireMagic, wireVersion, payload)
 }
 
 // DecodeReport parses a frame produced by EncodeReport.
 func DecodeReport(frame []byte) (core.Report, error) {
-	if len(frame) > MaxFrameSize {
-		return core.Report{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
-	}
-	if len(frame) < 13 {
-		return core.Report{}, ErrTruncated
-	}
-	if string(frame[:4]) != wireMagic {
-		return core.Report{}, ErrBadMagic
-	}
-	if frame[4] != wireVersion {
-		return core.Report{}, fmt.Errorf("%w: %d", ErrBadVersion, frame[4])
-	}
-	plen := binary.LittleEndian.Uint32(frame[5:9])
-	if int(plen) != len(frame)-13 {
-		return core.Report{}, ErrTruncated
-	}
-	payload := frame[9 : 9+plen]
-	sum := binary.LittleEndian.Uint32(frame[9+plen:])
-	if crc32.ChecksumIEEE(payload) != sum {
-		return core.Report{}, ErrBadChecksum
+	payload, err := decodeFrame(wireMagic, wireVersion, frame)
+	if err != nil {
+		return core.Report{}, err
 	}
 
 	pos := 0

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ldp/internal/freq"
+	"ldp/internal/rangequery"
+)
+
+// Range-report frames carry rangequery.Report values. They share the
+// structure of the mean/frequency frames —
+//
+//	magic(4) version(1) payloadLen(u32) payload crc32(u32)
+//
+// — under a distinct magic so a misrouted frame fails fast with
+// ErrBadMagic instead of decoding into garbage. Payload: kind(byte), the
+// kind-specific header (attr+depth uvarints for hierarchy reports, the
+// pair uvarint for grid reports), then the frequency-oracle response
+// (respBits: word count + words; respValue: value uvarint).
+const (
+	wireRangeMagic   = "LDPQ"
+	wireRangeVersion = 1
+
+	rangeKindHier = 0
+	rangeKindGrid = 1
+
+	respBits  = 0
+	respValue = 1
+)
+
+// EncodeRangeReport serializes a range report into a self-contained frame.
+func EncodeRangeReport(rep rangequery.Report) []byte {
+	payload := make([]byte, 0, 16+8*len(rep.Resp.Bits))
+	switch rep.Kind {
+	case rangequery.KindGrid:
+		payload = append(payload, rangeKindGrid)
+		payload = binary.AppendUvarint(payload, uint64(rep.Pair))
+	default:
+		payload = append(payload, rangeKindHier)
+		payload = binary.AppendUvarint(payload, uint64(rep.Attr))
+		payload = binary.AppendUvarint(payload, uint64(rep.Depth))
+	}
+	if rep.Resp.Bits != nil {
+		payload = append(payload, respBits)
+		payload = binary.AppendUvarint(payload, uint64(len(rep.Resp.Bits)))
+		for _, w := range rep.Resp.Bits {
+			payload = binary.LittleEndian.AppendUint64(payload, w)
+		}
+	} else {
+		payload = append(payload, respValue)
+		payload = binary.AppendUvarint(payload, uint64(rep.Resp.Value))
+	}
+	return encodeFrame(wireRangeMagic, wireRangeVersion, payload)
+}
+
+// DecodeRangeReport parses a frame produced by EncodeRangeReport.
+func DecodeRangeReport(frame []byte) (rangequery.Report, error) {
+	var zero rangequery.Report
+	payload, err := decodeFrame(wireRangeMagic, wireRangeVersion, frame)
+	if err != nil {
+		return zero, err
+	}
+
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		pos += n
+		return v, nil
+	}
+	if len(payload) < 1 {
+		return zero, ErrTruncated
+	}
+	kind := payload[pos]
+	pos++
+	var rep rangequery.Report
+	switch kind {
+	case rangeKindHier:
+		rep.Kind = rangequery.KindHier
+		attr, err := readUvarint()
+		if err != nil {
+			return zero, err
+		}
+		depth, err := readUvarint()
+		if err != nil {
+			return zero, err
+		}
+		if attr > 1<<16 || depth > 64 {
+			return zero, fmt.Errorf("transport: implausible hierarchy header attr=%d depth=%d", attr, depth)
+		}
+		rep.Attr, rep.Depth = int(attr), int(depth)
+	case rangeKindGrid:
+		rep.Kind = rangequery.KindGrid
+		pair, err := readUvarint()
+		if err != nil {
+			return zero, err
+		}
+		if pair > 1<<20 {
+			return zero, fmt.Errorf("transport: implausible pair index %d", pair)
+		}
+		rep.Pair = int(pair)
+	default:
+		return zero, fmt.Errorf("transport: unknown range report kind %d", kind)
+	}
+	if pos >= len(payload) {
+		return zero, ErrTruncated
+	}
+	respKind := payload[pos]
+	pos++
+	switch respKind {
+	case respBits:
+		words, err := readUvarint()
+		if err != nil {
+			return zero, err
+		}
+		if words > 1<<12 || pos+int(words)*8 > len(payload) {
+			return zero, ErrTruncated
+		}
+		bits := make(freq.Bitset, words)
+		for w := range bits {
+			bits[w] = binary.LittleEndian.Uint64(payload[pos:])
+			pos += 8
+		}
+		rep.Resp = freq.Response{Bits: bits}
+	case respValue:
+		v, err := readUvarint()
+		if err != nil {
+			return zero, err
+		}
+		rep.Resp = freq.Response{Value: int(v)}
+	default:
+		return zero, fmt.Errorf("transport: unknown response kind %d", respKind)
+	}
+	if pos != len(payload) {
+		return zero, fmt.Errorf("transport: %d trailing payload bytes", len(payload)-pos)
+	}
+	return rep, nil
+}

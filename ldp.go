@@ -8,6 +8,7 @@ import (
 	"ldp/internal/mathx"
 	"ldp/internal/mech"
 	"ldp/internal/noise"
+	"ldp/internal/rangequery"
 	"ldp/internal/rng"
 	"ldp/internal/schema"
 	"ldp/internal/transport"
@@ -201,3 +202,52 @@ func EncodeReport(rep Report) []byte { return transport.EncodeReport(rep) }
 
 // DecodeReport parses a binary wire frame.
 func DecodeReport(frame []byte) (Report, error) { return transport.DecodeReport(frame) }
+
+// Multi-dimensional range queries (hierarchical intervals + 2-D grids).
+type (
+	// RangeConfig tunes the range-query collector (bucket count, grid
+	// resolution, oracle choice, task split).
+	RangeConfig = rangequery.Config
+	// RangeCollector randomizes tuples into range reports: each user
+	// answers one sub-task — a dyadic interval of one numeric attribute
+	// at a sampled tree depth, or a grid cell of one attribute pair.
+	RangeCollector = rangequery.Collector
+	// RangeAggregator estimates 1-D and 2-D range-query answers from
+	// range reports.
+	RangeAggregator = rangequery.Aggregator
+	// RangeReport is one user's randomized range-query submission.
+	RangeReport = rangequery.Report
+	// RangeService answers range queries over HTTP (see
+	// Server.EnableRange).
+	RangeService = transport.RangeService
+	// RangeClient randomizes locally and submits range reports over
+	// HTTP.
+	RangeClient = transport.RangeClient
+)
+
+// NewRangeCollector builds the range-query collector over the numeric
+// attributes of schema s at total per-user budget eps. The zero RangeConfig
+// selects B=256 hierarchy buckets, g=8 grids and OUE.
+func NewRangeCollector(s *Schema, eps float64, cfg RangeConfig) (*RangeCollector, error) {
+	return rangequery.NewCollector(s, eps, cfg)
+}
+
+// NewRangeAggregator builds the aggregator matching a range collector's
+// configuration.
+func NewRangeAggregator(c *RangeCollector) *RangeAggregator {
+	return rangequery.NewAggregator(c)
+}
+
+// NewRangeClient builds an HTTP client submitting through the given range
+// collector.
+func NewRangeClient(baseURL string, col *RangeCollector) *RangeClient {
+	return transport.NewRangeClient(baseURL, col, nil)
+}
+
+// EncodeRangeReport serializes a range report into its binary wire frame.
+func EncodeRangeReport(rep RangeReport) []byte { return transport.EncodeRangeReport(rep) }
+
+// DecodeRangeReport parses a binary range-report wire frame.
+func DecodeRangeReport(frame []byte) (RangeReport, error) {
+	return transport.DecodeRangeReport(frame)
+}

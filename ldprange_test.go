@@ -1,0 +1,64 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeRangeQueries(t *testing.T) {
+	sch, err := NewSchema(
+		Attribute{Name: "x", Kind: Numeric},
+		Attribute{Name: "y", Kind: Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewRangeCollector(sch, 1, RangeConfig{Buckets: 32, GridCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewRangeAggregator(col)
+
+	const n = 20_000
+	inX := 0.0
+	for i := 0; i < n; i++ {
+		r := NewRandStream(13, uint64(i))
+		tup := NewTuple(sch)
+		tup.Num[0] = r.Float64()*2 - 1
+		tup.Num[1] = r.Float64()*2 - 1
+		if tup.Num[0] >= -0.5 && tup.Num[0] <= 0.5 {
+			inX++
+		}
+		rep, err := col.Perturb(tup, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+
+		// Wire round trip preserves the report.
+		back, err := DecodeRangeReport(EncodeRangeReport(rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Kind != rep.Kind {
+			t.Fatal("wire round trip changed report kind")
+		}
+	}
+
+	got, err := agg.Range1D(0, -0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-inX/n) > 0.2 {
+		t.Errorf("Range1D = %.4f, true %.4f", got, inX/n)
+	}
+	got2, err := agg.Range2D(0, 1, -1, 1, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got2-1) > 1e-9 {
+		t.Errorf("whole-square Range2D = %v, want 1", got2)
+	}
+}

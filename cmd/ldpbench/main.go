@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 		splits   = fs.Int("splits", 0, "train/test splits per SGD configuration (0 = default)")
 		format   = fs.String("format", "text", "output format: text or tsv")
 		out      = fs.String("out", "", "write output to this file instead of stdout")
+		jsonOut  = fs.String("json", "", "additionally write all result tables to this file as JSON")
 		quiet    = fs.Bool("q", false, "suppress progress messages on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +109,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	var allTables []experiment.Table
 	for _, r := range runners {
 		start := time.Now()
 		if !*quiet {
@@ -119,6 +122,7 @@ func run(args []string, stdout io.Writer) error {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "%s done in %v\n", r.Name, time.Since(start).Round(time.Millisecond))
 		}
+		allTables = append(allTables, tables...)
 		for _, tb := range tables {
 			var err error
 			if *format == "tsv" {
@@ -135,6 +139,15 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
+		}
+	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(allTables, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,29 +1,33 @@
 // Command ldpclient simulates a population of users submitting randomized
-// reports to a running ldpserver instance.
+// reports to a running ldpserver instance through the unified pipeline:
+// each simulated user is routed to one task (mean, frequency, or range),
+// randomizes one synthetic census record locally, and only the perturbed
+// envelope frame leaves the process. Reports upload in batches over a
+// configurable number of workers.
 //
 // Usage:
 //
-//	ldpclient -addr http://127.0.0.1:8080 -dataset br -eps 1 -n 10000
+//	ldpclient -addr http://127.0.0.1:8080 -dataset br -eps 1 -n 10000 -batch 100
 //
-// The dataset and eps flags must match the server's configuration. Each
-// simulated user derives an independent randomness stream from the seed,
-// perturbs one synthetic census record locally, and uploads only the
-// perturbed frame.
+// The dataset, eps, and -range flags must match the server's
+// configuration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
-	"ldp/internal/core"
 	"ldp/internal/dataset"
-	"ldp/internal/freq"
-	"ldp/internal/mech"
+	"ldp/internal/pipeline"
+	"ldp/internal/rangequery"
 	"ldp/internal/rng"
+	"ldp/internal/schema"
 	"ldp/internal/transport"
 )
 
@@ -43,6 +47,9 @@ func run(args []string) error {
 		n       = fs.Int("n", 10000, "number of users to simulate")
 		seed    = fs.Uint64("seed", 1, "base PRNG seed")
 		workers = fs.Int("workers", 8, "concurrent uploaders")
+		batch   = fs.Int("batch", 100, "reports per upload request")
+		rangeOn = fs.Bool("range", false, "register the range-query task (must match the server)")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,40 +63,60 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown dataset %q (want br or mx)", *name)
 	}
-	pm := func(e float64) (mech.Mechanism, error) { return core.NewPiecewise(e) }
-	oue := func(e float64, k int) (freq.Oracle, error) { return freq.NewOUE(e, k) }
-	col, err := core.NewCollector(c.Schema(), *eps, pm, oue)
+	var opts []pipeline.Option
+	if *rangeOn {
+		opts = append(opts, pipeline.WithRange(rangequery.Config{}))
+	}
+	p, err := pipeline.New(c.Schema(), *eps, opts...)
 	if err != nil {
 		return err
 	}
-
-	var sent, failed atomic.Int64
-	var wg sync.WaitGroup
-	ids := make(chan uint64, 1024)
+	if *batch < 1 {
+		*batch = 1
+	}
 	if *workers < 1 {
 		*workers = 1
 	}
+
+	ctx := context.Background()
+	var sent, failed atomic.Int64
+	var wg sync.WaitGroup
+	batches := make(chan [2]int, 64) // [start, end) user-id ranges
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			client := transport.NewClient(*addr, col, nil)
-			for id := range ids {
-				r := rng.NewStream(*seed, id)
-				if err := client.SendTuple(c.Tuple(r), r); err != nil {
-					if failed.Add(1) <= 3 {
-						log.Printf("user %d: %v", id, err)
+			client := transport.NewPipelineClient(*addr, p, transport.WithTimeout(*timeout))
+			for span := range batches {
+				// One stream per user keeps results reproducible no
+				// matter how work lands on workers. The batch PRNG that
+				// drives task routing and perturbation lives in a
+				// disjoint stream index space (high bit set, user ids
+				// are < n), so the privacy noise is independent of every
+				// user's data-generating stream.
+				tuples := make([]schema.Tuple, 0, span[1]-span[0])
+				r := rng.NewStream(*seed, 1<<63|uint64(span[0]))
+				for id := span[0]; id < span[1]; id++ {
+					tuples = append(tuples, c.Tuple(rng.NewStream(*seed, uint64(id))))
+				}
+				if err := client.SendBatch(ctx, tuples, r); err != nil {
+					if failed.Add(int64(len(tuples))) <= 3*int64(*batch) {
+						log.Printf("users [%d,%d): %v", span[0], span[1], err)
 					}
 					continue
 				}
-				sent.Add(1)
+				sent.Add(int64(len(tuples)))
 			}
-		}()
+		}(w)
 	}
-	for i := 0; i < *n; i++ {
-		ids <- uint64(i)
+	for start := 0; start < *n; start += *batch {
+		end := start + *batch
+		if end > *n {
+			end = *n
+		}
+		batches <- [2]int{start, end}
 	}
-	close(ids)
+	close(batches)
 	wg.Wait()
 	log.Printf("sent %d reports (%d failed)", sent.Load(), failed.Load())
 	if failed.Load() > 0 {

@@ -4,10 +4,8 @@ import (
 	"net/http/httptest"
 	"testing"
 
-	"ldp/internal/core"
 	"ldp/internal/dataset"
-	"ldp/internal/freq"
-	"ldp/internal/mech"
+	"ldp/internal/pipeline"
 	"ldp/internal/transport"
 )
 
@@ -27,20 +25,18 @@ func TestReportsUploadFailures(t *testing.T) {
 
 func TestUploadsToLiveServer(t *testing.T) {
 	c := dataset.NewBR()
-	pm := func(e float64) (mech.Mechanism, error) { return core.NewPiecewise(e) }
-	oue := func(e float64, k int) (freq.Oracle, error) { return freq.NewOUE(e, k) }
-	col, err := core.NewCollector(c.Schema(), 1, pm, oue)
+	p, err := pipeline.New(c.Schema(), 1, pipeline.WithShards(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := core.NewAggregator(col)
-	srv := httptest.NewServer(transport.NewServer(agg, nil))
+	srv := httptest.NewServer(transport.NewPipelineServer(p, nil))
 	defer srv.Close()
 
-	if err := run([]string{"-dataset", "br", "-eps", "1", "-n", "50", "-addr", srv.URL}); err != nil {
+	// A batch size that does not divide n exercises the tail batch.
+	if err := run([]string{"-dataset", "br", "-eps", "1", "-n", "50", "-batch", "7", "-addr", srv.URL}); err != nil {
 		t.Fatal(err)
 	}
-	if agg.N() != 50 {
-		t.Errorf("server received %d reports, want 50", agg.N())
+	if p.N() != 50 {
+		t.Errorf("server received %d reports, want 50", p.N())
 	}
 }

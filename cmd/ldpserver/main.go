@@ -1,14 +1,18 @@
-// Command ldpserver runs the aggregator service: it accepts randomized
-// reports over HTTP, optionally persists them to a crash-recoverable
-// report log, and serves mean/frequency estimates.
+// Command ldpserver runs the unified aggregator service: it accepts
+// randomized reports for every task (mean, frequency, range — plus legacy
+// v1 frames) on one route, optionally persists them to a crash-recoverable
+// report log, and answers every query kind on one route.
 //
 // Usage:
 //
-//	ldpserver -addr :8080 -dataset br -eps 1 -logdir /var/lib/ldp
+//	ldpserver -addr :8080 -dataset br -eps 1 -shards 8 -range -logdir /var/lib/ldp
 //
-// The schema (and the privacy budget, which fixes the oracle debiasing
+// The schema (and the privacy budget, which fixes the randomizer debiasing
 // parameters) must match what the clients use. On startup, any existing
 // report log is recovered and replayed so estimates survive restarts.
+//
+//	POST /v1/report   one or more report frames (v2 envelope or legacy v1)
+//	GET  /v1/query    ?kind=stats | mean[&attr=] | freq&attr= | range&attr=&lo=&hi=[&attr2=&lo2=&hi2=]
 package main
 
 import (
@@ -17,12 +21,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
-	"ldp/internal/core"
 	"ldp/internal/dataset"
-	"ldp/internal/freq"
-	"ldp/internal/mech"
+	"ldp/internal/pipeline"
+	"ldp/internal/rangequery"
 	"ldp/internal/reportlog"
 	"ldp/internal/transport"
 )
@@ -37,10 +41,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ldpserver", flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", "127.0.0.1:8080", "listen address")
-		name   = fs.String("dataset", "br", "schema to serve: br or mx")
-		eps    = fs.Float64("eps", 1, "privacy budget the clients use")
-		logdir = fs.String("logdir", "", "report log directory (empty = no persistence)")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		name     = fs.String("dataset", "br", "schema to serve: br or mx")
+		eps      = fs.Float64("eps", 1, "privacy budget the clients use")
+		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "aggregation shards (ingest concurrency)")
+		rangeOn  = fs.Bool("range", false, "register the range-query task")
+		buckets  = fs.Int("buckets", 0, "range hierarchy buckets (power of two; 0 = 256)")
+		gridCell = fs.Int("gridcells", 0, "range 2-D grid resolution per axis (0 = 8)")
+		logdir   = fs.String("logdir", "", "report log directory (empty = no persistence)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,13 +63,14 @@ func run(args []string) error {
 		return fmt.Errorf("unknown dataset %q (want br or mx)", *name)
 	}
 
-	pm := func(e float64) (mech.Mechanism, error) { return core.NewPiecewise(e) }
-	oue := func(e float64, k int) (freq.Oracle, error) { return freq.NewOUE(e, k) }
-	col, err := core.NewCollector(c.Schema(), *eps, pm, oue)
+	opts := []pipeline.Option{pipeline.WithShards(*shards)}
+	if *rangeOn {
+		opts = append(opts, pipeline.WithRange(rangequery.Config{Buckets: *buckets, GridCells: *gridCell}))
+	}
+	p, err := pipeline.New(c.Schema(), *eps, opts...)
 	if err != nil {
 		return err
 	}
-	agg := core.NewAggregator(col)
 
 	var sink transport.Sink
 	if *logdir != "" {
@@ -70,7 +79,7 @@ func run(args []string) error {
 			return fmt.Errorf("recover report log: %w", err)
 		}
 		if stats.Records > 0 {
-			n, err := transport.Replay(agg, func(fn func([]byte) error) error {
+			n, err := transport.ReplayPipeline(p, func(fn func([]byte) error) error {
 				_, err := reportlog.Replay(*logdir, fn)
 				return err
 			})
@@ -89,10 +98,17 @@ func run(args []string) error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           transport.NewServer(agg, sink),
+		Handler:           transport.NewPipelineServer(p, sink),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("aggregator for %q (d=%d, eps=%g, k=%d) listening on %s",
-		*name, c.Schema().Dim(), *eps, col.K(), *addr)
+	tasks := ""
+	for _, t := range p.Tasks() {
+		if tasks != "" {
+			tasks += ","
+		}
+		tasks += t.Name()
+	}
+	log.Printf("unified aggregator for %q (d=%d, eps=%g, tasks=%s, shards=%d) listening on %s",
+		*name, c.Schema().Dim(), *eps, tasks, p.Shards(), *addr)
 	return srv.ListenAndServe()
 }

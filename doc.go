@@ -1,25 +1,42 @@
 // Package ldp is a Go implementation of "Collecting and Analyzing
 // Multidimensional Data with Local Differential Privacy" (Wang et al.,
-// ICDE 2019): the Piecewise Mechanism (PM) and Hybrid Mechanism (HM) for
-// numeric data, the attribute-sampling collector for multidimensional
-// records mixing numeric and categorical attributes (Algorithm 4), the
-// frequency oracles and baseline mechanisms the paper evaluates against,
-// and an LDP-compliant stochastic gradient descent for linear regression,
-// logistic regression and SVM classification.
+// ICDE 2019), grown into a unified analytics pipeline: the Piecewise
+// Mechanism (PM) and Hybrid Mechanism (HM) for numeric data, the
+// attribute-sampling collector for multidimensional records (Algorithm 4),
+// frequency oracles (OUE, SUE, GRR), 1-D/2-D range queries over
+// hierarchical intervals and grids, and an LDP-compliant stochastic
+// gradient descent.
 //
-// This root package is the public facade: it re-exports the implementation
-// packages under internal/ as a single coherent API. Quick tour:
+// The primary API is the task-based Pipeline: one object routes each user
+// to a mean, frequency, or range task, randomizes their record locally
+// under the full per-user budget eps, and aggregates every task's reports
+// into one sharded, concurrently-ingestible state that answers every
+// query kind.
 //
-//	m, _ := ldp.NewPiecewise(1.0)           // 1-D mechanism at eps = 1
-//	r := ldp.NewRand(42)
-//	noisy := m.Perturb(0.25, r)              // unbiased, in [-C, C]
+//	sch, _ := ldp.NewSchema(
+//	    ldp.Attribute{Name: "age", Kind: ldp.Numeric},
+//	    ldp.Attribute{Name: "gender", Kind: ldp.Categorical, Cardinality: 2},
+//	)
+//	p, _ := ldp.New(sch, 1.0, ldp.WithRange(ldp.RangeConfig{}), ldp.WithShards(8))
 //
-//	// Multidimensional collection (Algorithm 4):
-//	col, _ := ldp.NewCollector(schema, 1.0, ldp.PM, ldp.OUE)
-//	agg := ldp.NewAggregator(col)
-//	rep, _ := col.Perturb(tuple, r)          // on the user's device
-//	_ = agg.Add(rep)                         // at the aggregator
-//	means := agg.MeanEstimates()
+//	rep, _ := p.Randomize(tuple, ldp.NewRand(1)) // on the user's device
+//	_ = p.Add(rep)                               // at the aggregator
+//
+//	res := p.Snapshot()
+//	mean, _ := res.Mean("age")
+//	freqs, _ := res.Freq("gender")
+//	mass, _ := res.Range(ldp.RangeQuery{Attr: "age", Lo: -0.4, Hi: -0.2})
+//
+// Reports travel as one versioned, task-multiplexed wire envelope
+// (EncodeReport/DecodeReport); legacy v1 frames from the pre-pipeline API
+// still decode and still fold into a Pipeline, so old clients and report
+// logs survive the migration. Over HTTP, NewPipelineServer serves ingest
+// and queries on a single /v1/report + /v1/query route pair and
+// NewPipelineClient submits batches with context support.
+//
+// The pre-pipeline constructors (NewCollector, NewAggregator, NewServer,
+// NewRangeCollector, ...) remain as deprecated shims; see the MIGRATION
+// section of the README for the mapping.
 //
 // See the examples/ directory for runnable end-to-end programs and
 // cmd/ldpbench for the harness that regenerates every table and figure of

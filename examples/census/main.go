@@ -1,7 +1,12 @@
 // Census: collect a multidimensional census-like population (numeric and
-// categorical attributes) with the paper's Algorithm 4 and compare the
+// categorical attributes) through the unified pipeline and compare the
 // resulting mean and frequency estimates against the ground truth and
 // against the naive budget-splitting baseline.
+//
+// Each user is routed to either the mean task (Algorithm 4 over the
+// numeric attributes, HM at the full budget) or the frequency task (OUE
+// over the categorical attributes); the aggregator answers both query
+// kinds from the one report stream.
 //
 //	go run ./examples/census
 package main
@@ -28,13 +33,11 @@ func run(users int, out io.Writer) error {
 	census := dataset.NewBR()
 	sch := census.Schema()
 
-	// The proposed pipeline: Algorithm 4 with HM for numeric attributes
-	// and OUE for categorical ones.
-	col, err := ldp.NewCollector(sch, eps, ldp.HM, ldp.OUE)
+	// The proposed pipeline: HM for the mean task, OUE for the freq task.
+	p, err := ldp.New(sch, eps, ldp.WithMechanism(ldp.HM), ldp.WithOracle(ldp.OUE))
 	if err != nil {
 		return err
 	}
-	agg := ldp.NewAggregator(col)
 
 	// Baseline: every attribute perturbed independently at eps/d.
 	base, err := ldp.NewLaplace(eps / float64(sch.Dim()))
@@ -45,7 +48,8 @@ func run(users int, out io.Writer) error {
 	numIdx := sch.NumericIdx()
 	truth := make([]float64, len(numIdx))
 	baseSum := make([]float64, len(numIdx))
-	genderCounts := make([]float64, sch.Attrs[6].Cardinality) // "gender"
+	const genderAttr = 6
+	genderCounts := make([]float64, sch.Attrs[genderAttr].Cardinality)
 
 	for i := 0; i < users; i++ {
 		r := ldp.NewRandStream(7, uint64(i))
@@ -54,34 +58,38 @@ func run(users int, out io.Writer) error {
 			truth[j] += tup.Num[a]
 			baseSum[j] += base.Perturb(tup.Num[a], r)
 		}
-		genderCounts[tup.Cat[6]]++
+		genderCounts[tup.Cat[genderAttr]]++
 
-		rep, err := col.Perturb(tup, r)
+		rep, err := p.Randomize(tup, r)
 		if err != nil {
 			return err
 		}
-		if err := agg.Add(rep); err != nil {
+		if err := p.Add(rep); err != nil {
 			return err
 		}
 	}
+	res := p.Snapshot()
 
-	fmt.Fprintf(out, "BR-like census, %d users, eps=%g, d=%d (k=%d attributes reported per user)\n\n",
-		users, eps, sch.Dim(), col.K())
+	fmt.Fprintf(out, "BR-like census, %d users, eps=%g, d=%d (tasks: mean k=%d, freq k=%d)\n\n",
+		users, eps, sch.Dim(), p.MeanTask().K(), p.FreqTask().K())
 	fmt.Fprintln(out, "numeric attribute means:")
-	fmt.Fprintf(out, "  %-10s %10s %12s %12s\n", "attribute", "truth", "algorithm4", "split-laplace")
-	means := agg.MeanEstimates()
+	fmt.Fprintf(out, "  %-10s %10s %12s %12s\n", "attribute", "truth", "pipeline", "split-laplace")
 	var mseAlg, mseBase float64
 	for j, a := range numIdx {
 		tm := truth[j] / float64(users)
 		bm := baseSum[j] / float64(users)
-		fmt.Fprintf(out, "  %-10s %+10.4f %+12.4f %+12.4f\n", sch.Attrs[a].Name, tm, means[j], bm)
-		mseAlg += (means[j] - tm) * (means[j] - tm)
+		est, err := res.Mean(sch.Attrs[a].Name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-10s %+10.4f %+12.4f %+12.4f\n", sch.Attrs[a].Name, tm, est, bm)
+		mseAlg += (est - tm) * (est - tm)
 		mseBase += (bm - tm) * (bm - tm)
 	}
-	fmt.Fprintf(out, "\n  MSE: algorithm4 %.3e  vs  split-laplace %.3e  (%.1fx better)\n\n",
+	fmt.Fprintf(out, "\n  MSE: pipeline %.3e  vs  split-laplace %.3e  (%.1fx better)\n\n",
 		mseAlg/float64(len(numIdx)), mseBase/float64(len(numIdx)), mseBase/mseAlg)
 
-	freqs, err := agg.FreqEstimates(6)
+	freqs, err := res.Freq(sch.Attrs[genderAttr].Name)
 	if err != nil {
 		return err
 	}

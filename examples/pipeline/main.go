@@ -1,12 +1,16 @@
 // Pipeline: run the full client/server collection system on localhost —
-// an aggregator with a crash-recoverable report log, and a population of
-// clients that randomize locally and upload over HTTP. After collection,
-// the aggregator's state is rebuilt from the log to demonstrate recovery.
+// a unified aggregator with a crash-recoverable report log, and a
+// population of clients that randomize locally and upload envelope frames
+// in batches over HTTP. Queries are answered over the single /v1/query
+// route; after collection, the aggregator's state is rebuilt from the log
+// to demonstrate recovery.
 //
 //	go run ./examples/pipeline
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -19,7 +23,6 @@ import (
 	"ldp"
 	"ldp/internal/dataset"
 	"ldp/internal/reportlog"
-	"ldp/internal/transport"
 )
 
 func main() {
@@ -31,7 +34,7 @@ func main() {
 func run(users int, out io.Writer) error {
 	const eps = 1.0
 	census := dataset.NewMX()
-	col, err := ldp.NewCollector(census.Schema(), eps, ldp.PM, ldp.OUE)
+	p, err := ldp.New(census.Schema(), eps, ldp.WithShards(4))
 	if err != nil {
 		return err
 	}
@@ -47,33 +50,59 @@ func run(users int, out io.Writer) error {
 	}
 
 	// Aggregator on an ephemeral localhost port.
-	agg := ldp.NewAggregator(col)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: ldp.NewServer(agg, sink)}
+	srv := &http.Server{Handler: ldp.NewPipelineServer(p, sink)}
 	go func() {
 		if err := srv.Serve(ln); err != http.ErrServerClosed {
 			log.Fatal(err)
 		}
 	}()
 	baseURL := "http://" + ln.Addr().String()
-	fmt.Fprintf(out, "aggregator listening on %s (report log in %s)\n", baseURL, filepath.Base(logDir))
+	fmt.Fprintf(out, "unified aggregator listening on %s (report log in %s)\n", baseURL, filepath.Base(logDir))
 
-	// Clients: randomize locally, upload only perturbed frames.
+	// Clients: randomize locally, upload only perturbed frames, 100 per
+	// batched request.
+	ctx := context.Background()
 	start := time.Now()
-	client := ldp.NewClient(baseURL, col)
-	for i := 0; i < users; i++ {
-		r := ldp.NewRandStream(3, uint64(i))
-		if err := client.SendTuple(census.Tuple(r), r); err != nil {
+	client := ldp.NewPipelineClient(baseURL, p, ldp.WithTimeout(10*time.Second))
+	const batchSize = 100
+	for lo := 0; lo < users; lo += batchSize {
+		hi := lo + batchSize
+		if hi > users {
+			hi = users
+		}
+		// The randomization stream lives in a disjoint index space (high
+		// bit set) so privacy noise is independent of the tuple streams.
+		r := ldp.NewRandStream(3, 1<<63|uint64(lo))
+		batch := make([]ldp.Tuple, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			batch = append(batch, census.Tuple(ldp.NewRandStream(3, uint64(i))))
+		}
+		if err := client.SendBatch(ctx, batch, r); err != nil {
 			return err
 		}
 	}
 	fmt.Fprintf(out, "uploaded %d reports in %v\n", users, time.Since(start).Round(time.Millisecond))
 
-	means := agg.MeanEstimates()
-	fmt.Fprintf(out, "estimated mean age (normalized): %+.4f from n=%d reports\n", means[0], agg.N())
+	// Query over HTTP: the one route answers every kind.
+	var stats struct {
+		N     int64            `json:"n"`
+		Tasks map[string]int64 `json:"tasks"`
+	}
+	if err := getJSON(baseURL+"/v1/query?kind=stats", &stats); err != nil {
+		return err
+	}
+	var ageMean struct {
+		Mean float64 `json:"mean"`
+	}
+	if err := getJSON(baseURL+"/v1/query?kind=mean&attr="+census.Schema().Attrs[0].Name, &ageMean); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "estimated mean age (normalized): %+.4f from n=%d reports (tasks: %v)\n",
+		ageMean.Mean, stats.N, stats.Tasks)
 
 	if err := srv.Close(); err != nil {
 		return err
@@ -82,20 +111,39 @@ func run(users int, out io.Writer) error {
 		return err
 	}
 
-	// Simulate a restart: recover the log and rebuild the aggregator.
+	// Simulate a restart: recover the log and rebuild the pipeline.
 	if _, err := reportlog.Recover(logDir); err != nil {
 		return err
 	}
-	fresh := ldp.NewAggregator(col)
-	replayed, err := transport.Replay(fresh, func(fn func([]byte) error) error {
+	fresh, err := ldp.New(census.Schema(), eps, ldp.WithShards(4))
+	if err != nil {
+		return err
+	}
+	replayed, err := ldp.ReplayPipeline(fresh, func(fn func([]byte) error) error {
 		_, err := reportlog.Replay(logDir, fn)
 		return err
 	})
 	if err != nil {
 		return err
 	}
-	freshMeans := fresh.MeanEstimates()
+	freshMean, err := fresh.Snapshot().Mean(census.Schema().Attrs[0].Name)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(out, "after restart: replayed %d reports, mean age %+.4f (identical: %v)\n",
-		replayed, freshMeans[0], freshMeans[0] == means[0])
+		replayed, freshMean, freshMean == ageMean.Mean)
 	return nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }

@@ -1,8 +1,9 @@
 // Quickstart: estimate the mean of one sensitive numeric attribute under
-// eps-local differential privacy with the Piecewise Mechanism.
+// eps-local differential privacy with the unified pipeline.
 //
-// Every user holds a private value in [-1, 1], perturbs it locally, and
-// submits only the noisy version; the aggregator averages the submissions.
+// Every user holds a private value in [-1, 1], randomizes it locally
+// through the pipeline, and submits only the noisy report; the aggregator
+// folds the reports in and answers the mean query.
 //
 //	go run ./examples/quickstart
 package main
@@ -26,34 +27,50 @@ func main() {
 func run(users int, out io.Writer) error {
 	const eps = 1.0 // privacy budget
 
-	mechanism, err := ldp.NewPiecewise(eps)
+	sch, err := ldp.NewSchema(ldp.Attribute{Name: "income", Kind: ldp.Numeric})
+	if err != nil {
+		return err
+	}
+	// One numeric attribute -> the pipeline registers a single mean task
+	// using the Hybrid Mechanism at the full budget.
+	p, err := ldp.New(sch, eps)
 	if err != nil {
 		return err
 	}
 
 	// Simulate a population whose private values are skewed toward small
 	// magnitudes (e.g. normalized incomes).
-	var trueSum, noisySum float64
+	var trueSum float64
 	for i := 0; i < users; i++ {
 		r := ldp.NewRandStream(42, uint64(i))
-		private := math.Tanh(r.NormFloat64() * 0.3) // in (-1, 1)
+		tup := ldp.NewTuple(sch)
+		tup.Num[0] = math.Tanh(r.NormFloat64() * 0.3) // in (-1, 1)
+		trueSum += tup.Num[0]
 
-		// Everything above happens on the user's device; only `report`
-		// is ever transmitted.
-		report := mechanism.Perturb(private, r)
-
-		trueSum += private
-		noisySum += report
+		// Everything above happens on the user's device; only `rep` is
+		// ever transmitted.
+		rep, err := p.Randomize(tup, r)
+		if err != nil {
+			return err
+		}
+		if err := p.Add(rep); err != nil {
+			return err
+		}
 	}
 
 	trueMean := trueSum / float64(users)
-	estimate := noisySum / float64(users)
-	fmt.Fprintf(out, "mechanism:        %s (eps=%g)\n", mechanism.Name(), eps)
-	fmt.Fprintf(out, "output range:     [-%.4f, %.4f]\n", mechanism.SupportBound(), mechanism.SupportBound())
+	res := p.Snapshot()
+	estimate, err := res.Mean("income")
+	if err != nil {
+		return err
+	}
+	mt := p.MeanTask()
+	fmt.Fprintf(out, "mechanism:        %s (eps=%g)\n", mt.Mechanism().Name(), eps)
+	fmt.Fprintf(out, "reports:          %d\n", res.N())
 	fmt.Fprintf(out, "true mean:        %+.6f\n", trueMean)
 	fmt.Fprintf(out, "LDP estimate:     %+.6f\n", estimate)
 	fmt.Fprintf(out, "absolute error:   %.6f\n", math.Abs(estimate-trueMean))
 	fmt.Fprintf(out, "stddev predicted: %.6f (sqrt(worst-case var / n))\n",
-		math.Sqrt(mechanism.WorstCaseVariance()/float64(users)))
+		math.Sqrt(mt.Mechanism().WorstCaseVariance()/float64(users)))
 	return nil
 }

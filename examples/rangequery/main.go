@@ -2,10 +2,12 @@
 // have age in [30, 40] AND income in the top band?" under eps-LDP,
 // without the aggregator ever seeing a raw record.
 //
-// Each user answers exactly one randomized sub-task: either a dyadic
-// interval of one attribute at a sampled depth of the interval hierarchy
-// (serving 1-D range queries), or one cell of a coarse 2-D grid over an
-// attribute pair (serving conjunctive range queries).
+// The unified pipeline routes every user to the range task (the mean
+// task's routing weight is set to zero): each user answers exactly one
+// randomized sub-task — a dyadic interval of one attribute at a sampled
+// depth of the interval hierarchy (serving 1-D range queries), or one
+// cell of a coarse 2-D grid over an attribute pair (serving conjunctive
+// range queries).
 //
 //	go run ./examples/rangequery
 package main
@@ -54,11 +56,13 @@ func run(users int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	col, err := ldp.NewRangeCollector(sch, eps, ldp.RangeConfig{Buckets: 256, GridCells: 8})
+	p, err := ldp.New(sch, eps,
+		ldp.WithRange(ldp.RangeConfig{Buckets: 256, GridCells: 8}),
+		ldp.WithTaskWeight(ldp.TaskMean, 0), // this demo only answers ranges
+	)
 	if err != nil {
 		return err
 	}
-	agg := ldp.NewRangeAggregator(col)
 
 	type rec struct{ age, income float64 }
 	population := make([]rec, users)
@@ -70,17 +74,19 @@ func run(users int, out io.Writer) error {
 		tup := ldp.NewTuple(sch)
 		tup.Num[0], tup.Num[1] = age, income
 		// Everything above stays on the device; only the report leaves.
-		rep, err := col.Perturb(tup, r)
+		rep, err := p.Randomize(tup, r)
 		if err != nil {
 			return err
 		}
-		if err := agg.Add(rep); err != nil {
+		if err := p.Add(rep); err != nil {
 			return err
 		}
 	}
+	res := p.Snapshot()
 
+	rt := p.RangeTask().Collector()
 	fmt.Fprintf(out, "range queries over %d users at eps=%g (B=%d buckets, %dx%d grids)\n\n",
-		users, eps, col.Hierarchy().Buckets(), col.Grid().Cells(), col.Grid().Cells())
+		users, eps, rt.Hierarchy().Buckets(), rt.Grid().Cells(), rt.Grid().Cells())
 
 	fmt.Fprintln(out, "1-D: fraction of users by age band")
 	fmt.Fprintf(out, "  %-14s %9s %9s %7s\n", "age band", "truth", "estimate", "err")
@@ -93,7 +99,7 @@ func run(users int, out io.Writer) error {
 			}
 		}
 		truth /= float64(users)
-		est, err := agg.Range1D(0, lo, hi)
+		est, err := res.Range(ldp.RangeQuery{Attr: "age", Lo: lo, Hi: hi})
 		if err != nil {
 			return err
 		}
@@ -119,7 +125,10 @@ func run(users int, out io.Writer) error {
 			}
 		}
 		truth /= float64(users)
-		est, err := agg.Range2D(0, 1, q.aLo, q.aHi, q.incLo, q.incHi)
+		est, err := res.Range(ldp.RangeQuery{
+			Attr: "age", Lo: q.aLo, Hi: q.aHi,
+			Attr2: "income", Lo2: q.incLo, Hi2: q.incHi,
+		})
 		if err != nil {
 			return err
 		}

@@ -29,6 +29,7 @@ type Aggregator struct {
 	numSum  []float64
 	catEst  []*freq.Estimator // indexed by attribute; nil for numeric
 	oracles []freq.Oracle
+	catBits bool    // whether the oracle responses carry bitsets
 	numVar  float64 // worst-case per-coordinate variance of numeric reports
 }
 
@@ -46,6 +47,7 @@ func NewAggregator(c *Collector) *Aggregator {
 	for i, o := range c.oracles {
 		if o != nil {
 			a.catEst[i] = freq.NewEstimator(o)
+			a.catBits = freq.UsesBitset(o)
 		}
 	}
 	return a
@@ -59,9 +61,31 @@ func (a *Aggregator) Add(rep Report) error {
 		if e.Attr < 0 || e.Attr >= a.sch.Dim() {
 			return fmt.Errorf("core: report entry attribute %d out of range [0,%d)", e.Attr, a.sch.Dim())
 		}
-		isNum := a.sch.Attrs[e.Attr].Kind == schema.Numeric
+		at := a.sch.Attrs[e.Attr]
+		isNum := at.Kind == schema.Numeric
 		if isNum != (e.Kind == EntryNumeric) {
-			return fmt.Errorf("core: report entry kind %d does not match attribute %q", e.Kind, a.sch.Attrs[e.Attr].Name)
+			return fmt.Errorf("core: report entry kind %d does not match attribute %q", e.Kind, at.Name)
+		}
+		// Decoded frames are attacker-controlled: an undersized bitset
+		// would panic inside freq.Estimator.Add, a bitset folded into a
+		// value-type (GRR) estimator would poison every domain value at
+		// once, and an out-of-range value would silently skew the
+		// reporter count.
+		if e.Kind == EntryCategoricalBits {
+			if !a.catBits {
+				return fmt.Errorf("core: bitset entry for attribute %q, but the oracle reports single values", at.Name)
+			}
+			if want := freq.BitsetWords(at.Cardinality); len(e.Resp.Bits) != want {
+				return fmt.Errorf("core: attribute %q bitset has %d words, want %d", at.Name, len(e.Resp.Bits), want)
+			}
+		}
+		if e.Kind == EntryCategoricalValue {
+			if a.catBits {
+				return fmt.Errorf("core: value entry for attribute %q, but the oracle reports bitsets", at.Name)
+			}
+			if e.Resp.Value < 0 || e.Resp.Value >= at.Cardinality {
+				return fmt.Errorf("core: attribute %q value %d outside [0,%d)", at.Name, e.Resp.Value, at.Cardinality)
+			}
 		}
 	}
 	a.n++

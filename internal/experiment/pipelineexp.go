@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ldp/internal/core"
+	"ldp/internal/dataset"
+	"ldp/internal/pipeline"
+	"ldp/internal/rng"
+)
+
+func init() {
+	register(Runner{
+		Name: "pipeline",
+		Desc: "unified-pipeline ingest throughput: sharded aggregator (1/4/8 shards) vs legacy single lock",
+		Run:  runPipelineBench,
+	})
+}
+
+// runPipelineBench measures server-side ingest throughput (reports/sec):
+// the legacy single-lock core.Aggregator against the unified pipeline's
+// sharded aggregator at 1, 4, and 8 shards. Reports are pre-randomized so
+// only Add is on the clock; opts.Workers goroutines feed each aggregator
+// and the best of opts.Runs timings is reported (throughput is a
+// max-statistic: slower runs measure scheduler interference, not the
+// data structure).
+func runPipelineBench(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	c := dataset.NewBR()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Pre-randomize the unified report stream once; every pipeline
+	// configuration ingests the identical stream.
+	p0, err := pipeline.New(c.Schema(), opts.Eps)
+	if err != nil {
+		return nil, err
+	}
+	reps := make([]pipeline.Report, opts.N)
+	for i := range reps {
+		r := rng.NewStream(opts.Seed, uint64(i))
+		rep, err := p0.Randomize(c.Tuple(r), r)
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = rep
+	}
+
+	// And the legacy stream for the single-lock baseline.
+	col, err := core.NewCollector(c.Schema(), opts.Eps, pmFactory, oueFactory)
+	if err != nil {
+		return nil, err
+	}
+	legacy := make([]core.Report, opts.N)
+	for i := range legacy {
+		r := rng.NewStream(opts.Seed+1, uint64(i))
+		rep, err := col.Perturb(c.Tuple(r), r)
+		if err != nil {
+			return nil, err
+		}
+		legacy[i] = rep
+	}
+
+	timeIngest := func(add func(i int) error) (float64, error) {
+		var firstErr error
+		var mu sync.Mutex
+		start := time.Now()
+		var wg sync.WaitGroup
+		chunk := (len(reps) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(reps) {
+				hi = len(reps)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if err := add(i); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		return float64(len(reps)) / elapsed.Seconds(), nil
+	}
+
+	best := func(build func() (func(i int) error, error)) (float64, error) {
+		bestRate := 0.0
+		for run := 0; run < opts.Runs; run++ {
+			add, err := build()
+			if err != nil {
+				return 0, err
+			}
+			rate, err := timeIngest(add)
+			if err != nil {
+				return 0, err
+			}
+			if rate > bestRate {
+				bestRate = rate
+			}
+		}
+		return bestRate, nil
+	}
+
+	table := Table{
+		ID:      "pipeline",
+		Title:   fmt.Sprintf("ingest throughput, %d reports, %d workers (best of %d runs)", opts.N, workers, opts.Runs),
+		XLabel:  "aggregator",
+		YLabel:  "reports/sec",
+		Columns: []string{"reports_per_sec"},
+	}
+
+	rate, err := best(func() (func(i int) error, error) {
+		agg := core.NewAggregator(col)
+		return func(i int) error { return agg.Add(legacy[i]) }, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	table.Rows = append(table.Rows, TableRow{X: "legacy-single-lock", Values: []float64{rate}})
+
+	for _, shards := range []int{1, 4, 8} {
+		rate, err := best(func() (func(i int) error, error) {
+			p, err := pipeline.New(c.Schema(), opts.Eps, pipeline.WithShards(shards))
+			if err != nil {
+				return nil, err
+			}
+			return func(i int) error { return p.Add(reps[i]) }, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		table.Rows = append(table.Rows, TableRow{X: fmt.Sprintf("pipeline-%d-shards", shards), Values: []float64{rate}})
+	}
+	return []Table{table}, nil
+}

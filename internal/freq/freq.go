@@ -44,7 +44,20 @@ type Response struct {
 type Bitset []uint64
 
 // NewBitset allocates a bitset able to hold n bits.
-func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+func NewBitset(n int) Bitset { return make(Bitset, BitsetWords(n)) }
+
+// BitsetWords returns the number of 64-bit words a Bitset over an n-value
+// domain occupies (len(NewBitset(n)) without the allocation; validation
+// hot paths use it to check response widths).
+func BitsetWords(n int) int { return (n + 63) / 64 }
+
+// UsesBitset reports whether the oracle's responses carry a unary-encoding
+// bitset (OUE/SUE) rather than a single reported value (GRR). The response
+// shape is a fixed property of the oracle type, probed once with a
+// throwaway PRNG; aggregators cache the answer to reject responses of the
+// wrong shape (an all-ones bitset folded into a value-type estimator would
+// poison every domain value at once).
+func UsesBitset(o Oracle) bool { return o.Perturb(0, rng.New(0)).Bits != nil }
 
 // Set sets bit i.
 func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }

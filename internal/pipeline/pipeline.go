@@ -1,0 +1,716 @@
+// Package pipeline unifies the repository's collection stacks behind one
+// task-based API, the architecture of the paper's system model (Section
+// II): the aggregator runs a single stream of randomized reports and
+// answers mean, frequency, and range queries from it.
+//
+// A Pipeline is built from a schema, a total per-user privacy budget eps,
+// and a set of functional options. It registers up to three tasks:
+//
+//   - MeanTask — Algorithm-4 attribute sampling over the numeric
+//     attributes, perturbed with a 1-D mechanism (HM by default);
+//   - FreqTask — attribute sampling over the categorical attributes,
+//     perturbed with a frequency oracle (OUE by default);
+//   - RangeTask — the rangequery subsystem's hierarchical-interval /
+//     2-D-grid sub-tasks (enabled with WithRange).
+//
+// Each user is routed to exactly one task (a data-independent coin flip)
+// and spends the entire budget eps on that task's randomizer, in the
+// user-partition spirit of the paper's Algorithm 4 and the RS+FD /
+// AHEAD lines of work: the released Report is an eps-LDP view of the
+// tuple because exactly one eps-LDP randomizer output is published.
+//
+// The server side is production-shaped: aggregation state is sharded
+// (WithShards), Add locks only one shard, and Snapshot/Merge never take a
+// global lock — they visit shards one at a time, so ingest on the other
+// shards proceeds concurrently. Legacy Algorithm-4 reports (the v1 wire
+// format, decoded as TaskJoint) fold into the same state, so a fleet of
+// old clients can keep reporting through a new server during migration.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ldp/internal/core"
+	"ldp/internal/freq"
+	"ldp/internal/mech"
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+// TaskKind identifies the sub-task a unified report answers.
+type TaskKind uint8
+
+const (
+	// TaskMean is the numeric-mean task (Algorithm 4 over numeric attrs).
+	TaskMean TaskKind = iota + 1
+	// TaskFreq is the categorical-frequency task.
+	TaskFreq
+	// TaskRange is the range-query task (hierarchies + 2-D grids).
+	TaskRange
+	// TaskJoint is the legacy Algorithm-4 mixed report (numeric and
+	// categorical entries in one report, scaled over the full schema). New
+	// pipelines never produce it; it exists so v1 wire frames keep folding
+	// into a unified aggregator.
+	TaskJoint
+)
+
+// String returns the task tag used in wire formats, logs and options.
+func (k TaskKind) String() string {
+	switch k {
+	case TaskMean:
+		return "mean"
+	case TaskFreq:
+		return "freq"
+	case TaskRange:
+		return "range"
+	case TaskJoint:
+		return "joint"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", uint8(k))
+	}
+}
+
+// Report is one user's randomized submission to the unified pipeline:
+// exactly one task's payload, identified by Task. Mean, freq, and joint
+// payloads are attribute-indexed entry lists; range payloads are
+// rangequery reports.
+type Report struct {
+	Task    TaskKind
+	Entries []core.Entry      // TaskMean, TaskFreq, TaskJoint
+	Range   rangequery.Report // TaskRange
+}
+
+// Option configures a Pipeline under construction.
+type Option func(*config) error
+
+type config struct {
+	mechFactory   mech.Factory
+	oracleFactory freq.Factory
+	rangeCfg      *rangequery.Config
+	shards        int
+	weights       map[TaskKind]float64
+}
+
+// WithMechanism selects the 1-D numeric mechanism factory used by the mean
+// task (and the legacy-compat joint state). The default is the paper's
+// Hybrid Mechanism.
+func WithMechanism(f mech.Factory) Option {
+	return func(c *config) error {
+		if f == nil {
+			return fmt.Errorf("pipeline: WithMechanism(nil)")
+		}
+		c.mechFactory = f
+		return nil
+	}
+}
+
+// WithOracle selects the frequency-oracle factory used by the freq and
+// range tasks (and the legacy-compat joint state). The default is OUE.
+func WithOracle(f freq.Factory) Option {
+	return func(c *config) error {
+		if f == nil {
+			return fmt.Errorf("pipeline: WithOracle(nil)")
+		}
+		c.oracleFactory = f
+		return nil
+	}
+}
+
+// WithRange registers the range-query task with the given configuration
+// (the zero Config selects B=256 hierarchy buckets, 8x8 grids, and the
+// pipeline's oracle).
+func WithRange(cfg rangequery.Config) Option {
+	return func(c *config) error {
+		c.rangeCfg = &cfg
+		return nil
+	}
+}
+
+// WithShards sets the number of aggregation shards. More shards admit more
+// concurrent Add calls; estimates are independent of the shard count. The
+// default is 1; servers should set it near GOMAXPROCS.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("pipeline: shards must be >= 1, got %d", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithTaskWeight sets the routing weight of a registered task (default 1
+// for every registered task). Weights are normalized; a zero weight keeps
+// the task's aggregation state but routes no users to it. Setting a weight
+// for a task the pipeline does not register is an error.
+func WithTaskWeight(kind TaskKind, w float64) Option {
+	return func(c *config) error {
+		if kind != TaskMean && kind != TaskFreq && kind != TaskRange {
+			return fmt.Errorf("pipeline: cannot weight task %v", kind)
+		}
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("pipeline: task weight must be finite and >= 0, got %v", w)
+		}
+		c.weights[kind] = w
+		return nil
+	}
+}
+
+// jointCompat holds the state needed to fold legacy Algorithm-4 reports
+// (TaskJoint) into the pipeline: the oracle parameters the old collector
+// would have used for this schema and budget.
+type jointCompat struct {
+	oracles []freq.Oracle // indexed by schema attribute; nil for numeric
+	bits    bool          // whether the oracle responses carry bitsets
+}
+
+// shard is one lock domain of the aggregation state.
+type shard struct {
+	mu       sync.Mutex
+	nMean    int64
+	nFreq    int64
+	nJoint   int64
+	nRange   int64
+	meanSum  []float64              // mean-task numeric sums, indexed by attribute
+	jointSum []float64              // joint-report numeric sums
+	freqEst  []*freq.Estimator      // freq-task estimators; nil for numeric attrs
+	jointEst []*freq.Estimator      // joint-report estimators (different oracle params)
+	rangeAgg *rangequery.Aggregator // nil when the range task is absent
+}
+
+// Pipeline is the unified collector/aggregator. The randomization side
+// (Randomize and the task randomizers) is stateless and safe for
+// concurrent use with per-goroutine PRNGs; the aggregation side (Add,
+// Snapshot, Merge) is sharded and safe for concurrent use.
+type Pipeline struct {
+	sch    *schema.Schema
+	eps    float64
+	tasks  []Task
+	routed []Task    // tasks with positive weight, aligned with cum
+	cum    []float64 // cumulative routing probabilities over routed
+	mean   *MeanTask
+	freq   *FreqTask
+	rangeT *RangeTask
+	joint  jointCompat
+	shards []*shard
+	cursor atomic.Uint64
+}
+
+// New builds a pipeline for schema s at total per-user budget eps. Tasks
+// are derived from the schema: a mean task when s has numeric attributes,
+// a freq task when it has categorical attributes, and a range task when
+// WithRange is given. At least one task must be registrable.
+func New(s *schema.Schema, eps float64, opts ...Option) (*Pipeline, error) {
+	if s == nil {
+		return nil, fmt.Errorf("pipeline: nil schema")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mech.ValidateEpsilon(eps); err != nil {
+		return nil, err
+	}
+	cfg := config{
+		mechFactory:   func(e float64) (mech.Mechanism, error) { return core.NewHybrid(e) },
+		oracleFactory: func(e float64, k int) (freq.Oracle, error) { return freq.NewOUE(e, k) },
+		shards:        1,
+		weights:       make(map[TaskKind]float64),
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	p := &Pipeline{sch: s, eps: eps}
+	numIdx, catIdx := s.NumericIdx(), s.CategoricalIdx()
+	if len(numIdx) > 0 {
+		t, err := newMeanTask(s, eps, cfg.mechFactory)
+		if err != nil {
+			return nil, err
+		}
+		p.mean = t
+		p.tasks = append(p.tasks, t)
+	}
+	if len(catIdx) > 0 {
+		t, err := newFreqTask(s, eps, cfg.oracleFactory)
+		if err != nil {
+			return nil, err
+		}
+		p.freq = t
+		p.tasks = append(p.tasks, t)
+	}
+	if cfg.rangeCfg != nil {
+		rc := *cfg.rangeCfg
+		if rc.Oracle == nil {
+			rc.Oracle = cfg.oracleFactory
+		}
+		col, err := rangequery.NewCollector(s, eps, rc)
+		if err != nil {
+			return nil, err
+		}
+		p.rangeT = &RangeTask{col: col}
+		p.tasks = append(p.tasks, p.rangeT)
+	}
+	if len(p.tasks) == 0 {
+		return nil, fmt.Errorf("pipeline: no tasks for this schema (no numeric or categorical attributes and no WithRange)")
+	}
+	for kind := range cfg.weights {
+		if p.task(kind) == nil {
+			return nil, fmt.Errorf("pipeline: weight set for task %v, which this pipeline does not register", kind)
+		}
+	}
+
+	// Routing distribution over the registered tasks.
+	total := 0.0
+	for _, t := range p.tasks {
+		w, ok := cfg.weights[t.Kind()]
+		if !ok {
+			w = 1
+		}
+		if w > 0 {
+			p.routed = append(p.routed, t)
+			total += w
+			p.cum = append(p.cum, total)
+		}
+	}
+	if len(p.routed) == 0 {
+		return nil, fmt.Errorf("pipeline: every task weight is zero")
+	}
+	for i := range p.cum {
+		p.cum[i] /= total
+	}
+
+	// Legacy-compat joint state: the oracle parameters a v1 core.Collector
+	// would use for this schema and budget (eps/k with k over all d
+	// attributes).
+	if len(catIdx) > 0 {
+		kJoint := core.KFor(eps, s.Dim())
+		p.joint.oracles = make([]freq.Oracle, s.Dim())
+		budget := eps / float64(kJoint)
+		for _, j := range catIdx {
+			o, err := cfg.oracleFactory(budget, s.Attrs[j].Cardinality)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: joint-compat oracle for attribute %q: %w", s.Attrs[j].Name, err)
+			}
+			p.joint.oracles[j] = o
+		}
+		p.joint.bits = freq.UsesBitset(p.joint.oracles[catIdx[0]])
+	}
+
+	p.shards = make([]*shard, cfg.shards)
+	for i := range p.shards {
+		p.shards[i] = p.newShard()
+	}
+	return p, nil
+}
+
+func (p *Pipeline) newShard() *shard {
+	d := p.sch.Dim()
+	sh := &shard{
+		meanSum:  make([]float64, d),
+		jointSum: make([]float64, d),
+	}
+	if p.freq != nil {
+		sh.freqEst = make([]*freq.Estimator, d)
+		for _, j := range p.freq.catIdx {
+			sh.freqEst[j] = freq.NewEstimator(p.freq.oracles[j])
+		}
+	}
+	if p.joint.oracles != nil {
+		sh.jointEst = make([]*freq.Estimator, d)
+		for j, o := range p.joint.oracles {
+			if o != nil {
+				sh.jointEst[j] = freq.NewEstimator(o)
+			}
+		}
+	}
+	if p.rangeT != nil {
+		sh.rangeAgg = rangequery.NewAggregator(p.rangeT.col)
+	}
+	return sh
+}
+
+// Schema returns the pipeline's schema.
+func (p *Pipeline) Schema() *schema.Schema { return p.sch }
+
+// Epsilon returns the total per-user budget.
+func (p *Pipeline) Epsilon() float64 { return p.eps }
+
+// Shards returns the number of aggregation shards.
+func (p *Pipeline) Shards() int { return len(p.shards) }
+
+// Tasks returns the registered tasks in routing order.
+func (p *Pipeline) Tasks() []Task {
+	out := make([]Task, len(p.tasks))
+	copy(out, p.tasks)
+	return out
+}
+
+// task returns the registered task of the given kind, or nil.
+func (p *Pipeline) task(kind TaskKind) Task {
+	switch kind {
+	case TaskMean:
+		if p.mean != nil {
+			return p.mean
+		}
+	case TaskFreq:
+		if p.freq != nil {
+			return p.freq
+		}
+	case TaskRange:
+		if p.rangeT != nil {
+			return p.rangeT
+		}
+	}
+	return nil
+}
+
+// MeanTask returns the registered mean task, or nil.
+func (p *Pipeline) MeanTask() *MeanTask { return p.mean }
+
+// FreqTask returns the registered freq task, or nil.
+func (p *Pipeline) FreqTask() *FreqTask { return p.freq }
+
+// RangeTask returns the registered range task, or nil.
+func (p *Pipeline) RangeTask() *RangeTask { return p.rangeT }
+
+// Randomize routes one user to a task (a data-independent draw from the
+// routing distribution) and randomizes their tuple into a unified Report
+// under eps-LDP. It runs entirely on the user's side; only the Report is
+// meant to leave the device.
+func (p *Pipeline) Randomize(t schema.Tuple, r *rng.Rand) (Report, error) {
+	if err := t.Check(p.sch); err != nil {
+		return Report{}, err
+	}
+	u := r.Float64()
+	task := p.routed[len(p.routed)-1]
+	for i, c := range p.cum {
+		if u < c {
+			task = p.routed[i]
+			break
+		}
+	}
+	return task.Randomize(t, r)
+}
+
+// Add folds one report into the aggregate state. Reports are validated
+// against the schema and oracle shapes before any state changes, so a
+// malformed (or adversarial) report never corrupts or panics the
+// aggregator. Safe for concurrent use; only one shard is locked.
+func (p *Pipeline) Add(rep Report) error {
+	if err := p.validate(rep); err != nil {
+		return err
+	}
+	sh := p.shards[p.cursor.Add(1)%uint64(len(p.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	switch rep.Task {
+	case TaskMean:
+		for _, e := range rep.Entries {
+			sh.meanSum[e.Attr] += e.Value
+		}
+		sh.nMean++
+	case TaskFreq:
+		for _, e := range rep.Entries {
+			sh.freqEst[e.Attr].Add(e.Resp)
+		}
+		sh.nFreq++
+	case TaskJoint:
+		for _, e := range rep.Entries {
+			if e.Kind == core.EntryNumeric {
+				sh.jointSum[e.Attr] += e.Value
+			} else {
+				sh.jointEst[e.Attr].Add(e.Resp)
+			}
+		}
+		sh.nJoint++
+	case TaskRange:
+		if err := sh.rangeAgg.Add(rep.Range); err != nil {
+			return err
+		}
+		sh.nRange++
+	}
+	return nil
+}
+
+// Validate checks a report's shape against the pipeline configuration —
+// schema bounds, entry kinds, oracle response shapes (an all-ones bitset
+// folded into a value-type estimator would poison every domain value) —
+// without touching any shard state, so a whole batch can be validated
+// before any of it is folded in. Add validates implicitly.
+func (p *Pipeline) Validate(rep Report) error { return p.validate(rep) }
+
+func (p *Pipeline) validate(rep Report) error {
+	d := p.sch.Dim()
+	checkEntry := func(e core.Entry, wantBits bool) error {
+		if e.Attr < 0 || e.Attr >= d {
+			return fmt.Errorf("pipeline: entry attribute %d out of range [0,%d)", e.Attr, d)
+		}
+		a := p.sch.Attrs[e.Attr]
+		switch e.Kind {
+		case core.EntryNumeric:
+			if a.Kind != schema.Numeric {
+				return fmt.Errorf("pipeline: numeric entry for categorical attribute %q", a.Name)
+			}
+			if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+				return fmt.Errorf("pipeline: non-finite value for attribute %q", a.Name)
+			}
+		case core.EntryCategoricalBits:
+			if a.Kind != schema.Categorical {
+				return fmt.Errorf("pipeline: categorical entry for numeric attribute %q", a.Name)
+			}
+			if !wantBits {
+				return fmt.Errorf("pipeline: bitset entry for attribute %q, but the oracle reports single values", a.Name)
+			}
+			if want := freq.BitsetWords(a.Cardinality); len(e.Resp.Bits) != want {
+				return fmt.Errorf("pipeline: attribute %q bitset has %d words, want %d", a.Name, len(e.Resp.Bits), want)
+			}
+		case core.EntryCategoricalValue:
+			if a.Kind != schema.Categorical {
+				return fmt.Errorf("pipeline: categorical entry for numeric attribute %q", a.Name)
+			}
+			if wantBits {
+				return fmt.Errorf("pipeline: value entry for attribute %q, but the oracle reports bitsets", a.Name)
+			}
+			if e.Resp.Value < 0 || e.Resp.Value >= a.Cardinality {
+				return fmt.Errorf("pipeline: attribute %q value %d outside [0,%d)", a.Name, e.Resp.Value, a.Cardinality)
+			}
+		default:
+			return fmt.Errorf("pipeline: unknown entry kind %d", e.Kind)
+		}
+		return nil
+	}
+	switch rep.Task {
+	case TaskMean:
+		if p.mean == nil {
+			return fmt.Errorf("pipeline: mean report but no mean task is registered")
+		}
+		if len(rep.Entries) == 0 || len(rep.Entries) > d {
+			return fmt.Errorf("pipeline: mean report with %d entries", len(rep.Entries))
+		}
+		for _, e := range rep.Entries {
+			if e.Kind != core.EntryNumeric {
+				return fmt.Errorf("pipeline: mean report with non-numeric entry")
+			}
+			if err := checkEntry(e, false); err != nil {
+				return err
+			}
+		}
+	case TaskFreq:
+		if p.freq == nil {
+			return fmt.Errorf("pipeline: freq report but no freq task is registered")
+		}
+		if len(rep.Entries) == 0 || len(rep.Entries) > d {
+			return fmt.Errorf("pipeline: freq report with %d entries", len(rep.Entries))
+		}
+		for _, e := range rep.Entries {
+			if e.Kind == core.EntryNumeric {
+				return fmt.Errorf("pipeline: freq report with numeric entry")
+			}
+			if err := checkEntry(e, p.freq.bits); err != nil {
+				return err
+			}
+		}
+	case TaskJoint:
+		if len(rep.Entries) == 0 || len(rep.Entries) > d {
+			return fmt.Errorf("pipeline: joint report with %d entries", len(rep.Entries))
+		}
+		for _, e := range rep.Entries {
+			if e.Kind != core.EntryNumeric && p.joint.oracles == nil {
+				return fmt.Errorf("pipeline: joint categorical entry but schema has no categorical attributes")
+			}
+			if err := checkEntry(e, p.joint.bits); err != nil {
+				return err
+			}
+		}
+	case TaskRange:
+		if p.rangeT == nil {
+			return fmt.Errorf("pipeline: range report but no range task is registered")
+		}
+		// Shard 0's aggregator shares the immutable collector config every
+		// shard validates against.
+		return p.shards[0].rangeAgg.Validate(rep.Range)
+	default:
+		return fmt.Errorf("pipeline: unknown task %v", rep.Task)
+	}
+	return nil
+}
+
+// N returns the total number of reports aggregated so far.
+func (p *Pipeline) N() int64 {
+	var n int64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += sh.nMean + sh.nFreq + sh.nJoint + sh.nRange
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// TaskCounts returns the number of aggregated reports per task kind.
+// Unlike Snapshot it only sums counters, so it is cheap enough for
+// monitoring loops.
+func (p *Pipeline) TaskCounts() map[TaskKind]int64 {
+	out := make(map[TaskKind]int64, 4)
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		out[TaskMean] += sh.nMean
+		out[TaskFreq] += sh.nFreq
+		out[TaskJoint] += sh.nJoint
+		out[TaskRange] += sh.nRange
+		sh.mu.Unlock()
+	}
+	for k, n := range out {
+		if n == 0 {
+			delete(out, k)
+		}
+	}
+	return out
+}
+
+// Snapshot combines every shard into an immutable, queryable Result. It
+// locks shards one at a time, so concurrent Adds on other shards are not
+// blocked. Reports added while the snapshot is in progress may or may not
+// be included.
+func (p *Pipeline) Snapshot() *Result {
+	res := &Result{
+		sch:      p.sch,
+		meanSum:  make([]float64, p.sch.Dim()),
+		jointSum: make([]float64, p.sch.Dim()),
+	}
+	if p.freq != nil {
+		res.freqEst = make([]*freq.Estimator, p.sch.Dim())
+		for _, j := range p.freq.catIdx {
+			res.freqEst[j] = freq.NewEstimator(p.freq.oracles[j])
+		}
+	}
+	if p.joint.oracles != nil {
+		res.jointEst = make([]*freq.Estimator, p.sch.Dim())
+		for j, o := range p.joint.oracles {
+			if o != nil {
+				res.jointEst[j] = freq.NewEstimator(o)
+			}
+		}
+	}
+	if p.rangeT != nil {
+		res.rangeAgg = rangequery.NewAggregator(p.rangeT.col)
+	}
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		res.nMean += sh.nMean
+		res.nFreq += sh.nFreq
+		res.nJoint += sh.nJoint
+		res.nRange += sh.nRange
+		for i, v := range sh.meanSum {
+			res.meanSum[i] += v
+		}
+		for i, v := range sh.jointSum {
+			res.jointSum[i] += v
+		}
+		for i := range res.freqEst {
+			if res.freqEst[i] != nil {
+				res.freqEst[i].Merge(sh.freqEst[i])
+			}
+		}
+		for i := range res.jointEst {
+			if res.jointEst[i] != nil {
+				res.jointEst[i].Merge(sh.jointEst[i])
+			}
+		}
+		if res.rangeAgg != nil {
+			res.rangeAgg.Merge(sh.rangeAgg)
+		}
+		sh.mu.Unlock()
+	}
+	return res
+}
+
+// Merge folds another pipeline's aggregate state into this one. Both
+// pipelines must be built from the same schema, budget, and task set.
+// Shard counts may differ; each source shard is snapshotted under its own
+// lock before this pipeline locks, so concurrent cross-merges (and
+// self-merges) cannot deadlock.
+func (p *Pipeline) Merge(o *Pipeline) error {
+	if err := p.compatible(o); err != nil {
+		return err
+	}
+	for i, src := range o.shards {
+		// Copy the source shard without holding any destination lock.
+		src.mu.Lock()
+		tmp := p.newShard()
+		tmp.nMean, tmp.nFreq, tmp.nJoint, tmp.nRange = src.nMean, src.nFreq, src.nJoint, src.nRange
+		copy(tmp.meanSum, src.meanSum)
+		copy(tmp.jointSum, src.jointSum)
+		for j := range tmp.freqEst {
+			if tmp.freqEst[j] != nil {
+				tmp.freqEst[j].Merge(src.freqEst[j])
+			}
+		}
+		for j := range tmp.jointEst {
+			if tmp.jointEst[j] != nil {
+				tmp.jointEst[j].Merge(src.jointEst[j])
+			}
+		}
+		if tmp.rangeAgg != nil {
+			tmp.rangeAgg.Merge(src.rangeAgg)
+		}
+		src.mu.Unlock()
+
+		dst := p.shards[i%len(p.shards)]
+		dst.mu.Lock()
+		dst.nMean += tmp.nMean
+		dst.nFreq += tmp.nFreq
+		dst.nJoint += tmp.nJoint
+		dst.nRange += tmp.nRange
+		for j, v := range tmp.meanSum {
+			dst.meanSum[j] += v
+		}
+		for j, v := range tmp.jointSum {
+			dst.jointSum[j] += v
+		}
+		for j := range dst.freqEst {
+			if dst.freqEst[j] != nil {
+				dst.freqEst[j].Merge(tmp.freqEst[j])
+			}
+		}
+		for j := range dst.jointEst {
+			if dst.jointEst[j] != nil {
+				dst.jointEst[j].Merge(tmp.jointEst[j])
+			}
+		}
+		if dst.rangeAgg != nil {
+			dst.rangeAgg.Merge(tmp.rangeAgg)
+		}
+		dst.mu.Unlock()
+	}
+	return nil
+}
+
+// compatible checks that o's configuration matches p's closely enough to
+// merge state.
+func (p *Pipeline) compatible(o *Pipeline) error {
+	if o == nil {
+		return fmt.Errorf("pipeline: merge with nil pipeline")
+	}
+	if p.eps != o.eps {
+		return fmt.Errorf("pipeline: merge across budgets (%g vs %g)", p.eps, o.eps)
+	}
+	if p.sch.Dim() != o.sch.Dim() {
+		return fmt.Errorf("pipeline: merge across schemas (%d vs %d attributes)", p.sch.Dim(), o.sch.Dim())
+	}
+	for i, a := range p.sch.Attrs {
+		b := o.sch.Attrs[i]
+		if a.Name != b.Name || a.Kind != b.Kind || (a.Kind == schema.Categorical && a.Cardinality != b.Cardinality) {
+			return fmt.Errorf("pipeline: merge across schemas (attribute %d: %q vs %q)", i, a.Name, b.Name)
+		}
+	}
+	if (p.mean == nil) != (o.mean == nil) || (p.freq == nil) != (o.freq == nil) || (p.rangeT == nil) != (o.rangeT == nil) {
+		return fmt.Errorf("pipeline: merge across task sets")
+	}
+	return nil
+}

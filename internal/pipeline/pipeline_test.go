@@ -1,0 +1,392 @@
+package pipeline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ldp/internal/core"
+	"ldp/internal/freq"
+	"ldp/internal/mech"
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+func testSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	s, err := schema.New(
+		schema.Attribute{Name: "age", Kind: schema.Numeric},
+		schema.Attribute{Name: "income", Kind: schema.Numeric},
+		schema.Attribute{Name: "gender", Kind: schema.Categorical, Cardinality: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// sampleTuple draws one synthetic user: skewed numerics, biased binary
+// categorical.
+func sampleTuple(s *schema.Schema, r *rng.Rand) schema.Tuple {
+	tup := schema.NewTuple(s)
+	tup.Num[0] = math.Tanh(0.4 + 0.3*r.NormFloat64())
+	tup.Num[1] = math.Tanh(-0.2 + 0.5*r.NormFloat64())
+	if r.Float64() < 0.7 {
+		tup.Cat[2] = 1
+	}
+	return tup
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	s := testSchema(t)
+	p, err := New(s, 4,
+		WithShards(4),
+		WithRange(rangequery.Config{Buckets: 64, GridCells: 4}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tasks()) != 3 {
+		t.Fatalf("got %d tasks, want 3", len(p.Tasks()))
+	}
+
+	const users = 60_000
+	var trueAge, trueInc, trueG1, trueBand float64
+	for i := 0; i < users; i++ {
+		r := rng.NewStream(7, uint64(i))
+		tup := sampleTuple(s, r)
+		trueAge += tup.Num[0]
+		trueInc += tup.Num[1]
+		trueG1 += float64(tup.Cat[2])
+		if tup.Num[0] >= -0.5 && tup.Num[0] <= 0.5 {
+			trueBand++
+		}
+		rep, err := p.Randomize(tup, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.N() != users {
+		t.Fatalf("N = %d, want %d", p.N(), users)
+	}
+
+	res := p.Snapshot()
+	if res.N() != users {
+		t.Fatalf("snapshot N = %d, want %d", res.N(), users)
+	}
+	age, err := res.Mean("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := trueAge / users; math.Abs(age-want) > 0.05 {
+		t.Errorf("Mean(age) = %v, want about %v", age, want)
+	}
+	inc, err := res.Mean("income")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := trueInc / users; math.Abs(inc-want) > 0.05 {
+		t.Errorf("Mean(income) = %v, want about %v", inc, want)
+	}
+	freqs, err := res.Freq("gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := trueG1 / users; math.Abs(freqs[1]-want) > 0.05 {
+		t.Errorf("Freq(gender)[1] = %v, want about %v", freqs[1], want)
+	}
+	mass, err := res.Range(RangeQuery{Attr: "age", Lo: -0.5, Hi: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range estimates carry LDP noise over the task's subsample plus
+	// outward rounding of query endpoints to bucket boundaries, so the
+	// tolerance is looser than for means.
+	if want := trueBand / users; math.Abs(mass-want) > 0.12 {
+		t.Errorf("Range(age in [-0.5,0.5]) = %v, want about %v", mass, want)
+	}
+
+	// Wrong-kind queries error.
+	if _, err := res.Mean("gender"); err == nil {
+		t.Error("Mean on categorical attribute should error")
+	}
+	if _, err := res.Freq("age"); err == nil {
+		t.Error("Freq on numeric attribute should error")
+	}
+	if _, err := res.Mean("nope"); err == nil {
+		t.Error("unknown attribute should error")
+	}
+}
+
+func TestPipelineJointIngest(t *testing.T) {
+	s := testSchema(t)
+	p, err := New(s, 1, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := core.NewCollector(s, 1,
+		func(e float64) (mech.Mechanism, error) { return core.NewPiecewise(e) },
+		func(e float64, k int) (freq.Oracle, error) { return freq.NewOUE(e, k) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const users = 50_000
+	var trueAge, trueG1 float64
+	for i := 0; i < users; i++ {
+		r := rng.NewStream(11, uint64(i))
+		tup := sampleTuple(s, r)
+		trueAge += tup.Num[0]
+		trueG1 += float64(tup.Cat[2])
+		rep, err := col.Perturb(tup, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Add(Report{Task: TaskJoint, Entries: rep.Entries}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res := p.Snapshot()
+	if res.NTask(TaskJoint) != users {
+		t.Fatalf("joint count = %d, want %d", res.NTask(TaskJoint), users)
+	}
+	age, err := res.Mean("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := trueAge / users; math.Abs(age-want) > 0.08 {
+		t.Errorf("joint Mean(age) = %v, want about %v", age, want)
+	}
+	freqs, err := res.Freq("gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := trueG1 / users; math.Abs(freqs[1]-want) > 0.08 {
+		t.Errorf("joint Freq(gender)[1] = %v, want about %v", freqs[1], want)
+	}
+}
+
+func TestPipelineTaskWeights(t *testing.T) {
+	s := testSchema(t)
+	p, err := New(s, 1, WithTaskWeight(TaskFreq, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	for i := 0; i < 500; i++ {
+		rep, err := p.Randomize(sampleTuple(s, r), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Task == TaskFreq {
+			t.Fatal("zero-weight task received a report")
+		}
+		if err := p.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := p.Snapshot().NTask(TaskMean); n == 0 {
+		t.Error("mean task should receive every report")
+	}
+}
+
+func TestPipelineOptionErrors(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"bad shards", []Option{WithShards(0)}, "shards"},
+		{"negative weight", []Option{WithTaskWeight(TaskMean, -1)}, "weight"},
+		{"joint weight", []Option{WithTaskWeight(TaskJoint, 1)}, "cannot weight"},
+		{"all zero", []Option{WithTaskWeight(TaskMean, 0), WithTaskWeight(TaskFreq, 0)}, "zero"},
+		{"nil mech", []Option{WithMechanism(nil)}, "WithMechanism"},
+		{"nil oracle", []Option{WithOracle(nil)}, "WithOracle"},
+	}
+	for _, tc := range cases {
+		if _, err := New(s, 1, tc.opts...); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A weight for a task the schema cannot register errors.
+	numOnly, err := schema.New(schema.Attribute{Name: "x", Kind: schema.Numeric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(numOnly, 1, WithTaskWeight(TaskFreq, 1)); err == nil {
+		t.Error("weight for unregistered task should error")
+	}
+	// Range weight without WithRange errors too.
+	if _, err := New(numOnly, 1, WithTaskWeight(TaskRange, 1)); err == nil {
+		t.Error("range weight without WithRange should error")
+	}
+	if _, err := New(numOnly, 0, nil...); err == nil {
+		t.Error("eps = 0 should error")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	s := testSchema(t)
+	p, err := New(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := freq.NewBitset(2)
+	cases := []struct {
+		name string
+		rep  Report
+	}{
+		{"unknown task", Report{Task: TaskKind(99)}},
+		{"empty mean", Report{Task: TaskMean}},
+		{"attr out of range", Report{Task: TaskMean, Entries: []core.Entry{{Attr: 9, Kind: core.EntryNumeric}}}},
+		{"mean on categorical", Report{Task: TaskMean, Entries: []core.Entry{{Attr: 2, Kind: core.EntryNumeric}}}},
+		{"nan value", Report{Task: TaskMean, Entries: []core.Entry{{Attr: 0, Kind: core.EntryNumeric, Value: math.NaN()}}}},
+		{"freq with numeric entry", Report{Task: TaskFreq, Entries: []core.Entry{{Attr: 0, Kind: core.EntryNumeric}}}},
+		{"bitset width", Report{Task: TaskFreq, Entries: []core.Entry{{Attr: 2, Kind: core.EntryCategoricalBits, Resp: freq.Response{Bits: append(bits, 0)}}}}},
+		{"grr value range", Report{Task: TaskFreq, Entries: []core.Entry{{Attr: 2, Kind: core.EntryCategoricalValue, Resp: freq.Response{Value: 7}}}}},
+		{"range without task", Report{Task: TaskRange}},
+	}
+	for _, tc := range cases {
+		if err := p.Validate(tc.rep); err == nil {
+			t.Errorf("%s: Validate accepted a malformed report", tc.name)
+		}
+		if err := p.Add(tc.rep); err == nil {
+			t.Errorf("%s: Add accepted a malformed report", tc.name)
+		}
+	}
+	if p.N() != 0 {
+		t.Errorf("rejected reports must not count: N = %d", p.N())
+	}
+
+	// Response shape must match the oracle: a GRR pipeline rejects bitset
+	// entries (an all-ones bitset would poison every domain value), and an
+	// OUE pipeline rejects single-value entries.
+	grr, err := New(s, 1, WithOracle(func(e float64, k int) (freq.Oracle, error) { return freq.NewGRR(e, k) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allOnes := freq.NewBitset(2)
+	allOnes.Set(0)
+	allOnes.Set(1)
+	bitsRep := Report{Task: TaskFreq, Entries: []core.Entry{{Attr: 2, Kind: core.EntryCategoricalBits, Resp: freq.Response{Bits: allOnes}}}}
+	if err := grr.Add(bitsRep); err == nil {
+		t.Error("GRR pipeline accepted a bitset entry")
+	}
+	valRep := Report{Task: TaskFreq, Entries: []core.Entry{{Attr: 2, Kind: core.EntryCategoricalValue, Resp: freq.Response{Value: 1}}}}
+	if err := p.Add(valRep); err == nil {
+		t.Error("OUE pipeline accepted a single-value entry")
+	}
+	if err := grr.Add(valRep); err != nil {
+		t.Errorf("GRR pipeline rejected a well-formed value entry: %v", err)
+	}
+}
+
+func TestPipelineMerge(t *testing.T) {
+	s := testSchema(t)
+	build := func(shards int) *Pipeline {
+		p, err := New(s, 1, WithShards(shards), WithRange(rangequery.Config{Buckets: 32, GridCells: 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	whole, p1, p2 := build(1), build(2), build(3)
+
+	const users = 20_000
+	for i := 0; i < users; i++ {
+		r := rng.NewStream(13, uint64(i))
+		tup := sampleTuple(s, r)
+		rep, err := whole.Randomize(tup, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := whole.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+		half := p1
+		if i%2 == 1 {
+			half = p2
+		}
+		if err := half.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p1.Merge(p2); err != nil {
+		t.Fatal(err)
+	}
+	if p1.N() != users {
+		t.Fatalf("merged N = %d, want %d", p1.N(), users)
+	}
+
+	a, b := whole.Snapshot(), p1.Snapshot()
+	for _, attr := range []string{"age", "income"} {
+		ma, _ := a.Mean(attr)
+		mb, _ := b.Mean(attr)
+		if math.Abs(ma-mb) > 1e-9 {
+			t.Errorf("merged Mean(%s) = %v, direct %v", attr, mb, ma)
+		}
+	}
+	fa, _ := a.Freq("gender")
+	fb, _ := b.Freq("gender")
+	for v := range fa {
+		if math.Abs(fa[v]-fb[v]) > 1e-9 {
+			t.Errorf("merged Freq(gender)[%d] = %v, direct %v", v, fb[v], fa[v])
+		}
+	}
+	ra, _ := a.Range(RangeQuery{Attr: "age", Lo: -0.3, Hi: 0.6})
+	rb, _ := b.Range(RangeQuery{Attr: "age", Lo: -0.3, Hi: 0.6})
+	if math.Abs(ra-rb) > 1e-9 {
+		t.Errorf("merged Range = %v, direct %v", rb, ra)
+	}
+
+	// Incompatible pipelines refuse to merge.
+	other, err := New(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Merge(other); err == nil {
+		t.Error("merge across budgets should error")
+	}
+	if err := p1.Merge(nil); err == nil {
+		t.Error("merge with nil should error")
+	}
+}
+
+func TestSnapshotIsImmutable(t *testing.T) {
+	s := testSchema(t)
+	p, err := New(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			rep, err := p.Randomize(sampleTuple(s, r), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Add(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(100)
+	res := p.Snapshot()
+	n0 := res.N()
+	m0, _ := res.Mean("age")
+	add(400)
+	if res.N() != n0 {
+		t.Error("snapshot N changed after later Adds")
+	}
+	if m1, _ := res.Mean("age"); m1 != m0 {
+		t.Error("snapshot mean changed after later Adds")
+	}
+}

@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
+)
+
+// TestPipelineConcurrentIngest hammers Add, N, Snapshot, and Merge from
+// many goroutines at once. Run it under -race (the CI race job does) to
+// verify the sharded aggregator's locking discipline; under the plain
+// runner it still checks that no report is lost or double-counted.
+func TestPipelineConcurrentIngest(t *testing.T) {
+	s := testSchema(t)
+	newP := func() *Pipeline {
+		p, err := New(s, 1, WithShards(4), WithRange(rangequery.Config{Buckets: 32, GridCells: 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p := newP()
+
+	const (
+		writers   = 8
+		perWriter = 400
+		mergers   = 2
+		perMerger = 100
+		snapshots = 200
+	)
+
+	// Pre-randomize reports so the workers exercise only the aggregation
+	// side.
+	makeReports := func(seed uint64, n int) []Report {
+		reps := make([]Report, n)
+		for i := range reps {
+			r := rng.NewStream(seed, uint64(i))
+			rep, err := p.Randomize(sampleTuple(s, r), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps[i] = rep
+		}
+		return reps
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for _, rep := range makeReports(seed, perWriter) {
+				if err := p.Add(rep); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint64(100 + w))
+	}
+	for m := 0; m < mergers; m++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			other := newP()
+			for _, rep := range makeReports(seed, perMerger) {
+				if err := other.Add(rep); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := p.Merge(other); err != nil {
+				t.Error(err)
+			}
+		}(uint64(200 + m))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < snapshots; i++ {
+			res := p.Snapshot()
+			if _, err := res.Mean("age"); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := res.Freq("gender"); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = p.N()
+		}
+	}()
+	wg.Wait()
+
+	want := int64(writers*perWriter + mergers*perMerger)
+	if got := p.N(); got != want {
+		t.Fatalf("after concurrent ingest N = %d, want %d", got, want)
+	}
+	if got := p.Snapshot().N(); got != want {
+		t.Fatalf("after concurrent ingest snapshot N = %d, want %d", got, want)
+	}
+}
+
+// TestPipelineConcurrentCrossMerge checks the copy-then-apply merge
+// protocol: two pipelines merging into each other concurrently must not
+// deadlock.
+func TestPipelineConcurrentCrossMerge(t *testing.T) {
+	s := testSchema(t)
+	build := func() *Pipeline {
+		p, err := New(s, 1, WithShards(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(17)
+		for i := 0; i < 50; i++ {
+			rep, err := p.Randomize(sampleTuple(s, r), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Add(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p
+	}
+	a, b := build(), build()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); _ = a.Merge(b) }()
+		go func() { defer wg.Done(); _ = b.Merge(a) }()
+	}
+	wg.Wait()
+}

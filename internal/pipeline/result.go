@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"ldp/internal/freq"
+	"ldp/internal/rangequery"
+	"ldp/internal/schema"
+)
+
+// RangeQuery describes a range query against a Result. Attr alone selects
+// a 1-D query over [Lo, Hi]; setting Attr2 as well selects the conjunctive
+// 2-D query Attr in [Lo, Hi] AND Attr2 in [Lo2, Hi2].
+type RangeQuery struct {
+	Attr     string
+	Lo, Hi   float64
+	Attr2    string
+	Lo2, Hi2 float64
+}
+
+// Result is an immutable point-in-time view of a Pipeline's aggregate
+// state, produced by Pipeline.Snapshot. It answers every query kind the
+// pipeline collects: Mean for numeric attributes, Freq for categorical
+// attributes, and Range for 1-D/2-D range queries. Methods are safe for
+// concurrent use.
+type Result struct {
+	sch *schema.Schema
+
+	nMean, nFreq, nJoint, nRange int64
+
+	meanSum  []float64
+	jointSum []float64
+	freqEst  []*freq.Estimator
+	jointEst []*freq.Estimator
+	rangeAgg *rangequery.Aggregator
+}
+
+// N returns the total number of reports in the snapshot.
+func (r *Result) N() int64 { return r.nMean + r.nFreq + r.nJoint + r.nRange }
+
+// NTask returns the number of reports of one task kind in the snapshot.
+func (r *Result) NTask(kind TaskKind) int64 {
+	switch kind {
+	case TaskMean:
+		return r.nMean
+	case TaskFreq:
+		return r.nFreq
+	case TaskJoint:
+		return r.nJoint
+	case TaskRange:
+		return r.nRange
+	default:
+		return 0
+	}
+}
+
+// Schema returns the snapshot's schema.
+func (r *Result) Schema() *schema.Schema { return r.sch }
+
+// attrIndex resolves an attribute name.
+func (r *Result) attrIndex(name string) (int, error) {
+	for i, a := range r.sch.Attrs {
+		if a.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("pipeline: unknown attribute %q", name)
+}
+
+// Mean estimates the mean of the named numeric attribute. Reports from
+// the mean task and legacy joint reports are both unbiased per-report
+// contributions to the attribute sum, so the combined estimator divides
+// the pooled sum by the pooled report count.
+func (r *Result) Mean(attr string) (float64, error) {
+	i, err := r.attrIndex(attr)
+	if err != nil {
+		return 0, err
+	}
+	if r.sch.Attrs[i].Kind != schema.Numeric {
+		return 0, fmt.Errorf("pipeline: attribute %q is not numeric", attr)
+	}
+	n := r.nMean + r.nJoint
+	if n == 0 {
+		return 0, nil
+	}
+	return (r.meanSum[i] + r.jointSum[i]) / float64(n), nil
+}
+
+// Means returns the estimated mean of every numeric attribute, keyed by
+// attribute name.
+func (r *Result) Means() map[string]float64 {
+	out := make(map[string]float64)
+	for _, a := range r.sch.Attrs {
+		if a.Kind != schema.Numeric {
+			continue
+		}
+		m, _ := r.Mean(a.Name)
+		out[a.Name] = m
+	}
+	return out
+}
+
+// Freq estimates the frequency of every value of the named categorical
+// attribute. Freq-task reports and legacy joint reports run their oracles
+// at different budgets, so each stream is debiased with its own estimator
+// and the two estimates are combined weighted by per-attribute reporter
+// counts.
+func (r *Result) Freq(attr string) ([]float64, error) {
+	i, err := r.attrIndex(attr)
+	if err != nil {
+		return nil, err
+	}
+	a := r.sch.Attrs[i]
+	if a.Kind != schema.Categorical {
+		return nil, fmt.Errorf("pipeline: attribute %q is not categorical", attr)
+	}
+	var fEst, jEst *freq.Estimator
+	if r.freqEst != nil {
+		fEst = r.freqEst[i]
+	}
+	if r.jointEst != nil {
+		jEst = r.jointEst[i]
+	}
+	var nF, nJ int64
+	if fEst != nil {
+		nF = fEst.N()
+	}
+	if jEst != nil {
+		nJ = jEst.N()
+	}
+	out := make([]float64, a.Cardinality)
+	if nF+nJ == 0 {
+		return out, nil
+	}
+	wF := float64(nF) / float64(nF+nJ)
+	wJ := float64(nJ) / float64(nF+nJ)
+	if nF > 0 {
+		for v, f := range fEst.Estimates() {
+			out[v] += wF * f
+		}
+	}
+	if nJ > 0 {
+		for v, f := range jEst.Estimates() {
+			out[v] += wJ * f
+		}
+	}
+	return out, nil
+}
+
+// Range answers a 1-D or 2-D range query (see RangeQuery). It errors when
+// the pipeline was built without WithRange.
+func (r *Result) Range(q RangeQuery) (float64, error) {
+	if r.rangeAgg == nil {
+		return 0, fmt.Errorf("pipeline: range queries need a pipeline built with WithRange")
+	}
+	i, err := r.attrIndex(q.Attr)
+	if err != nil {
+		return 0, err
+	}
+	if q.Attr2 == "" {
+		return r.rangeAgg.Range1D(i, q.Lo, q.Hi)
+	}
+	j, err := r.attrIndex(q.Attr2)
+	if err != nil {
+		return 0, err
+	}
+	return r.rangeAgg.Range2D(i, j, q.Lo, q.Hi, q.Lo2, q.Hi2)
+}
+
+// RangeAggregator exposes the snapshot's merged range aggregator (nil when
+// the range task is absent), for callers that need the lower-level
+// estimator surface.
+func (r *Result) RangeAggregator() *rangequery.Aggregator { return r.rangeAgg }

@@ -24,6 +24,7 @@ type GridCollector struct {
 	eps    float64
 	cells  int // per-axis resolution g
 	oracle freq.Oracle
+	bits   bool // whether the oracle responses carry bitsets
 }
 
 // NewGridCollector builds a g x g grid collector. factory chooses the
@@ -42,7 +43,7 @@ func NewGridCollector(eps float64, cells int, factory freq.Factory) (*GridCollec
 	if err != nil {
 		return nil, err
 	}
-	return &GridCollector{eps: eps, cells: cells, oracle: o}, nil
+	return &GridCollector{eps: eps, cells: cells, oracle: o, bits: freq.UsesBitset(o)}, nil
 }
 
 // Epsilon returns the privacy budget.
@@ -78,11 +79,16 @@ func NewGridEstimator(c *GridCollector) *GridEstimator {
 	return &GridEstimator{col: c, inner: freq.NewEstimator(c.oracle)}
 }
 
-// Add folds one response in. It rejects responses whose bitset does not
-// match the g^2 cell domain (decoded frames are attacker-controlled).
+// Check validates a response against the g^2 cell domain without mutating
+// any state (decoded frames are attacker-controlled).
+func (e *GridEstimator) Check(resp freq.Response) error {
+	return checkResponse(resp, e.col.cells*e.col.cells, e.col.bits)
+}
+
+// Add folds one response in, rejecting responses whose shape does not
+// match the oracle.
 func (e *GridEstimator) Add(resp freq.Response) error {
-	k := e.col.cells * e.col.cells
-	if err := checkResponse(resp, k); err != nil {
+	if err := e.Check(resp); err != nil {
 		return err
 	}
 	e.inner.Add(resp)

@@ -77,6 +77,7 @@ type HierCollector struct {
 	buckets int
 	depths  int           // log2(buckets)
 	oracles []freq.Oracle // oracles[l-1] serves depth l over 2^l nodes
+	bits    bool          // whether the oracle responses carry bitsets
 }
 
 // NewHierCollector builds the interval oracle over a power-of-two bucket
@@ -102,7 +103,13 @@ func NewHierCollector(eps float64, buckets int, factory freq.Factory) (*HierColl
 		}
 		oracles[l-1] = o
 	}
-	return &HierCollector{eps: eps, buckets: buckets, depths: depths, oracles: oracles}, nil
+	return &HierCollector{
+		eps:     eps,
+		buckets: buckets,
+		depths:  depths,
+		oracles: oracles,
+		bits:    freq.UsesBitset(oracles[0]),
+	}, nil
 }
 
 // Epsilon returns the privacy budget.
@@ -148,12 +155,18 @@ func NewHierEstimator(c *HierCollector) *HierEstimator {
 	return &HierEstimator{col: c, levels: levels}
 }
 
-// Add folds one report in.
-func (e *HierEstimator) Add(rep HierReport) error {
+// Check validates a report against the collector configuration without
+// mutating any state.
+func (e *HierEstimator) Check(rep HierReport) error {
 	if rep.Depth < 1 || rep.Depth > e.col.depths {
 		return fmt.Errorf("rangequery: report depth %d outside [1,%d]", rep.Depth, e.col.depths)
 	}
-	if err := checkResponse(rep.Resp, 1<<rep.Depth); err != nil {
+	return checkResponse(rep.Resp, 1<<rep.Depth, e.col.bits)
+}
+
+// Add folds one report in.
+func (e *HierEstimator) Add(rep HierReport) error {
+	if err := e.Check(rep); err != nil {
 		return err
 	}
 	e.levels[rep.Depth-1].Add(rep.Resp)
@@ -161,13 +174,27 @@ func (e *HierEstimator) Add(rep HierReport) error {
 }
 
 // checkResponse guards the estimators against responses whose shape does
-// not match the oracle domain — decoded network frames are attacker-
-// controlled, and an undersized bitset would otherwise panic deep inside
-// freq.Estimator.Add.
-func checkResponse(resp freq.Response, cardinality int) error {
-	if resp.Bits != nil && len(resp.Bits) != len(freq.NewBitset(cardinality)) {
-		return fmt.Errorf("rangequery: response bitset has %d words, oracle domain %d needs %d",
-			len(resp.Bits), cardinality, len(freq.NewBitset(cardinality)))
+// not match the oracle — decoded network frames are attacker-controlled:
+// an undersized bitset would panic deep inside freq.Estimator.Add, a
+// bitset folded into a value-type (GRR) estimator would poison every
+// domain value from one report, and an out-of-range value would silently
+// skew the reporter count.
+func checkResponse(resp freq.Response, cardinality int, wantBits bool) error {
+	if wantBits {
+		if resp.Bits == nil {
+			return fmt.Errorf("rangequery: response is missing the oracle's bitset")
+		}
+		if len(resp.Bits) != freq.BitsetWords(cardinality) {
+			return fmt.Errorf("rangequery: response bitset has %d words, oracle domain %d needs %d",
+				len(resp.Bits), cardinality, freq.BitsetWords(cardinality))
+		}
+		return nil
+	}
+	if resp.Bits != nil {
+		return fmt.Errorf("rangequery: unexpected bitset for a value-type oracle")
+	}
+	if resp.Value < 0 || resp.Value >= cardinality {
+		return fmt.Errorf("rangequery: response value %d outside [0,%d)", resp.Value, cardinality)
 	}
 	return nil
 }

@@ -203,19 +203,19 @@ func (a *Aggregator) Collector() *Collector { return a.col }
 // Schema returns the source schema.
 func (a *Aggregator) Schema() *schema.Schema { return a.col.disc.src }
 
-// Add folds one report into the aggregate state.
-func (a *Aggregator) Add(rep Report) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+// Validate checks a report against the aggregator's configuration without
+// mutating any state. It reads only configuration that is immutable after
+// construction, so it needs no lock and is safe to call concurrently with
+// Add (batch ingest uses it to validate a whole batch before folding any
+// of it in).
+func (a *Aggregator) Validate(rep Report) error {
 	switch rep.Kind {
 	case KindHier:
 		est, ok := a.hier[rep.Attr]
 		if !ok {
 			return fmt.Errorf("rangequery: report for non-numeric or out-of-range attribute %d", rep.Attr)
 		}
-		if err := est.Add(HierReport{Depth: rep.Depth, Resp: rep.Resp}); err != nil {
-			return err
-		}
+		return est.Check(HierReport{Depth: rep.Depth, Resp: rep.Resp})
 	case KindGrid:
 		if a.grids == nil {
 			return fmt.Errorf("rangequery: grid report but grids are disabled")
@@ -223,11 +223,28 @@ func (a *Aggregator) Add(rep Report) error {
 		if rep.Pair < 0 || rep.Pair >= len(a.grids) {
 			return fmt.Errorf("rangequery: report pair %d out of range [0,%d)", rep.Pair, len(a.grids))
 		}
+		return a.grids[rep.Pair].Check(rep.Resp)
+	default:
+		return fmt.Errorf("rangequery: unknown report kind %d", rep.Kind)
+	}
+}
+
+// Add folds one report into the aggregate state.
+func (a *Aggregator) Add(rep Report) error {
+	if err := a.Validate(rep); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch rep.Kind {
+	case KindHier:
+		if err := a.hier[rep.Attr].Add(HierReport{Depth: rep.Depth, Resp: rep.Resp}); err != nil {
+			return err
+		}
+	case KindGrid:
 		if err := a.grids[rep.Pair].Add(rep.Resp); err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("rangequery: unknown report kind %d", rep.Kind)
 	}
 	a.n++
 	return nil

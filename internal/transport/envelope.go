@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ldp/internal/pipeline"
+)
+
+// The unified envelope (version 2) multiplexes every task's payload
+// through one frame format:
+//
+//	magic(4)="LDPR" version(1)=2 payloadLen(u32) payload crc32(u32)
+//	payload = taskTag(1) taskBody
+//
+// Task bodies reuse the v1 payload encodings: mean/freq/joint bodies are
+// entry lists (see appendEntries), range bodies are range-report payloads
+// (see appendRangeReport). The decoder rejects unknown versions and task
+// tags, and still accepts both legacy v1 formats — a v1 "LDPR" frame
+// decodes as a TaskJoint report and a v1 "LDPQ" frame as a TaskRange
+// report — so report logs and in-flight clients survive the migration.
+const (
+	wireEnvelopeVersion = 2
+
+	envTaskMean  = 1
+	envTaskFreq  = 2
+	envTaskRange = 3
+	envTaskJoint = 4
+)
+
+// EncodeEnvelope serializes a unified report into the versioned,
+// task-multiplexed wire envelope.
+func EncodeEnvelope(rep pipeline.Report) ([]byte, error) {
+	var payload []byte
+	switch rep.Task {
+	case pipeline.TaskMean:
+		payload = appendEntries([]byte{envTaskMean}, rep.Entries)
+	case pipeline.TaskFreq:
+		payload = appendEntries([]byte{envTaskFreq}, rep.Entries)
+	case pipeline.TaskJoint:
+		payload = appendEntries([]byte{envTaskJoint}, rep.Entries)
+	case pipeline.TaskRange:
+		payload = appendRangeReport([]byte{envTaskRange}, rep.Range)
+	default:
+		return nil, fmt.Errorf("transport: cannot encode task %v", rep.Task)
+	}
+	return encodeFrame(wireMagic, wireEnvelopeVersion, payload), nil
+}
+
+// DecodeEnvelope parses any report frame the system has ever produced into
+// a unified report: v2 envelopes, legacy v1 report frames (as TaskJoint),
+// and legacy v1 range frames (as TaskRange). Unknown magics, versions, and
+// task tags are errors; malformed frames never panic.
+func DecodeEnvelope(frame []byte) (pipeline.Report, error) {
+	magic, version, payload, err := parseFrame(frame)
+	if err != nil {
+		return pipeline.Report{}, err
+	}
+	switch {
+	case magic == wireMagic && version == wireEnvelopeVersion:
+		if len(payload) < 1 {
+			return pipeline.Report{}, ErrTruncated
+		}
+		tag, body := payload[0], payload[1:]
+		switch tag {
+		case envTaskMean, envTaskFreq, envTaskJoint:
+			entries, err := decodeEntries(body)
+			if err != nil {
+				return pipeline.Report{}, err
+			}
+			task := pipeline.TaskMean
+			switch tag {
+			case envTaskFreq:
+				task = pipeline.TaskFreq
+			case envTaskJoint:
+				task = pipeline.TaskJoint
+			}
+			return pipeline.Report{Task: task, Entries: entries}, nil
+		case envTaskRange:
+			rr, err := decodeRangeReport(body)
+			if err != nil {
+				return pipeline.Report{}, err
+			}
+			return pipeline.Report{Task: pipeline.TaskRange, Range: rr}, nil
+		default:
+			return pipeline.Report{}, fmt.Errorf("transport: unknown envelope task tag %d", tag)
+		}
+	case magic == wireMagic && version == wireVersion:
+		entries, err := decodeEntries(payload)
+		if err != nil {
+			return pipeline.Report{}, err
+		}
+		return pipeline.Report{Task: pipeline.TaskJoint, Entries: entries}, nil
+	case magic == wireRangeMagic && version == wireRangeVersion:
+		rr, err := decodeRangeReport(payload)
+		if err != nil {
+			return pipeline.Report{}, err
+		}
+		return pipeline.Report{Task: pipeline.TaskRange, Range: rr}, nil
+	case magic == wireMagic || magic == wireRangeMagic:
+		return pipeline.Report{}, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	default:
+		return pipeline.Report{}, ErrBadMagic
+	}
+}
+
+// FrameLen returns the total length of the frame starting at buf[0], from
+// the envelope header alone. It errors when fewer than the 13 framing
+// bytes are present or the header implies an oversized frame.
+func FrameLen(buf []byte) (int, error) {
+	if len(buf) < 13 {
+		return 0, ErrTruncated
+	}
+	total := 13 + int(binary.LittleEndian.Uint32(buf[5:9]))
+	if total > MaxFrameSize {
+		return 0, fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
+	}
+	return total, nil
+}
+
+// SplitFrames slices a buffer of concatenated report frames (the batch
+// upload body) into individual frames without copying. An empty buffer
+// yields no frames; a trailing partial frame is an error.
+func SplitFrames(buf []byte) ([][]byte, error) {
+	var frames [][]byte
+	for len(buf) > 0 {
+		n, err := FrameLen(buf)
+		if err != nil {
+			return nil, err
+		}
+		if n > len(buf) {
+			return nil, ErrTruncated
+		}
+		frames = append(frames, buf[:n])
+		buf = buf[n:]
+	}
+	return frames, nil
+}
+
+// ReplayPipeline rebuilds pipeline state from persisted frames (any
+// format DecodeEnvelope accepts), e.g. at server startup with
+// reportlog.Replay.
+func ReplayPipeline(p *pipeline.Pipeline, frames func(fn func(payload []byte) error) error) (int, error) {
+	n := 0
+	err := frames(func(payload []byte) error {
+		rep, err := DecodeEnvelope(payload)
+		if err != nil {
+			return fmt.Errorf("transport: replay frame %d: %w", n, err)
+		}
+		if err := p.Add(rep); err != nil {
+			return fmt.Errorf("transport: replay frame %d: %w", n, err)
+		}
+		n++
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,418 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ldp/internal/core"
+	"ldp/internal/pipeline"
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+func pipelineSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	s, err := schema.New(
+		schema.Attribute{Name: "age", Kind: schema.Numeric},
+		schema.Attribute{Name: "income", Kind: schema.Numeric},
+		schema.Attribute{Name: "gender", Kind: schema.Categorical, Cardinality: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newTestPipeline(t testing.TB) *pipeline.Pipeline {
+	t.Helper()
+	p, err := pipeline.New(pipelineSchema(t), 2,
+		pipeline.WithShards(2),
+		pipeline.WithRange(rangequery.Config{Buckets: 32, GridCells: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func randomTuple(s *schema.Schema, r *rng.Rand) schema.Tuple {
+	tup := schema.NewTuple(s)
+	tup.Num[0] = rng.Uniform(r, -1, 1)
+	tup.Num[1] = rng.Uniform(r, -1, 1)
+	tup.Cat[2] = r.IntN(2)
+	return tup
+}
+
+// sampleReports randomizes until every task kind has appeared at least
+// once, returning the collected reports.
+func samplePipelineReports(t *testing.T, p *pipeline.Pipeline, seed uint64) []pipeline.Report {
+	t.Helper()
+	s := p.Schema()
+	seen := map[pipeline.TaskKind]bool{}
+	var reps []pipeline.Report
+	r := rng.New(seed)
+	for i := 0; i < 10_000 && (len(seen) < 3 || len(reps) < 20); i++ {
+		rep, err := p.Randomize(randomTuple(s, r), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[rep.Task] = true
+		reps = append(reps, rep)
+	}
+	for _, k := range []pipeline.TaskKind{pipeline.TaskMean, pipeline.TaskFreq, pipeline.TaskRange} {
+		if !seen[k] {
+			t.Fatalf("no %v report sampled", k)
+		}
+	}
+	return reps
+}
+
+func pipelineReportsEqual(a, b pipeline.Report) bool {
+	if a.Task != b.Task || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		x, y := a.Entries[i], b.Entries[i]
+		if x.Attr != y.Attr || x.Kind != y.Kind || x.Value != y.Value ||
+			x.Resp.Value != y.Resp.Value || !bytes.Equal(bitsBytes(x.Resp.Bits), bitsBytes(y.Resp.Bits)) {
+			return false
+		}
+	}
+	ra, rb := a.Range, b.Range
+	return ra.Kind == rb.Kind && ra.Attr == rb.Attr && ra.Depth == rb.Depth && ra.Pair == rb.Pair &&
+		ra.Resp.Value == rb.Resp.Value && bytes.Equal(bitsBytes(ra.Resp.Bits), bitsBytes(rb.Resp.Bits))
+}
+
+func bitsBytes(bits []uint64) []byte {
+	out := make([]byte, 0, 8*len(bits))
+	for _, w := range bits {
+		for s := 0; s < 64; s += 8 {
+			out = append(out, byte(w>>s))
+		}
+	}
+	return out
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	p := newTestPipeline(t)
+	for _, rep := range samplePipelineReports(t, p, 1) {
+		frame, err := EncodeEnvelope(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeEnvelope(frame)
+		if err != nil {
+			t.Fatalf("%v report: %v", rep.Task, err)
+		}
+		if !pipelineReportsEqual(rep, got) {
+			t.Fatalf("%v report changed across the wire", rep.Task)
+		}
+	}
+
+	// Joint reports (legacy payloads re-wrapped) also round-trip.
+	joint := pipeline.Report{Task: pipeline.TaskJoint, Entries: samplePipelineReports(t, p, 2)[0].Entries}
+	if joint.Entries == nil {
+		t.Skip("first sampled report was a range report")
+	}
+	frame, err := EncodeEnvelope(joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != pipeline.TaskJoint {
+		t.Fatalf("joint report decoded as %v", got.Task)
+	}
+}
+
+func TestEnvelopeLegacyDecode(t *testing.T) {
+	// A legacy v1 report frame decodes as a joint report.
+	s := pipelineSchema(t)
+	col, err := core.NewCollector(s, 2, pmFactory, oueFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	rep, err := col.Perturb(randomTuple(s, r), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(EncodeReport(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != pipeline.TaskJoint || len(got.Entries) != len(rep.Entries) {
+		t.Fatalf("legacy report frame decoded as %v with %d entries", got.Task, len(got.Entries))
+	}
+
+	// A legacy v1 range frame decodes as a range report.
+	rcol, err := rangequery.NewCollector(s, 1, rangequery.Config{Buckets: 32, GridCells: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrep, err := rcol.Perturb(randomTuple(s, r), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rgot, err := DecodeEnvelope(EncodeRangeReport(rrep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rgot.Task != pipeline.TaskRange || rgot.Range.Kind != rrep.Kind {
+		t.Fatalf("legacy range frame decoded as %v", rgot.Task)
+	}
+}
+
+func TestEnvelopeRejectsMalformed(t *testing.T) {
+	p := newTestPipeline(t)
+	rep := samplePipelineReports(t, p, 4)[0]
+	frame, err := EncodeEnvelope(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeEnvelope(frame[:7]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: got %v", err)
+	}
+	bad := append([]byte("XXXX"), frame[4:]...)
+	if _, err := DecodeEnvelope(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: got %v", err)
+	}
+	ver := bytes.Clone(frame)
+	ver[4] = 99
+	if _, err := DecodeEnvelope(ver); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("unknown version: got %v", err)
+	}
+	flip := bytes.Clone(frame)
+	flip[10] ^= 0xff
+	if _, err := DecodeEnvelope(flip); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupt payload: got %v", err)
+	}
+	// Unknown task tag: rebuild a valid frame whose payload starts with 99.
+	tag := encodeFrame(wireMagic, wireEnvelopeVersion, []byte{99, 0})
+	if _, err := DecodeEnvelope(tag); err == nil {
+		t.Error("unknown task tag accepted")
+	}
+	if _, err := EncodeEnvelope(pipeline.Report{Task: pipeline.TaskKind(42)}); err == nil {
+		t.Error("unknown task kind encoded")
+	}
+}
+
+func TestSplitFrames(t *testing.T) {
+	p := newTestPipeline(t)
+	reps := samplePipelineReports(t, p, 5)[:3]
+	var body []byte
+	var frames [][]byte
+	for _, rep := range reps {
+		f, err := EncodeEnvelope(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+		body = append(body, f...)
+	}
+	got, err := SplitFrames(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("split %d frames, want %d", len(got), len(frames))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatalf("frame %d differs after split", i)
+		}
+	}
+	if _, err := SplitFrames(body[:len(body)-3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("partial trailing frame: got %v", err)
+	}
+	if got, err := SplitFrames(nil); err != nil || len(got) != 0 {
+		t.Errorf("empty buffer: got %d frames, %v", len(got), err)
+	}
+}
+
+func TestPipelineServerEndToEnd(t *testing.T) {
+	p := newTestPipeline(t)
+	srv := httptest.NewServer(NewPipelineServer(p, nil))
+	defer srv.Close()
+
+	client := NewPipelineClient(srv.URL, p, WithHTTPClient(srv.Client()))
+	ctx := context.Background()
+	s := p.Schema()
+	r := rng.New(9)
+
+	// Batched and single submissions both land.
+	batch := make([]schema.Tuple, 50)
+	for i := range batch {
+		batch[i] = randomTuple(s, r)
+	}
+	if err := client.SendBatch(ctx, batch, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(ctx, randomTuple(s, r), r); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.N(); got != 51 {
+		t.Fatalf("server ingested %d reports, want 51", got)
+	}
+
+	// Legacy v1 clients keep working against the unified route.
+	col, err := core.NewCollector(s, 2, pmFactory, oueFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := NewClient(srv.URL, col, srv.Client())
+	if err := legacy.SendTuple(randomTuple(s, r), r); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.N(); got != 52 {
+		t.Fatalf("after legacy submit N = %d, want 52", got)
+	}
+
+	// The query route answers every kind.
+	for _, path := range []string{
+		"/v1/query?kind=stats",
+		"/v1/query?kind=mean",
+		"/v1/query?kind=mean&attr=age",
+		"/v1/query?kind=freq&attr=gender",
+		"/v1/query?kind=range&attr=age&lo=-0.5&hi=0.5",
+		"/v1/query?kind=range&attr=age&lo=-0.5&hi=0.5&attr2=income&lo2=0&hi2=1",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s -> %s", path, resp.Status)
+		}
+		resp.Body.Close()
+	}
+	for _, path := range []string{
+		"/v1/query?kind=nope",
+		"/v1/query?kind=mean&attr=gender",
+		"/v1/query?kind=freq",
+		"/v1/query?kind=range&attr=missing&lo=0&hi=1",
+		"/v1/query?kind=range&attr=age&lo=zero&hi=1",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s unexpectedly succeeded", path)
+		}
+		resp.Body.Close()
+	}
+
+	// A malformed frame rejects the whole batch atomically.
+	before := p.N()
+	good, err := EncodeEnvelope(mustRandomize(t, p, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append(bytes.Clone(good), good...)
+	bad[len(bad)-1] ^= 0xff
+	resp, err := srv.Client().Post(srv.URL+"/v1/report", "application/octet-stream", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt batch -> %s, want 400", resp.Status)
+	}
+	if p.N() != before {
+		t.Error("corrupt batch partially ingested")
+	}
+
+	// Semantically invalid frames (well-formed encoding, wrong for this
+	// pipeline) also reject the batch before anything is folded in: a
+	// range report against a server whose pipeline has no range task.
+	noRange, err := pipeline.New(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(NewPipelineServer(noRange, nil))
+	defer srv2.Close()
+	var rangeRep pipeline.Report
+	for _, rep := range samplePipelineReports(t, p, 11) {
+		if rep.Task == pipeline.TaskRange {
+			rangeRep = rep
+			break
+		}
+	}
+	meanFrame, err := EncodeEnvelope(mustRandomize(t, noRange, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rangeFrame, err := EncodeEnvelope(rangeRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := append(bytes.Clone(meanFrame), rangeFrame...)
+	resp, err = srv2.Client().Post(srv2.URL+"/v1/report", "application/octet-stream", bytes.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("semantically invalid batch -> %s, want 400", resp.Status)
+	}
+	if noRange.N() != 0 {
+		t.Errorf("semantically invalid batch partially ingested: N = %d", noRange.N())
+	}
+}
+
+func mustRandomize(t *testing.T, p *pipeline.Pipeline, r *rng.Rand) pipeline.Report {
+	t.Helper()
+	rep, err := p.Randomize(randomTuple(p.Schema(), r), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestReplayPipeline(t *testing.T) {
+	p := newTestPipeline(t)
+	r := rng.New(21)
+	var frames [][]byte
+	for i := 0; i < 200; i++ {
+		rep := mustRandomize(t, p, r)
+		if err := p.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+		frame, err := EncodeEnvelope(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frame)
+	}
+
+	fresh := newTestPipeline(t)
+	n, err := ReplayPipeline(fresh, func(fn func([]byte) error) error {
+		for _, f := range frames {
+			if err := fn(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frames) {
+		t.Fatalf("replayed %d frames, want %d", n, len(frames))
+	}
+	a, b := p.Snapshot(), fresh.Snapshot()
+	ma, _ := a.Mean("age")
+	mb, _ := b.Mean("age")
+	if ma != mb {
+		t.Errorf("replayed mean %v != original %v", mb, ma)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"ldp/internal/core"
 	"ldp/internal/freq"
+	"ldp/internal/pipeline"
 	"ldp/internal/rangequery"
 	"ldp/internal/rng"
 	"ldp/internal/schema"
@@ -61,6 +62,95 @@ func FuzzDecodeReport(f *testing.F) {
 		}
 		if len(again.Entries) != len(rep.Entries) {
 			t.Fatalf("round trip changed entry count: %d != %d", len(again.Entries), len(rep.Entries))
+		}
+	})
+}
+
+// FuzzDecodeEnvelope drives the unified decoder with every frame family
+// it accepts — v2 envelopes of all task tags plus both legacy v1 formats —
+// and with mutations of them. Malformed version bytes, task tags, and
+// payloads must come back as errors, never panics; whatever decodes must
+// survive an encode/decode round trip with its task tag intact.
+func FuzzDecodeEnvelope(f *testing.F) {
+	s, err := schema.New(
+		schema.Attribute{Name: "x", Kind: schema.Numeric},
+		schema.Attribute{Name: "y", Kind: schema.Numeric},
+		schema.Attribute{Name: "c", Kind: schema.Categorical, Cardinality: 70},
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := pipeline.New(s, 2, pipeline.WithRange(rangequery.Config{Buckets: 32, GridCells: 4}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := rng.New(7)
+	for i := 0; i < 24; i++ {
+		tup := schema.NewTuple(s)
+		tup.Num[0] = rng.Uniform(r, -1, 1)
+		tup.Num[1] = rng.Uniform(r, -1, 1)
+		tup.Cat[2] = r.IntN(70)
+		rep, err := p.Randomize(tup, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		frame, err := EncodeEnvelope(rep)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	// Legacy v1 seeds: the envelope decoder accepts both formats.
+	col, err := core.NewCollector(s, 8, pmFactory,
+		func(e float64, k int) (freq.Oracle, error) { return freq.NewOUE(e, k) })
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tup := schema.NewTuple(s)
+		tup.Num[0] = rng.Uniform(r, -1, 1)
+		tup.Cat[2] = r.IntN(70)
+		rep, err := col.Perturb(tup, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(EncodeReport(rep))
+	}
+	rcol, err := rangequery.NewCollector(s, 1, rangequery.Config{Buckets: 32, GridCells: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tup := schema.NewTuple(s)
+		tup.Num[0] = rng.Uniform(r, -1, 1)
+		tup.Num[1] = rng.Uniform(r, -1, 1)
+		rep, err := rcol.Perturb(tup, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(EncodeRangeReport(rep))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("LDPR"))
+	f.Add([]byte("LDPR\x02\x00\x00\x00\x00"))
+	f.Add([]byte("LDPQ\x01\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		rep, err := DecodeEnvelope(frame)
+		if err != nil {
+			return
+		}
+		again, err := EncodeEnvelope(rep)
+		if err != nil {
+			t.Fatalf("re-encode of valid report failed: %v", err)
+		}
+		rep2, err := DecodeEnvelope(again)
+		if err != nil {
+			t.Fatalf("re-decode of valid report failed: %v", err)
+		}
+		if rep2.Task != rep.Task || len(rep2.Entries) != len(rep.Entries) {
+			t.Fatalf("round trip changed report: task %v != %v, entries %d != %d",
+				rep2.Task, rep.Task, len(rep2.Entries), len(rep.Entries))
 		}
 	})
 }

@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ldp/internal/pipeline"
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+// ClientOption configures the HTTP behavior of the transport clients.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	http    *http.Client
+	timeout time.Duration
+}
+
+// WithHTTPClient uses the given http.Client instead of
+// http.DefaultClient (connection pools, proxies, TLS configuration).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *clientConfig) { c.http = h }
+}
+
+// WithTimeout bounds each request (including reading the response). It
+// layers on top of WithHTTPClient by shallow-copying the client with the
+// timeout set.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.timeout = d }
+}
+
+// ResolveClientOptions folds options into a concrete *http.Client (the
+// facade uses it to thread options through the legacy client
+// constructors).
+func ResolveClientOptions(opts []ClientOption) *http.Client {
+	var cfg clientConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	h := cfg.http
+	if h == nil {
+		h = http.DefaultClient
+	}
+	if cfg.timeout > 0 {
+		clone := *h
+		clone.Timeout = cfg.timeout
+		h = &clone
+	}
+	return h
+}
+
+// PipelineClient runs on the user's side of the unified pipeline: it
+// randomizes tuples locally (the true tuple never leaves the process) and
+// submits only versioned envelope frames to the aggregator's /v1/report
+// route, singly or in batches. It is safe for concurrent use with
+// per-goroutine PRNGs.
+type PipelineClient struct {
+	baseURL string
+	p       *pipeline.Pipeline
+	http    *http.Client
+}
+
+// NewPipelineClient builds a client for the aggregator at baseURL (no
+// trailing slash required), randomizing through the given pipeline.
+func NewPipelineClient(baseURL string, p *pipeline.Pipeline, opts ...ClientOption) *PipelineClient {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &PipelineClient{baseURL: baseURL, p: p, http: ResolveClientOptions(opts)}
+}
+
+// Send randomizes one tuple and posts the resulting frame.
+func (c *PipelineClient) Send(ctx context.Context, t schema.Tuple, r *rng.Rand) error {
+	rep, err := c.p.Randomize(t, r)
+	if err != nil {
+		return fmt.Errorf("transport: randomize: %w", err)
+	}
+	return c.SendReport(ctx, rep)
+}
+
+// SendBatch randomizes a batch of tuples and posts all resulting frames
+// in one request. The server validates the whole batch before folding any
+// of it in, so a rejected batch (400) has ingested nothing and is safe to
+// retry after fixing the cause. (A persistence failure — 500 — can still
+// leave accepted reports unpersisted; see PipelineServer.)
+func (c *PipelineClient) SendBatch(ctx context.Context, tuples []schema.Tuple, r *rng.Rand) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	reps := make([]pipeline.Report, len(tuples))
+	for i, t := range tuples {
+		rep, err := c.p.Randomize(t, r)
+		if err != nil {
+			return fmt.Errorf("transport: randomize tuple %d: %w", i, err)
+		}
+		reps[i] = rep
+	}
+	return c.SendReports(ctx, reps)
+}
+
+// SendReport posts one already-randomized report.
+func (c *PipelineClient) SendReport(ctx context.Context, rep pipeline.Report) error {
+	return c.SendReports(ctx, []pipeline.Report{rep})
+}
+
+// SendReports posts already-randomized reports as one batch.
+func (c *PipelineClient) SendReports(ctx context.Context, reps []pipeline.Report) error {
+	if len(reps) == 0 {
+		return nil
+	}
+	var body []byte
+	for i, rep := range reps {
+		frame, err := EncodeEnvelope(rep)
+		if err != nil {
+			return fmt.Errorf("transport: encode report %d: %w", i, err)
+		}
+		body = append(body, frame...)
+	}
+	if len(body) > MaxBatchSize {
+		return fmt.Errorf("transport: batch of %d bytes exceeds limit %d", len(body), MaxBatchSize)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/report", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("transport: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("transport: post reports: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("transport: aggregator rejected batch: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"ldp/internal/pipeline"
+	"ldp/internal/schema"
+)
+
+// MaxBatchSize bounds the body of one batched report upload (defensive
+// limit; a batch holds many MaxFrameSize-bounded frames).
+const MaxBatchSize = 16 << 20
+
+// PipelineServer is the unified aggregator front end: every task's
+// reports arrive on one route and every query kind is answered on one
+// route.
+//
+//	POST /v1/report   one or more concatenated report frames -> 204
+//	                  (v2 envelopes; legacy v1 report/range frames are
+//	                  accepted for migration)
+//	GET  /v1/query    ?kind=stats
+//	                  ?kind=mean[&attr=name]
+//	                  ?kind=freq&attr=name
+//	                  ?kind=range&attr=name&lo=&hi=[&attr2=&lo2=&hi2=]
+type PipelineServer struct {
+	p   *pipeline.Pipeline
+	mux *http.ServeMux
+
+	mu   sync.Mutex
+	sink Sink
+}
+
+// NewPipelineServer wraps a pipeline (and optional persistence sink,
+// which receives every accepted raw frame) in an HTTP handler.
+func NewPipelineServer(p *pipeline.Pipeline, sink Sink) *PipelineServer {
+	s := &PipelineServer{p: p, sink: sink, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *PipelineServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Pipeline exposes the underlying pipeline (for replay after restart).
+func (s *PipelineServer) Pipeline() *pipeline.Pipeline { return s.p }
+
+func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBatchSize+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > MaxBatchSize {
+		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	frames, err := SplitFrames(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(frames) == 0 {
+		http.Error(w, "empty report body", http.StatusBadRequest)
+		return
+	}
+	// Decode and validate the whole batch before folding any of it in, so
+	// a bad frame rejects the batch atomically (after validation, Add
+	// cannot fail).
+	reps := make([]pipeline.Report, len(frames))
+	for i, frame := range frames {
+		rep, err := DecodeEnvelope(frame)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("frame %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		if err := s.p.Validate(rep); err != nil {
+			http.Error(w, fmt.Sprintf("frame %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		reps[i] = rep
+	}
+	for i, rep := range reps {
+		if err := s.p.Add(rep); err != nil {
+			http.Error(w, fmt.Sprintf("frame %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		if s.sink != nil {
+			s.mu.Lock()
+			err := s.sink.Append(frames[i])
+			s.mu.Unlock()
+			if err != nil {
+				http.Error(w, "persist: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *PipelineServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	switch kind := q.Get("kind"); kind {
+	case "stats":
+		// Stats need only the shard counters, not a full snapshot.
+		counts := s.p.TaskCounts()
+		var n int64
+		tasks := make(map[string]int64, len(counts))
+		for k, c := range counts {
+			n += c
+			tasks[k.String()] = c
+		}
+		writeJSON(w, map[string]any{
+			"n":     n,
+			"dim":   s.p.Schema().Dim(),
+			"tasks": tasks,
+		})
+	case "mean":
+		res := s.p.Snapshot()
+		if name := q.Get("attr"); name != "" {
+			m, err := res.Mean(name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, map[string]any{"attr": name, "mean": m})
+			return
+		}
+		writeJSON(w, res.Means())
+	case "freq":
+		name := q.Get("attr")
+		if name == "" {
+			http.Error(w, "freq queries need attr=", http.StatusBadRequest)
+			return
+		}
+		freqs, err := s.p.Snapshot().Freq(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{"attr": name, "freqs": freqs})
+	case "range":
+		rq, err := parseRangeQuery(q.Get, s.p.Schema())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mass, err := s.p.Snapshot().Range(rq)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{"query": rq, "mass": mass})
+	default:
+		http.Error(w, fmt.Sprintf("unknown query kind %q (want stats, mean, freq, or range)", kind), http.StatusBadRequest)
+	}
+}
+
+// parseRangeQuery builds a RangeQuery from URL parameters, validating
+// attribute names against the schema early for clearer errors.
+func parseRangeQuery(get func(string) string, sch *schema.Schema) (pipeline.RangeQuery, error) {
+	var rq pipeline.RangeQuery
+	rq.Attr = get("attr")
+	if rq.Attr == "" {
+		return rq, fmt.Errorf("range queries need attr=")
+	}
+	if _, err := attrIndex(sch, rq.Attr); err != nil {
+		return rq, err
+	}
+	var err1, err2 error
+	rq.Lo, err1 = strconv.ParseFloat(get("lo"), 64)
+	rq.Hi, err2 = strconv.ParseFloat(get("hi"), 64)
+	if err1 != nil || err2 != nil {
+		return rq, fmt.Errorf("lo and hi must be numbers in [-1,1]")
+	}
+	if rq.Attr2 = get("attr2"); rq.Attr2 != "" {
+		if _, err := attrIndex(sch, rq.Attr2); err != nil {
+			return rq, err
+		}
+		rq.Lo2, err1 = strconv.ParseFloat(get("lo2"), 64)
+		rq.Hi2, err2 = strconv.ParseFloat(get("hi2"), 64)
+		if err1 != nil || err2 != nil {
+			return rq, fmt.Errorf("lo2 and hi2 must be numbers in [-1,1]")
+		}
+	}
+	return rq, nil
+}

@@ -54,28 +54,39 @@ func encodeFrame(magic string, version byte, payload []byte) []byte {
 	return frame
 }
 
-// decodeFrame validates the common envelope (size limit, magic, version,
-// length, checksum) and returns the payload.
-func decodeFrame(magic string, version byte, frame []byte) ([]byte, error) {
+// parseFrame validates the structural envelope shared by every frame type
+// (size limit, length, checksum) and returns the magic, version, and
+// payload. Callers dispatch on (magic, version).
+func parseFrame(frame []byte) (magic string, version byte, payload []byte, err error) {
 	if len(frame) > MaxFrameSize {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+		return "", 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
 	}
 	if len(frame) < 13 {
-		return nil, ErrTruncated
-	}
-	if string(frame[:4]) != magic {
-		return nil, ErrBadMagic
-	}
-	if frame[4] != version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, frame[4])
+		return "", 0, nil, ErrTruncated
 	}
 	plen := binary.LittleEndian.Uint32(frame[5:9])
 	if int(plen) != len(frame)-13 {
-		return nil, ErrTruncated
+		return "", 0, nil, ErrTruncated
 	}
-	payload := frame[9 : 9+plen]
+	payload = frame[9 : 9+plen]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[9+plen:]) {
-		return nil, ErrBadChecksum
+		return "", 0, nil, ErrBadChecksum
+	}
+	return string(frame[:4]), frame[4], payload, nil
+}
+
+// decodeFrame validates the common envelope (size limit, magic, version,
+// length, checksum) and returns the payload.
+func decodeFrame(magic string, version byte, frame []byte) ([]byte, error) {
+	gotMagic, gotVersion, payload, err := parseFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	if gotMagic != magic {
+		return nil, ErrBadMagic
+	}
+	if gotVersion != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, gotVersion)
 	}
 	return payload, nil
 }
@@ -87,9 +98,17 @@ func decodeFrame(magic string, version byte, frame []byte) ([]byte, error) {
 // Payload: entryCount(uvarint) then per entry: attr(uvarint), kind(byte),
 // and the kind-specific body (float64 bits, a bitset, or a value index).
 func EncodeReport(rep core.Report) []byte {
-	payload := make([]byte, 0, 16+16*len(rep.Entries))
-	payload = binary.AppendUvarint(payload, uint64(len(rep.Entries)))
-	for _, e := range rep.Entries {
+	return encodeFrame(wireMagic, wireVersion, appendEntries(nil, rep.Entries))
+}
+
+// appendEntries appends the entry-list payload encoding shared by the v1
+// report frame and the v2 envelope's mean/freq/joint payloads.
+func appendEntries(payload []byte, entries []core.Entry) []byte {
+	if payload == nil {
+		payload = make([]byte, 0, 16+16*len(entries))
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(entries)))
+	for _, e := range entries {
 		payload = binary.AppendUvarint(payload, uint64(e.Attr))
 		switch e.Kind {
 		case core.EntryCategoricalBits:
@@ -106,7 +125,7 @@ func EncodeReport(rep core.Report) []byte {
 			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(e.Value))
 		}
 	}
-	return encodeFrame(wireMagic, wireVersion, payload)
+	return payload
 }
 
 // DecodeReport parses a frame produced by EncodeReport.
@@ -115,7 +134,16 @@ func DecodeReport(frame []byte) (core.Report, error) {
 	if err != nil {
 		return core.Report{}, err
 	}
+	entries, err := decodeEntries(payload)
+	if err != nil {
+		return core.Report{}, err
+	}
+	return core.Report{Entries: entries}, nil
+}
 
+// decodeEntries parses the entry-list payload encoding (see appendEntries).
+// The whole payload must be consumed.
+func decodeEntries(payload []byte) ([]core.Entry, error) {
 	pos := 0
 	readUvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(payload[pos:])
@@ -127,19 +155,19 @@ func DecodeReport(frame []byte) (core.Report, error) {
 	}
 	count, err := readUvarint()
 	if err != nil {
-		return core.Report{}, err
+		return nil, err
 	}
 	if count > 1<<16 {
-		return core.Report{}, fmt.Errorf("transport: implausible entry count %d", count)
+		return nil, fmt.Errorf("transport: implausible entry count %d", count)
 	}
-	rep := core.Report{Entries: make([]core.Entry, 0, count)}
+	entries := make([]core.Entry, 0, count)
 	for i := uint64(0); i < count; i++ {
 		attr, err := readUvarint()
 		if err != nil {
-			return core.Report{}, err
+			return nil, err
 		}
 		if pos >= len(payload) {
-			return core.Report{}, ErrTruncated
+			return nil, ErrTruncated
 		}
 		kind := payload[pos]
 		pos++
@@ -148,7 +176,7 @@ func DecodeReport(frame []byte) (core.Report, error) {
 		switch kind {
 		case entryNumeric:
 			if pos+8 > len(payload) {
-				return core.Report{}, ErrTruncated
+				return nil, ErrTruncated
 			}
 			e.Kind = core.EntryNumeric
 			e.Value = math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
@@ -156,10 +184,10 @@ func DecodeReport(frame []byte) (core.Report, error) {
 		case entryCatBits:
 			words, err := readUvarint()
 			if err != nil {
-				return core.Report{}, err
+				return nil, err
 			}
 			if words > 1<<12 || pos+int(words)*8 > len(payload) {
-				return core.Report{}, ErrTruncated
+				return nil, ErrTruncated
 			}
 			bits := make(freq.Bitset, words)
 			for w := range bits {
@@ -171,17 +199,17 @@ func DecodeReport(frame []byte) (core.Report, error) {
 		case entryCatValue:
 			v, err := readUvarint()
 			if err != nil {
-				return core.Report{}, err
+				return nil, err
 			}
 			e.Kind = core.EntryCategoricalValue
 			e.Resp = freq.Response{Value: int(v)}
 		default:
-			return core.Report{}, fmt.Errorf("transport: unknown entry kind %d", kind)
+			return nil, fmt.Errorf("transport: unknown entry kind %d", kind)
 		}
-		rep.Entries = append(rep.Entries, e)
+		entries = append(entries, e)
 	}
 	if pos != len(payload) {
-		return core.Report{}, fmt.Errorf("transport: %d trailing payload bytes", len(payload)-pos)
+		return nil, fmt.Errorf("transport: %d trailing payload bytes", len(payload)-pos)
 	}
-	return rep, nil
+	return entries, nil
 }

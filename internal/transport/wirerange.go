@@ -31,7 +31,15 @@ const (
 
 // EncodeRangeReport serializes a range report into a self-contained frame.
 func EncodeRangeReport(rep rangequery.Report) []byte {
-	payload := make([]byte, 0, 16+8*len(rep.Resp.Bits))
+	return encodeFrame(wireRangeMagic, wireRangeVersion, appendRangeReport(nil, rep))
+}
+
+// appendRangeReport appends the range-report payload encoding shared by
+// the v1 range frame and the v2 envelope's range payload.
+func appendRangeReport(payload []byte, rep rangequery.Report) []byte {
+	if payload == nil {
+		payload = make([]byte, 0, 16+8*len(rep.Resp.Bits))
+	}
 	switch rep.Kind {
 	case rangequery.KindGrid:
 		payload = append(payload, rangeKindGrid)
@@ -51,17 +59,22 @@ func EncodeRangeReport(rep rangequery.Report) []byte {
 		payload = append(payload, respValue)
 		payload = binary.AppendUvarint(payload, uint64(rep.Resp.Value))
 	}
-	return encodeFrame(wireRangeMagic, wireRangeVersion, payload)
+	return payload
 }
 
 // DecodeRangeReport parses a frame produced by EncodeRangeReport.
 func DecodeRangeReport(frame []byte) (rangequery.Report, error) {
-	var zero rangequery.Report
 	payload, err := decodeFrame(wireRangeMagic, wireRangeVersion, frame)
 	if err != nil {
-		return zero, err
+		return rangequery.Report{}, err
 	}
+	return decodeRangeReport(payload)
+}
 
+// decodeRangeReport parses the range-report payload encoding (see
+// appendRangeReport). The whole payload must be consumed.
+func decodeRangeReport(payload []byte) (rangequery.Report, error) {
+	var zero rangequery.Report
 	pos := 0
 	readUvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(payload[pos:])

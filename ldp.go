@@ -123,21 +123,38 @@ var (
 )
 
 // Multidimensional collection (the paper's Algorithm 4 and Section IV-C).
+//
+// The Collector/Aggregator pair is the legacy two-stack API; new code
+// should build a Pipeline (see New), which serves mean, frequency, and
+// range queries from one report stream. The legacy types remain as thin
+// shims: their reports still decode (DecodeReport returns them as
+// TaskJoint) and still fold into a Pipeline's aggregate state.
 type (
 	// Collector randomizes mixed numeric/categorical tuples.
+	//
+	// Deprecated: build a Pipeline with New instead.
 	Collector = core.Collector
-	// NumericCollector randomizes purely numeric tuples.
+	// NumericCollector randomizes purely numeric tuples (Algorithm 4);
+	// it remains the building block for the ERM/SGD subsystem.
 	NumericCollector = core.NumericCollector
-	// Aggregator estimates means and frequencies from reports.
+	// Aggregator estimates means and frequencies from legacy reports.
+	//
+	// Deprecated: use Pipeline.Add and Pipeline.Snapshot instead.
 	Aggregator = core.Aggregator
-	// Report is one user's randomized submission.
-	Report = core.Report
+	// CollectorReport is one user's randomized submission under the
+	// legacy mixed-schema Collector.
+	//
+	// Deprecated: the unified submission type is Report.
+	CollectorReport = core.Report
 )
 
 // NewCollector builds the mixed-schema collector: numeric attributes are
 // perturbed with numFactory (PM or HM) and categorical attributes with
 // oracleFactory (usually OUE), each at budget eps/k with
 // k = max(1, min(d, floor(eps/2.5))).
+//
+// Deprecated: build a Pipeline with New instead; it routes each user to a
+// mean, frequency, or range task at the full budget eps.
 func NewCollector(s *Schema, eps float64, numFactory MechanismFactory, oracleFactory OracleFactory) (*Collector, error) {
 	return core.NewCollector(s, eps, numFactory, oracleFactory)
 }
@@ -148,6 +165,9 @@ func NewNumericCollector(factory MechanismFactory, eps float64, d int) (*Numeric
 }
 
 // NewAggregator builds the aggregator matching a collector's configuration.
+//
+// Deprecated: use a Pipeline; it aggregates every task's reports into one
+// sharded state.
 func NewAggregator(c *Collector) *Aggregator { return core.NewAggregator(c) }
 
 // KFor returns the paper's Eq. 12 sampling parameter
@@ -180,74 +200,119 @@ const (
 	SVM = erm.SVM
 )
 
-// Collection pipeline (HTTP aggregation service).
+// Legacy collection pipeline (HTTP aggregation service for the two-stack
+// API; the unified service is PipelineServer/PipelineClient).
 type (
-	// Server is the aggregator's HTTP front end.
+	// Server is the legacy aggregator HTTP front end.
+	//
+	// Deprecated: use NewPipelineServer, which serves every task on one
+	// /v1/report + /v1/query route pair.
 	Server = transport.Server
-	// Client randomizes locally and submits reports over HTTP.
+	// Client randomizes locally and submits legacy reports over HTTP.
+	//
+	// Deprecated: use NewPipelineClient, which supports contexts and
+	// batch submission.
 	Client = transport.Client
 )
 
 // NewServer wraps an aggregator in an HTTP handler; sink (optional, may be
 // nil) receives every accepted raw frame for persistence.
+//
+// Deprecated: use NewPipelineServer.
 func NewServer(agg *Aggregator, sink transport.Sink) *Server { return transport.NewServer(agg, sink) }
 
 // NewClient builds an HTTP client submitting through the given collector.
-func NewClient(baseURL string, col *Collector) *Client {
-	return transport.NewClient(baseURL, col, nil)
+// Options configure the underlying HTTP behavior (WithHTTPClient,
+// WithTimeout).
+//
+// Deprecated: use NewPipelineClient.
+func NewClient(baseURL string, col *Collector, opts ...ClientOption) *Client {
+	return transport.NewClient(baseURL, col, transport.ResolveClientOptions(opts))
 }
 
-// EncodeReport serializes a report into the binary wire frame.
-func EncodeReport(rep Report) []byte { return transport.EncodeReport(rep) }
+// EncodeCollectorReport serializes a legacy report into its v1 binary
+// wire frame.
+//
+// Deprecated: use EncodeReport, which writes the versioned envelope.
+func EncodeCollectorReport(rep CollectorReport) []byte { return transport.EncodeReport(rep) }
 
-// DecodeReport parses a binary wire frame.
-func DecodeReport(frame []byte) (Report, error) { return transport.DecodeReport(frame) }
+// DecodeCollectorReport parses a legacy v1 binary wire frame.
+//
+// Deprecated: use DecodeReport, which also accepts legacy frames.
+func DecodeCollectorReport(frame []byte) (CollectorReport, error) {
+	return transport.DecodeReport(frame)
+}
 
 // Multi-dimensional range queries (hierarchical intervals + 2-D grids).
+// The standalone range stack is legacy; new code registers a range task
+// on the Pipeline with WithRange and queries Result.Range.
 type (
-	// RangeConfig tunes the range-query collector (bucket count, grid
-	// resolution, oracle choice, task split).
+	// RangeConfig tunes the range-query task (bucket count, grid
+	// resolution, oracle choice, task split); it is shared by WithRange
+	// and the legacy NewRangeCollector.
 	RangeConfig = rangequery.Config
 	// RangeCollector randomizes tuples into range reports: each user
 	// answers one sub-task — a dyadic interval of one numeric attribute
 	// at a sampled tree depth, or a grid cell of one attribute pair.
+	//
+	// Deprecated: build a Pipeline with New(s, eps, WithRange(cfg)).
 	RangeCollector = rangequery.Collector
 	// RangeAggregator estimates 1-D and 2-D range-query answers from
 	// range reports.
+	//
+	// Deprecated: use Pipeline.Add and Result.Range instead.
 	RangeAggregator = rangequery.Aggregator
-	// RangeReport is one user's randomized range-query submission.
+	// RangeReport is one user's randomized range-query submission under
+	// the legacy stack; the unified Report carries it as a TaskRange
+	// payload.
 	RangeReport = rangequery.Report
 	// RangeService answers range queries over HTTP (see
 	// Server.EnableRange).
+	//
+	// Deprecated: PipelineServer answers range queries on /v1/query.
 	RangeService = transport.RangeService
 	// RangeClient randomizes locally and submits range reports over
 	// HTTP.
+	//
+	// Deprecated: use NewPipelineClient.
 	RangeClient = transport.RangeClient
 )
 
 // NewRangeCollector builds the range-query collector over the numeric
 // attributes of schema s at total per-user budget eps. The zero RangeConfig
 // selects B=256 hierarchy buckets, g=8 grids and OUE.
+//
+// Deprecated: build a Pipeline with New(s, eps, WithRange(cfg)).
 func NewRangeCollector(s *Schema, eps float64, cfg RangeConfig) (*RangeCollector, error) {
 	return rangequery.NewCollector(s, eps, cfg)
 }
 
 // NewRangeAggregator builds the aggregator matching a range collector's
 // configuration.
+//
+// Deprecated: use a Pipeline built with WithRange.
 func NewRangeAggregator(c *RangeCollector) *RangeAggregator {
 	return rangequery.NewAggregator(c)
 }
 
 // NewRangeClient builds an HTTP client submitting through the given range
-// collector.
-func NewRangeClient(baseURL string, col *RangeCollector) *RangeClient {
-	return transport.NewRangeClient(baseURL, col, nil)
+// collector. Options configure the underlying HTTP behavior
+// (WithHTTPClient, WithTimeout).
+//
+// Deprecated: use NewPipelineClient.
+func NewRangeClient(baseURL string, col *RangeCollector, opts ...ClientOption) *RangeClient {
+	return transport.NewRangeClient(baseURL, col, transport.ResolveClientOptions(opts))
 }
 
-// EncodeRangeReport serializes a range report into its binary wire frame.
+// EncodeRangeReport serializes a range report into its legacy v1 binary
+// wire frame.
+//
+// Deprecated: use EncodeReport with a TaskRange Report.
 func EncodeRangeReport(rep RangeReport) []byte { return transport.EncodeRangeReport(rep) }
 
-// DecodeRangeReport parses a binary range-report wire frame.
+// DecodeRangeReport parses a legacy v1 binary range-report wire frame.
+//
+// Deprecated: use DecodeReport, which also accepts legacy range frames.
 func DecodeRangeReport(frame []byte) (RangeReport, error) {
 	return transport.DecodeRangeReport(frame)
 }

@@ -99,12 +99,44 @@ func TestFacadeWireRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := DecodeReport(EncodeReport(rep))
+
+	// Legacy v1 frames still round-trip through the deprecated shims and
+	// decode through the unified envelope decoder as joint reports.
+	legacy := EncodeCollectorReport(rep)
+	back, err := DecodeCollectorReport(legacy)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Entries) != 1 || got.Entries[0].Value != rep.Entries[0].Value {
-		t.Error("wire round trip mismatch")
+	if len(back.Entries) != 1 || back.Entries[0].Value != rep.Entries[0].Value {
+		t.Error("legacy wire round trip mismatch")
+	}
+	unified, err := DecodeReport(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unified.Task != TaskJoint || unified.Entries[0].Value != rep.Entries[0].Value {
+		t.Errorf("legacy frame decoded as %v", unified.Task)
+	}
+
+	// The unified envelope round-trips pipeline reports.
+	p, err := New(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := p.Randomize(tup, NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodeReport(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != TaskMean || len(got.Entries) != 1 || got.Entries[0].Value != prep.Entries[0].Value {
+		t.Error("envelope round trip mismatch")
 	}
 }
 

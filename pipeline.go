@@ -1,0 +1,140 @@
+package ldp
+
+import (
+	"ldp/internal/pipeline"
+	"ldp/internal/transport"
+)
+
+// The unified task-based pipeline. A Pipeline is the system of the paper's
+// Section II as one object: users are routed to one of the registered
+// tasks (mean, frequency, range), randomize their tuple locally under the
+// full budget eps, and the aggregator folds every task's reports into one
+// sharded state that answers every query kind.
+//
+//	sch, _ := ldp.NewSchema(
+//	    ldp.Attribute{Name: "age", Kind: ldp.Numeric},
+//	    ldp.Attribute{Name: "gender", Kind: ldp.Categorical, Cardinality: 2},
+//	)
+//	p, _ := ldp.New(sch, 1.0, ldp.WithMechanism(ldp.HM), ldp.WithOracle(ldp.OUE),
+//	    ldp.WithRange(ldp.RangeConfig{}), ldp.WithShards(8))
+//
+//	rep, _ := p.Randomize(tuple, r) // on the user's device
+//	_ = p.Add(rep)                  // at the aggregator
+//
+//	res := p.Snapshot()
+//	mean, _ := res.Mean("age")
+//	freqs, _ := res.Freq("gender")
+//	mass, _ := res.Range(ldp.RangeQuery{Attr: "age", Lo: -0.4, Hi: -0.2})
+type (
+	// Pipeline is the unified collector/aggregator.
+	Pipeline = pipeline.Pipeline
+	// PipelineOption configures a Pipeline under construction.
+	PipelineOption = pipeline.Option
+	// Task is one randomization sub-task of a Pipeline (MeanTask,
+	// FreqTask, or RangeTask).
+	Task = pipeline.Task
+	// TaskKind tags a task and its reports.
+	TaskKind = pipeline.TaskKind
+	// MeanTask estimates numeric means (Algorithm 4 over numeric attrs).
+	MeanTask = pipeline.MeanTask
+	// FreqTask estimates categorical frequencies.
+	FreqTask = pipeline.FreqTask
+	// RangeTask answers 1-D/2-D range queries.
+	RangeTask = pipeline.RangeTask
+	// Report is one user's randomized submission: exactly one task's
+	// payload under a task tag. (The legacy Algorithm-4 report type is
+	// CollectorReport.)
+	Report = pipeline.Report
+	// Result is an immutable snapshot of a Pipeline's aggregate state
+	// with Mean/Freq/Range queries.
+	Result = pipeline.Result
+	// RangeQuery describes a 1-D or conjunctive 2-D range query against
+	// a Result.
+	RangeQuery = pipeline.RangeQuery
+)
+
+// Task kinds.
+const (
+	// TaskMean tags mean-task reports.
+	TaskMean = pipeline.TaskMean
+	// TaskFreq tags freq-task reports.
+	TaskFreq = pipeline.TaskFreq
+	// TaskRange tags range-task reports.
+	TaskRange = pipeline.TaskRange
+	// TaskJoint tags legacy Algorithm-4 mixed reports (decoded from v1
+	// wire frames; new pipelines never produce it).
+	TaskJoint = pipeline.TaskJoint
+)
+
+// New builds the unified pipeline for schema s at total per-user budget
+// eps. Tasks are derived from the schema: a mean task when s has numeric
+// attributes, a freq task when it has categorical attributes, and a range
+// task when WithRange is given.
+func New(s *Schema, eps float64, opts ...PipelineOption) (*Pipeline, error) {
+	return pipeline.New(s, eps, opts...)
+}
+
+// WithMechanism selects the numeric 1-D mechanism factory (default HM).
+func WithMechanism(f MechanismFactory) PipelineOption { return pipeline.WithMechanism(f) }
+
+// WithOracle selects the frequency-oracle factory (default OUE).
+func WithOracle(f OracleFactory) PipelineOption { return pipeline.WithOracle(f) }
+
+// WithRange registers the range-query task (the zero RangeConfig selects
+// B=256 hierarchy buckets, 8x8 grids, and the pipeline's oracle).
+func WithRange(cfg RangeConfig) PipelineOption { return pipeline.WithRange(cfg) }
+
+// WithShards sets the number of aggregation shards (default 1; servers
+// should set it near GOMAXPROCS).
+func WithShards(n int) PipelineOption { return pipeline.WithShards(n) }
+
+// WithTaskWeight sets the routing weight of a registered task (default 1
+// each; weights are normalized, 0 disables routing to the task).
+func WithTaskWeight(kind TaskKind, w float64) PipelineOption {
+	return pipeline.WithTaskWeight(kind, w)
+}
+
+// EncodeReport serializes a unified report into the versioned,
+// task-multiplexed binary wire envelope.
+func EncodeReport(rep Report) ([]byte, error) { return transport.EncodeEnvelope(rep) }
+
+// DecodeReport parses any report frame the system has ever produced into
+// a unified report: v2 envelopes, legacy v1 Algorithm-4 frames (as
+// TaskJoint), and legacy v1 range frames (as TaskRange).
+func DecodeReport(frame []byte) (Report, error) { return transport.DecodeEnvelope(frame) }
+
+// The unified HTTP pipeline.
+type (
+	// PipelineServer serves ingest and queries for a Pipeline on a
+	// single route pair (POST /v1/report, GET /v1/query).
+	PipelineServer = transport.PipelineServer
+	// PipelineClient randomizes locally and submits envelope frames,
+	// singly or in batches, with context support.
+	PipelineClient = transport.PipelineClient
+	// ClientOption configures the HTTP behavior of transport clients.
+	ClientOption = transport.ClientOption
+)
+
+// NewPipelineServer wraps a pipeline (and optional persistence sink; nil
+// disables persistence) in an HTTP handler.
+func NewPipelineServer(p *Pipeline, sink transport.Sink) *PipelineServer {
+	return transport.NewPipelineServer(p, sink)
+}
+
+// NewPipelineClient builds an HTTP client for the aggregator at baseURL,
+// randomizing through the given pipeline.
+func NewPipelineClient(baseURL string, p *Pipeline, opts ...ClientOption) *PipelineClient {
+	return transport.NewPipelineClient(baseURL, p, opts...)
+}
+
+// WithHTTPClient uses a custom *http.Client for a transport client.
+var WithHTTPClient = transport.WithHTTPClient
+
+// WithTimeout bounds each transport-client request.
+var WithTimeout = transport.WithTimeout
+
+// ReplayPipeline rebuilds pipeline state from persisted frames (any
+// format DecodeReport accepts), e.g. at startup with reportlog.Replay.
+func ReplayPipeline(p *Pipeline, frames func(fn func(payload []byte) error) error) (int, error) {
+	return transport.ReplayPipeline(p, frames)
+}

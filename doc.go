@@ -34,6 +34,14 @@
 // and queries on a single /v1/report + /v1/query route pair and
 // NewPipelineClient submits batches with context support.
 //
+// The ingest hot path is batch-first: a buffer of concatenated frames
+// decodes into a pooled columnar ReportBatch (DecodeReportBatch, with
+// GetBatch/PutBatch recycling buffers) and Pipeline.AddBatch validates
+// the whole batch up front, then folds one contiguous span per shard
+// under a single lock acquisition — zero allocations per report in the
+// steady state. Per-report Add remains as a thin wrapper; AppendReport
+// assembles batch uploads client-side without per-report allocation.
+//
 // The pre-pipeline constructors (NewCollector, NewAggregator, NewServer,
 // NewRangeCollector, ...) remain as deprecated shims; see the MIGRATION
 // section of the README for the mapping.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -130,8 +131,10 @@ func run(users int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "after restart: replayed %d reports, mean age %+.4f (identical: %v)\n",
-		replayed, freshMean, freshMean == ageMean.Mean)
+	// Batch replay partitions reports across shards differently from the
+	// live ingest, so the float sums may differ by a few ulps.
+	fmt.Fprintf(out, "after restart: replayed %d reports, mean age %+.4f (agrees to 1e-12: %v)\n",
+		replayed, freshMean, math.Abs(freshMean-ageMean.Mean) <= 1e-12)
 	return nil
 }
 

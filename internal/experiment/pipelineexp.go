@@ -15,18 +15,26 @@ import (
 func init() {
 	register(Runner{
 		Name: "pipeline",
-		Desc: "unified-pipeline ingest throughput: sharded aggregator (1/4/8 shards) vs legacy single lock",
+		Desc: "unified-pipeline ingest throughput: sharded aggregator (1/4/8 shards), per-report Add vs columnar AddBatch (1/64/1024 reports per batch), vs legacy single lock",
 		Run:  runPipelineBench,
 	})
 }
 
+// pipelineBatchSizes is the batch-size axis of the ingest benchmark: one
+// AddBatch call folds this many reports.
+var pipelineBatchSizes = []int{1, 64, 1024}
+
+// pipelineShardCounts is the shard axis of the ingest benchmark.
+var pipelineShardCounts = []int{1, 4, 8}
+
 // runPipelineBench measures server-side ingest throughput (reports/sec):
 // the legacy single-lock core.Aggregator against the unified pipeline's
-// sharded aggregator at 1, 4, and 8 shards. Reports are pre-randomized so
-// only Add is on the clock; opts.Workers goroutines feed each aggregator
-// and the best of opts.Runs timings is reported (throughput is a
-// max-statistic: slower runs measure scheduler interference, not the
-// data structure).
+// sharded aggregator at 1, 4, and 8 shards, ingesting per report (Add)
+// and in columnar batches of 1, 64, and 1024 reports (AddBatch). Reports
+// are pre-randomized (and pre-batched) so only the fold is on the clock;
+// opts.Workers goroutines feed each aggregator and the best of opts.Runs
+// timings is reported (throughput is a max-statistic: slower runs measure
+// scheduler interference, not the data structure).
 func runPipelineBench(opts Options) ([]Table, error) {
 	opts = opts.normalized()
 	c := dataset.NewBR()
@@ -66,16 +74,38 @@ func runPipelineBench(opts Options) ([]Table, error) {
 		legacy[i] = rep
 	}
 
-	timeIngest := func(add func(i int) error) (float64, error) {
+	// Pre-batch the unified stream once per batch size; batches are only
+	// read during AddBatch, so every run and shard configuration can share
+	// them.
+	batchesBySize := make(map[int][]*pipeline.ReportBatch, len(pipelineBatchSizes))
+	for _, bs := range pipelineBatchSizes {
+		var batches []*pipeline.ReportBatch
+		for lo := 0; lo < len(reps); lo += bs {
+			hi := lo + bs
+			if hi > len(reps) {
+				hi = len(reps)
+			}
+			b := pipeline.NewReportBatch()
+			for _, rep := range reps[lo:hi] {
+				b.Append(rep)
+			}
+			batches = append(batches, b)
+		}
+		batchesBySize[bs] = batches
+	}
+
+	// timeIngest clocks items 0..n-1 (reports or whole batches, weighing
+	// nReports in total) split contiguously across the workers.
+	timeIngest := func(n, nReports int, add func(i int) error) (float64, error) {
 		var firstErr error
 		var mu sync.Mutex
 		start := time.Now()
 		var wg sync.WaitGroup
-		chunk := (len(reps) + workers - 1) / workers
+		chunk := (n + workers - 1) / workers
 		for w := 0; w < workers; w++ {
 			lo, hi := w*chunk, (w+1)*chunk
-			if hi > len(reps) {
-				hi = len(reps)
+			if hi > n {
+				hi = n
 			}
 			if lo >= hi {
 				break
@@ -100,17 +130,17 @@ func runPipelineBench(opts Options) ([]Table, error) {
 		if firstErr != nil {
 			return 0, firstErr
 		}
-		return float64(len(reps)) / elapsed.Seconds(), nil
+		return float64(nReports) / elapsed.Seconds(), nil
 	}
 
-	best := func(build func() (func(i int) error, error)) (float64, error) {
+	best := func(n int, build func() (func(i int) error, error)) (float64, error) {
 		bestRate := 0.0
 		for run := 0; run < opts.Runs; run++ {
 			add, err := build()
 			if err != nil {
 				return 0, err
 			}
-			rate, err := timeIngest(add)
+			rate, err := timeIngest(n, len(reps), add)
 			if err != nil {
 				return 0, err
 			}
@@ -129,7 +159,7 @@ func runPipelineBench(opts Options) ([]Table, error) {
 		Columns: []string{"reports_per_sec"},
 	}
 
-	rate, err := best(func() (func(i int) error, error) {
+	rate, err := best(len(legacy), func() (func(i int) error, error) {
 		agg := core.NewAggregator(col)
 		return func(i int) error { return agg.Add(legacy[i]) }, nil
 	})
@@ -138,9 +168,12 @@ func runPipelineBench(opts Options) ([]Table, error) {
 	}
 	table.Rows = append(table.Rows, TableRow{X: "legacy-single-lock", Values: []float64{rate}})
 
-	for _, shards := range []int{1, 4, 8} {
-		rate, err := best(func() (func(i int) error, error) {
-			p, err := pipeline.New(c.Schema(), opts.Eps, pipeline.WithShards(shards))
+	for _, shards := range pipelineShardCounts {
+		newPipeline := func() (*pipeline.Pipeline, error) {
+			return pipeline.New(c.Schema(), opts.Eps, pipeline.WithShards(shards))
+		}
+		rate, err := best(len(reps), func() (func(i int) error, error) {
+			p, err := newPipeline()
 			if err != nil {
 				return nil, err
 			}
@@ -150,6 +183,21 @@ func runPipelineBench(opts Options) ([]Table, error) {
 			return nil, err
 		}
 		table.Rows = append(table.Rows, TableRow{X: fmt.Sprintf("pipeline-%d-shards", shards), Values: []float64{rate}})
+
+		for _, bs := range pipelineBatchSizes {
+			batches := batchesBySize[bs]
+			rate, err := best(len(batches), func() (func(i int) error, error) {
+				p, err := newPipeline()
+				if err != nil {
+					return nil, err
+				}
+				return func(i int) error { return p.AddBatch(batches[i]) }, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			table.Rows = append(table.Rows, TableRow{X: fmt.Sprintf("pipeline-%d-shards-batch%d", shards, bs), Values: []float64{rate}})
+		}
 	}
 	return []Table{table}, nil
 }

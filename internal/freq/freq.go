@@ -301,17 +301,49 @@ func NewEstimator(o Oracle) *Estimator {
 
 // Add folds one response into the support counts.
 func (e *Estimator) Add(resp Response) {
-	e.n++
 	if resp.Bits != nil {
-		for v := 0; v < len(e.counts); v++ {
-			if resp.Bits.Get(v) {
-				e.counts[v]++
-			}
-		}
+		e.AddBits(resp.Bits)
 		return
 	}
-	if resp.Value >= 0 && resp.Value < len(e.counts) {
-		e.counts[resp.Value]++
+	e.AddValue(resp.Value)
+}
+
+// AddBits folds one unary-encoded response, given as raw bitset words,
+// into the support counts. It is the vectorized fold the batch ingest path
+// calls directly with subslices of a flat word buffer: no Response value,
+// no per-bit Get calls, no allocation.
+func (e *Estimator) AddBits(words []uint64) {
+	e.n++
+	FoldBits(e.counts, words)
+}
+
+// AddValue folds one value-type (GRR) response into the support counts.
+// Out-of-range values count the reporter but support no candidate,
+// matching Add's handling of malformed responses.
+func (e *Estimator) AddValue(v int) {
+	e.n++
+	if v >= 0 && v < len(e.counts) {
+		e.counts[v]++
+	}
+}
+
+// FoldBits increments counts[v] for every set bit v of a unary-encoded
+// response given as raw bitset words: the innermost loop of the aggregation
+// hot path. It visits only the set bits (one TrailingZeros per set bit)
+// instead of testing every domain value, and ignores stray bits at or past
+// len(counts) exactly as the per-bit fold did.
+func FoldBits(counts []float64, words []uint64) {
+	base := 0
+	for _, w := range words {
+		for w != 0 {
+			v := base + bits.TrailingZeros64(w)
+			if v >= len(counts) {
+				return
+			}
+			counts[v]++
+			w &= w - 1
+		}
+		base += 64
 	}
 }
 

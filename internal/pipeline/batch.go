@@ -1,0 +1,313 @@
+package pipeline
+
+import (
+	"sync"
+
+	"ldp/internal/core"
+	"ldp/internal/freq"
+	"ldp/internal/rangequery"
+)
+
+// ReportBatch is a reusable columnar batch of decoded reports: the unit of
+// work of the ingest hot path. Instead of one Report struct (and one
+// bitset allocation) per frame, a batch stores every report's payload in
+// task-tagged parallel columns over shared flat buffers — entry
+// attributes, kinds, numeric values, categorical values, and bitset spans
+// into one []uint64 — so decoding a frame appends a few array elements and
+// folding a batch walks contiguous memory. A Reset keeps every buffer's
+// capacity, which is what makes the steady state allocation-free; GetBatch
+// and PutBatch recycle batches through a sync.Pool.
+//
+// A batch is built by the appenders (StartEntryReport/AppendNumeric/
+// AppendValue/AppendBits, AppendRangeValue/AppendRangeBits, or the
+// convenience Append), is read by Pipeline.AddBatch, and is not safe for
+// concurrent mutation. Reports can be materialized individually with
+// Report for inspection and tests; the hot path never does.
+type ReportBatch struct {
+	task   []TaskKind // one element per report
+	entOff []int32    // entry span of report i: [entOff[i], entOff[i+1])
+
+	// Entry columns (mean/freq/joint reports), one element per entry.
+	entAttr   []int32
+	entKind   []uint8 // core.EntryKind
+	entNum    []float64
+	entCat    []int32
+	entBitOff []int32
+	entBitLen []int32
+
+	// Range columns: rngIdx[i] indexes them for reports with task
+	// TaskRange and is -1 otherwise.
+	rngIdx    []int32
+	rngKind   []uint8 // rangequery.ReportKind
+	rngAttr   []int32
+	rngDepth  []int32
+	rngPair   []int32
+	rngVal    []int32
+	rngBitOff []int32
+	rngBitLen []int32
+
+	// bits is the shared flat buffer behind every bitset span.
+	bits []uint64
+}
+
+// NewReportBatch returns an empty batch. Callers that ingest continuously
+// should prefer GetBatch/PutBatch, which recycle grown buffers.
+func NewReportBatch() *ReportBatch {
+	return &ReportBatch{entOff: make([]int32, 1, 64)}
+}
+
+var batchPool = sync.Pool{New: func() any { return NewReportBatch() }}
+
+// GetBatch returns an empty batch from the package pool. Return it with
+// PutBatch when done to keep the steady state allocation-free.
+func GetBatch() *ReportBatch { return batchPool.Get().(*ReportBatch) }
+
+// PutBatch resets a batch and returns it to the package pool. The caller
+// must not use the batch (or any slice obtained from it) afterwards.
+func PutBatch(b *ReportBatch) {
+	if b == nil {
+		return
+	}
+	b.Reset()
+	batchPool.Put(b)
+}
+
+// Len returns the number of reports in the batch.
+func (b *ReportBatch) Len() int { return len(b.task) }
+
+// Task returns the task tag of report i.
+func (b *ReportBatch) Task(i int) TaskKind { return b.task[i] }
+
+// Reset empties the batch, keeping every buffer's capacity for reuse.
+func (b *ReportBatch) Reset() {
+	b.task = b.task[:0]
+	b.entOff = b.entOff[:1]
+	b.entOff[0] = 0
+	b.entAttr = b.entAttr[:0]
+	b.entKind = b.entKind[:0]
+	b.entNum = b.entNum[:0]
+	b.entCat = b.entCat[:0]
+	b.entBitOff = b.entBitOff[:0]
+	b.entBitLen = b.entBitLen[:0]
+	b.rngIdx = b.rngIdx[:0]
+	b.rngKind = b.rngKind[:0]
+	b.rngAttr = b.rngAttr[:0]
+	b.rngDepth = b.rngDepth[:0]
+	b.rngPair = b.rngPair[:0]
+	b.rngVal = b.rngVal[:0]
+	b.rngBitOff = b.rngBitOff[:0]
+	b.rngBitLen = b.rngBitLen[:0]
+	b.bits = b.bits[:0]
+}
+
+// BatchMark is a position in a batch, taken with Mark and restored with
+// Truncate: a decoder that fails mid-frame rolls the batch back to the
+// last complete report.
+type BatchMark struct {
+	reports, entries, ranges, bits int
+}
+
+// Mark records the current end of the batch.
+func (b *ReportBatch) Mark() BatchMark {
+	return BatchMark{
+		reports: len(b.task),
+		entries: len(b.entAttr),
+		ranges:  len(b.rngKind),
+		bits:    len(b.bits),
+	}
+}
+
+// Truncate discards everything appended after the mark.
+func (b *ReportBatch) Truncate(m BatchMark) {
+	b.task = b.task[:m.reports]
+	b.entOff = b.entOff[:m.reports+1]
+	b.entOff[m.reports] = int32(m.entries)
+	b.entAttr = b.entAttr[:m.entries]
+	b.entKind = b.entKind[:m.entries]
+	b.entNum = b.entNum[:m.entries]
+	b.entCat = b.entCat[:m.entries]
+	b.entBitOff = b.entBitOff[:m.entries]
+	b.entBitLen = b.entBitLen[:m.entries]
+	b.rngIdx = b.rngIdx[:m.reports]
+	b.rngKind = b.rngKind[:m.ranges]
+	b.rngAttr = b.rngAttr[:m.ranges]
+	b.rngDepth = b.rngDepth[:m.ranges]
+	b.rngPair = b.rngPair[:m.ranges]
+	b.rngVal = b.rngVal[:m.ranges]
+	b.rngBitOff = b.rngBitOff[:m.ranges]
+	b.rngBitLen = b.rngBitLen[:m.ranges]
+	b.bits = b.bits[:m.bits]
+}
+
+// StartEntryReport begins a new entry-list report (TaskMean, TaskFreq, or
+// TaskJoint; range reports are appended whole with AppendRangeValue or
+// AppendRangeBits). Subsequent AppendNumeric/AppendValue/AppendBits calls
+// attach entries to it.
+func (b *ReportBatch) StartEntryReport(task TaskKind) {
+	b.task = append(b.task, task)
+	b.entOff = append(b.entOff, int32(len(b.entAttr)))
+	b.rngIdx = append(b.rngIdx, -1)
+}
+
+// appendEntry grows every entry column by one element.
+func (b *ReportBatch) appendEntry(attr int, kind core.EntryKind, num float64, cat, bitOff, bitLen int32) {
+	b.entAttr = append(b.entAttr, int32(attr))
+	b.entKind = append(b.entKind, uint8(kind))
+	b.entNum = append(b.entNum, num)
+	b.entCat = append(b.entCat, cat)
+	b.entBitOff = append(b.entBitOff, bitOff)
+	b.entBitLen = append(b.entBitLen, bitLen)
+	b.entOff[len(b.entOff)-1] = int32(len(b.entAttr))
+}
+
+// AppendNumeric attaches a numeric entry to the current entry report.
+func (b *ReportBatch) AppendNumeric(attr int, v float64) {
+	b.appendEntry(attr, core.EntryNumeric, v, 0, 0, 0)
+}
+
+// AppendValue attaches a value-type (GRR) categorical entry to the current
+// entry report.
+func (b *ReportBatch) AppendValue(attr int, v int) {
+	b.appendEntry(attr, core.EntryCategoricalValue, 0, int32(v), 0, 0)
+}
+
+// AppendBits attaches a unary-encoding categorical entry to the current
+// entry report and returns the span of the shared bit buffer backing it.
+// The caller must overwrite all `words` elements before the next append
+// (the span may contain stale words from a previous use of the batch) and
+// must not hold the slice across further appends.
+func (b *ReportBatch) AppendBits(attr int, words int) []uint64 {
+	off := len(b.bits)
+	dst := b.growBits(words)
+	b.appendEntry(attr, core.EntryCategoricalBits, 0, 0, int32(off), int32(words))
+	return dst
+}
+
+// AppendRangeValue appends a whole range report with a value-type (GRR)
+// oracle response.
+func (b *ReportBatch) AppendRangeValue(kind rangequery.ReportKind, attr, depth, pair, value int) {
+	b.appendRange(kind, attr, depth, pair, int32(value), 0, 0)
+}
+
+// AppendRangeBits appends a whole range report with a unary-encoding
+// oracle response and returns the span of the shared bit buffer backing
+// it, under the same fill-before-next-append contract as AppendBits.
+func (b *ReportBatch) AppendRangeBits(kind rangequery.ReportKind, attr, depth, pair, words int) []uint64 {
+	off := len(b.bits)
+	dst := b.growBits(words)
+	b.appendRange(kind, attr, depth, pair, 0, int32(off), int32(words))
+	return dst
+}
+
+func (b *ReportBatch) appendRange(kind rangequery.ReportKind, attr, depth, pair int, val, bitOff, bitLen int32) {
+	b.task = append(b.task, TaskRange)
+	b.entOff = append(b.entOff, int32(len(b.entAttr)))
+	b.rngIdx = append(b.rngIdx, int32(len(b.rngKind)))
+	b.rngKind = append(b.rngKind, uint8(kind))
+	b.rngAttr = append(b.rngAttr, int32(attr))
+	b.rngDepth = append(b.rngDepth, int32(depth))
+	b.rngPair = append(b.rngPair, int32(pair))
+	b.rngVal = append(b.rngVal, val)
+	b.rngBitOff = append(b.rngBitOff, bitOff)
+	b.rngBitLen = append(b.rngBitLen, bitLen)
+}
+
+// growBits extends the shared bit buffer by `words` elements without
+// zeroing them and returns the new span.
+func (b *ReportBatch) growBits(words int) []uint64 {
+	off := len(b.bits)
+	need := off + words
+	if cap(b.bits) < need {
+		grown := make([]uint64, need, max(2*need, 64))
+		copy(grown, b.bits)
+		b.bits = grown
+	} else {
+		b.bits = b.bits[:need]
+	}
+	return b.bits[off:need]
+}
+
+// Append adds one materialized report to the batch, copying its payload
+// into the columns. The report is not retained.
+func (b *ReportBatch) Append(rep Report) {
+	if rep.Task == TaskRange {
+		rr := rep.Range
+		if rr.Resp.Bits != nil {
+			copy(b.AppendRangeBits(rr.Kind, rr.Attr, rr.Depth, rr.Pair, len(rr.Resp.Bits)), rr.Resp.Bits)
+		} else {
+			b.AppendRangeValue(rr.Kind, rr.Attr, rr.Depth, rr.Pair, rr.Resp.Value)
+		}
+		return
+	}
+	b.StartEntryReport(rep.Task)
+	for _, e := range rep.Entries {
+		switch e.Kind {
+		case core.EntryNumeric:
+			b.AppendNumeric(e.Attr, e.Value)
+		case core.EntryCategoricalBits:
+			copy(b.AppendBits(e.Attr, len(e.Resp.Bits)), e.Resp.Bits)
+		default:
+			b.AppendValue(e.Attr, e.Resp.Value)
+		}
+	}
+}
+
+// Report materializes report i as a standalone Report (bitsets are
+// copied, so the result outlives the batch). It allocates; the aggregation
+// hot path reads the columns directly instead.
+func (b *ReportBatch) Report(i int) Report {
+	if b.task[i] == TaskRange {
+		rr := b.rangeAlias(i)
+		rr.Resp.Bits = append(freq.Bitset(nil), rr.Resp.Bits...)
+		if len(rr.Resp.Bits) == 0 {
+			rr.Resp.Bits = nil
+		}
+		return Report{Task: TaskRange, Range: rr}
+	}
+	lo, hi := b.entOff[i], b.entOff[i+1]
+	entries := make([]core.Entry, 0, hi-lo)
+	for e := lo; e < hi; e++ {
+		ent := b.entryAlias(e)
+		if ent.Resp.Bits != nil {
+			ent.Resp.Bits = append(freq.Bitset(nil), ent.Resp.Bits...)
+		}
+		entries = append(entries, ent)
+	}
+	return Report{Task: b.task[i], Entries: entries}
+}
+
+// entryAlias materializes entry e as a core.Entry whose bitset (if any)
+// aliases the batch's shared bit buffer: a stack value for validation and
+// folding, not for retention.
+func (b *ReportBatch) entryAlias(e int32) core.Entry {
+	ent := core.Entry{Attr: int(b.entAttr[e]), Kind: core.EntryKind(b.entKind[e])}
+	switch ent.Kind {
+	case core.EntryNumeric:
+		ent.Value = b.entNum[e]
+	case core.EntryCategoricalBits:
+		off := b.entBitOff[e]
+		ent.Resp.Bits = freq.Bitset(b.bits[off : off+b.entBitLen[e]])
+	default:
+		ent.Resp.Value = int(b.entCat[e])
+	}
+	return ent
+}
+
+// rangeAlias materializes range report i with the same aliasing contract
+// as entryAlias. The caller must have checked task[i] == TaskRange.
+func (b *ReportBatch) rangeAlias(i int) rangequery.Report {
+	r := b.rngIdx[i]
+	rep := rangequery.Report{
+		Kind:  rangequery.ReportKind(b.rngKind[r]),
+		Attr:  int(b.rngAttr[r]),
+		Depth: int(b.rngDepth[r]),
+		Pair:  int(b.rngPair[r]),
+	}
+	if n := b.rngBitLen[r]; n > 0 {
+		off := b.rngBitOff[r]
+		rep.Resp.Bits = freq.Bitset(b.bits[off : off+n])
+	} else {
+		rep.Resp.Value = int(b.rngVal[r])
+	}
+	return rep
+}

@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"ldp/internal/rng"
+)
+
+// benchReports pre-randomizes n reports so only the aggregation side is on
+// the clock.
+func benchReports(b *testing.B, p *Pipeline, n int) []Report {
+	b.Helper()
+	r := rng.New(7)
+	reps := make([]Report, n)
+	for i := range reps {
+		rep, err := p.Randomize(sampleTuple(p.Schema(), r), r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	return reps
+}
+
+// BenchmarkPipelineAdd measures the per-report ingest wrapper. The fold
+// itself is allocation-free; steady state should report 0 allocs/op.
+func BenchmarkPipelineAdd(b *testing.B) {
+	p, err := New(testSchema(b), 1, WithShards(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reps := benchReports(b, p, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Add(reps[i%len(reps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineAddBatch measures the columnar batch fold at the
+// batch-size axis of the ingest benchmark. One op folds one whole batch;
+// steady state must report 0 allocs/op — and therefore 0 allocs/report.
+func BenchmarkPipelineAddBatch(b *testing.B) {
+	for _, bs := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("size%d", bs), func(b *testing.B) {
+			p, err := New(testSchema(b), 1, WithShards(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := NewReportBatch()
+			for _, rep := range benchReports(b, p, bs) {
+				batch.Append(rep)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.AddBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*bs), "ns/report")
+		})
+	}
+}
+
+// BenchmarkBatchAppend measures building a batch from materialized
+// reports (the bench harness path; the server decodes wire frames into
+// the batch directly).
+func BenchmarkBatchAppend(b *testing.B) {
+	p, err := New(testSchema(b), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reps := benchReports(b, p, 1024)
+	batch := NewReportBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for _, rep := range reps {
+			batch.Append(rep)
+		}
+	}
+}

@@ -20,11 +20,16 @@
 // tuple because exactly one eps-LDP randomizer output is published.
 //
 // The server side is production-shaped: aggregation state is sharded
-// (WithShards), Add locks only one shard, and Snapshot/Merge never take a
-// global lock — they visit shards one at a time, so ingest on the other
-// shards proceeds concurrently. Legacy Algorithm-4 reports (the v1 wire
-// format, decoded as TaskJoint) fold into the same state, so a fleet of
-// old clients can keep reporting through a new server during migration.
+// (WithShards) and batch-first. The unit of ingest is the columnar
+// ReportBatch — AddBatch validates a whole batch without locks, then
+// folds one contiguous span per shard under a single lock acquisition,
+// with shard accumulators kept as flat sums and raw support counts so the
+// steady-state fold allocates nothing. Per-report Add is a thin wrapper
+// locking one shard, and Snapshot/Merge never take a global lock — they
+// visit shards one at a time, so ingest on the other shards proceeds
+// concurrently. Legacy Algorithm-4 reports (the v1 wire format, decoded
+// as TaskJoint) fold into the same state, so a fleet of old clients can
+// keep reporting through a new server during migration.
 package pipeline
 
 import (
@@ -168,18 +173,30 @@ type jointCompat struct {
 	bits    bool          // whether the oracle responses carry bitsets
 }
 
-// shard is one lock domain of the aggregation state.
+// shard is one lock domain of the aggregation state. Its accumulators are
+// flat arrays — numeric sums and raw frequency-oracle support counts per
+// attribute — so folding a report (or a whole batch span) is direct array
+// arithmetic with no estimator or interface indirection; Snapshot rebuilds
+// debiasing estimators from the counts. Everything is guarded by mu.
 type shard struct {
 	mu       sync.Mutex
 	nMean    int64
 	nFreq    int64
 	nJoint   int64
 	nRange   int64
-	meanSum  []float64              // mean-task numeric sums, indexed by attribute
-	jointSum []float64              // joint-report numeric sums
-	freqEst  []*freq.Estimator      // freq-task estimators; nil for numeric attrs
-	jointEst []*freq.Estimator      // joint-report estimators (different oracle params)
-	rangeAgg *rangequery.Aggregator // nil when the range task is absent
+	meanSum  []float64 // mean-task numeric sums, indexed by attribute
+	jointSum []float64 // joint-report numeric sums
+
+	// Frequency-oracle support counts, indexed by attribute (nil for
+	// numeric attributes), with per-attribute reporter counts. The freq
+	// task and legacy joint reports run their oracles at different
+	// budgets, so they accumulate separately.
+	freqCounts  [][]float64
+	freqN       []int64
+	jointCounts [][]float64
+	jointN      []int64
+
+	rangeAcc *rangequery.Accumulator // nil when the range task is absent
 }
 
 // Pipeline is the unified collector/aggregator. The randomization side
@@ -198,6 +215,22 @@ type Pipeline struct {
 	joint  jointCompat
 	shards []*shard
 	cursor atomic.Uint64
+
+	// rangeCheck validates range reports against the immutable collector
+	// configuration without touching any shard state.
+	rangeCheck *rangequery.Accumulator
+
+	// attrMeta caches per-attribute validation facts (kind, cardinality,
+	// bitset width) so the batch validator is a table-driven columnar loop
+	// instead of per-entry schema chasing.
+	attrMeta []attrMeta
+}
+
+// attrMeta is the per-attribute validation table entry.
+type attrMeta struct {
+	numeric bool
+	card    int32 // categorical cardinality
+	words   int32 // freq.BitsetWords(card)
 }
 
 // New builds a pipeline for schema s at total per-user budget eps. Tasks
@@ -255,6 +288,7 @@ func New(s *schema.Schema, eps float64, opts ...Option) (*Pipeline, error) {
 		}
 		p.rangeT = &RangeTask{col: col}
 		p.tasks = append(p.tasks, p.rangeT)
+		p.rangeCheck = rangequery.NewAccumulator(col)
 	}
 	if len(p.tasks) == 0 {
 		return nil, fmt.Errorf("pipeline: no tasks for this schema (no numeric or categorical attributes and no WithRange)")
@@ -302,6 +336,16 @@ func New(s *schema.Schema, eps float64, opts ...Option) (*Pipeline, error) {
 		p.joint.bits = freq.UsesBitset(p.joint.oracles[catIdx[0]])
 	}
 
+	p.attrMeta = make([]attrMeta, s.Dim())
+	for i, a := range s.Attrs {
+		m := attrMeta{numeric: a.Kind == schema.Numeric}
+		if !m.numeric {
+			m.card = int32(a.Cardinality)
+			m.words = int32(freq.BitsetWords(a.Cardinality))
+		}
+		p.attrMeta[i] = m
+	}
+
 	p.shards = make([]*shard, cfg.shards)
 	for i := range p.shards {
 		p.shards[i] = p.newShard()
@@ -316,21 +360,23 @@ func (p *Pipeline) newShard() *shard {
 		jointSum: make([]float64, d),
 	}
 	if p.freq != nil {
-		sh.freqEst = make([]*freq.Estimator, d)
+		sh.freqCounts = make([][]float64, d)
+		sh.freqN = make([]int64, d)
 		for _, j := range p.freq.catIdx {
-			sh.freqEst[j] = freq.NewEstimator(p.freq.oracles[j])
+			sh.freqCounts[j] = make([]float64, p.sch.Attrs[j].Cardinality)
 		}
 	}
 	if p.joint.oracles != nil {
-		sh.jointEst = make([]*freq.Estimator, d)
+		sh.jointCounts = make([][]float64, d)
+		sh.jointN = make([]int64, d)
 		for j, o := range p.joint.oracles {
 			if o != nil {
-				sh.jointEst[j] = freq.NewEstimator(o)
+				sh.jointCounts[j] = make([]float64, o.Cardinality())
 			}
 		}
 	}
 	if p.rangeT != nil {
-		sh.rangeAgg = rangequery.NewAggregator(p.rangeT.col)
+		sh.rangeAcc = rangequery.NewAccumulator(p.rangeT.col)
 	}
 	return sh
 }
@@ -401,7 +447,9 @@ func (p *Pipeline) Randomize(t schema.Tuple, r *rng.Rand) (Report, error) {
 // Add folds one report into the aggregate state. Reports are validated
 // against the schema and oracle shapes before any state changes, so a
 // malformed (or adversarial) report never corrupts or panics the
-// aggregator. Safe for concurrent use; only one shard is locked.
+// aggregator. Safe for concurrent use; only one shard is locked. Batch
+// ingest should prefer AddBatch, which amortizes the validation pass and
+// the lock round-trip over many reports.
 func (p *Pipeline) Add(rep Report) error {
 	if err := p.validate(rep); err != nil {
 		return err
@@ -409,6 +457,13 @@ func (p *Pipeline) Add(rep Report) error {
 	sh := p.shards[p.cursor.Add(1)%uint64(len(p.shards))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	p.foldReport(sh, rep)
+	return nil
+}
+
+// foldReport folds one validated report into a shard. The caller holds the
+// shard lock.
+func (p *Pipeline) foldReport(sh *shard, rep Report) {
 	switch rep.Task {
 	case TaskMean:
 		for _, e := range rep.Entries {
@@ -417,25 +472,113 @@ func (p *Pipeline) Add(rep Report) error {
 		sh.nMean++
 	case TaskFreq:
 		for _, e := range rep.Entries {
-			sh.freqEst[e.Attr].Add(e.Resp)
+			if e.Kind == core.EntryCategoricalBits {
+				freq.FoldBits(sh.freqCounts[e.Attr], e.Resp.Bits)
+			} else {
+				sh.freqCounts[e.Attr][e.Resp.Value]++
+			}
+			sh.freqN[e.Attr]++
 		}
 		sh.nFreq++
 	case TaskJoint:
 		for _, e := range rep.Entries {
-			if e.Kind == core.EntryNumeric {
+			switch e.Kind {
+			case core.EntryNumeric:
 				sh.jointSum[e.Attr] += e.Value
-			} else {
-				sh.jointEst[e.Attr].Add(e.Resp)
+			case core.EntryCategoricalBits:
+				freq.FoldBits(sh.jointCounts[e.Attr], e.Resp.Bits)
+				sh.jointN[e.Attr]++
+			default:
+				sh.jointCounts[e.Attr][e.Resp.Value]++
+				sh.jointN[e.Attr]++
 			}
 		}
 		sh.nJoint++
 	case TaskRange:
-		if err := sh.rangeAgg.Add(rep.Range); err != nil {
-			return err
-		}
+		sh.rangeAcc.FoldValidated(rep.Range)
 		sh.nRange++
 	}
+}
+
+// AddBatch folds a whole batch of reports into the aggregate state. The
+// batch is validated up front without any locks (a malformed report
+// rejects the batch before any state changes); the reports are then
+// partitioned into one contiguous span per shard and each span folds under
+// a single lock acquisition, so the per-report cost in the steady state is
+// pure array arithmetic: no allocation, no per-report locking, no
+// estimator indirection. The span-to-shard assignment rotates with every
+// batch, so concurrent AddBatch callers start on different shards and
+// small batches still spread across the shard set over time.
+//
+// The batch is only read; it can be reused (Reset) or returned to the pool
+// (PutBatch) as soon as AddBatch returns. Safe for concurrent use.
+func (p *Pipeline) AddBatch(b *ReportBatch) error {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	if err := p.validateBatch(b); err != nil {
+		return err
+	}
+	s := len(p.shards)
+	start := int(p.cursor.Add(1) % uint64(s))
+	for k := 0; k < s; k++ {
+		lo, hi := k*n/s, (k+1)*n/s
+		if lo == hi {
+			continue
+		}
+		sh := p.shards[(start+k)%s]
+		sh.mu.Lock()
+		p.foldSpan(sh, b, lo, hi)
+		sh.mu.Unlock()
+	}
 	return nil
+}
+
+// foldSpan folds the validated reports [lo, hi) of a batch into a shard:
+// pure array arithmetic, no validation, no allocation. The caller holds
+// the shard lock.
+func (p *Pipeline) foldSpan(sh *shard, b *ReportBatch, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		switch b.task[i] {
+		case TaskMean:
+			for e := b.entOff[i]; e < b.entOff[i+1]; e++ {
+				sh.meanSum[b.entAttr[e]] += b.entNum[e]
+			}
+			sh.nMean++
+		case TaskFreq:
+			for e := b.entOff[i]; e < b.entOff[i+1]; e++ {
+				attr := b.entAttr[e]
+				if core.EntryKind(b.entKind[e]) == core.EntryCategoricalBits {
+					off := b.entBitOff[e]
+					freq.FoldBits(sh.freqCounts[attr], b.bits[off:off+b.entBitLen[e]])
+				} else {
+					sh.freqCounts[attr][b.entCat[e]]++
+				}
+				sh.freqN[attr]++
+			}
+			sh.nFreq++
+		case TaskJoint:
+			for e := b.entOff[i]; e < b.entOff[i+1]; e++ {
+				attr := b.entAttr[e]
+				switch core.EntryKind(b.entKind[e]) {
+				case core.EntryNumeric:
+					sh.jointSum[attr] += b.entNum[e]
+				case core.EntryCategoricalBits:
+					off := b.entBitOff[e]
+					freq.FoldBits(sh.jointCounts[attr], b.bits[off:off+b.entBitLen[e]])
+					sh.jointN[attr]++
+				default:
+					sh.jointCounts[attr][b.entCat[e]]++
+					sh.jointN[attr]++
+				}
+			}
+			sh.nJoint++
+		case TaskRange:
+			sh.rangeAcc.FoldValidated(b.rangeAlias(i))
+			sh.nRange++
+		}
+	}
 }
 
 // Validate checks a report's shape against the pipeline configuration —
@@ -446,97 +589,197 @@ func (p *Pipeline) Add(rep Report) error {
 func (p *Pipeline) Validate(rep Report) error { return p.validate(rep) }
 
 func (p *Pipeline) validate(rep Report) error {
-	d := p.sch.Dim()
-	checkEntry := func(e core.Entry, wantBits bool) error {
-		if e.Attr < 0 || e.Attr >= d {
-			return fmt.Errorf("pipeline: entry attribute %d out of range [0,%d)", e.Attr, d)
-		}
-		a := p.sch.Attrs[e.Attr]
-		switch e.Kind {
-		case core.EntryNumeric:
-			if a.Kind != schema.Numeric {
-				return fmt.Errorf("pipeline: numeric entry for categorical attribute %q", a.Name)
-			}
-			if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
-				return fmt.Errorf("pipeline: non-finite value for attribute %q", a.Name)
-			}
-		case core.EntryCategoricalBits:
-			if a.Kind != schema.Categorical {
-				return fmt.Errorf("pipeline: categorical entry for numeric attribute %q", a.Name)
-			}
-			if !wantBits {
-				return fmt.Errorf("pipeline: bitset entry for attribute %q, but the oracle reports single values", a.Name)
-			}
-			if want := freq.BitsetWords(a.Cardinality); len(e.Resp.Bits) != want {
-				return fmt.Errorf("pipeline: attribute %q bitset has %d words, want %d", a.Name, len(e.Resp.Bits), want)
-			}
-		case core.EntryCategoricalValue:
-			if a.Kind != schema.Categorical {
-				return fmt.Errorf("pipeline: categorical entry for numeric attribute %q", a.Name)
-			}
-			if wantBits {
-				return fmt.Errorf("pipeline: value entry for attribute %q, but the oracle reports bitsets", a.Name)
-			}
-			if e.Resp.Value < 0 || e.Resp.Value >= a.Cardinality {
-				return fmt.Errorf("pipeline: attribute %q value %d outside [0,%d)", a.Name, e.Resp.Value, a.Cardinality)
-			}
-		default:
-			return fmt.Errorf("pipeline: unknown entry kind %d", e.Kind)
-		}
-		return nil
-	}
-	switch rep.Task {
-	case TaskMean:
-		if p.mean == nil {
-			return fmt.Errorf("pipeline: mean report but no mean task is registered")
-		}
-		if len(rep.Entries) == 0 || len(rep.Entries) > d {
-			return fmt.Errorf("pipeline: mean report with %d entries", len(rep.Entries))
-		}
-		for _, e := range rep.Entries {
-			if e.Kind != core.EntryNumeric {
-				return fmt.Errorf("pipeline: mean report with non-numeric entry")
-			}
-			if err := checkEntry(e, false); err != nil {
-				return err
-			}
-		}
-	case TaskFreq:
-		if p.freq == nil {
-			return fmt.Errorf("pipeline: freq report but no freq task is registered")
-		}
-		if len(rep.Entries) == 0 || len(rep.Entries) > d {
-			return fmt.Errorf("pipeline: freq report with %d entries", len(rep.Entries))
-		}
-		for _, e := range rep.Entries {
-			if e.Kind == core.EntryNumeric {
-				return fmt.Errorf("pipeline: freq report with numeric entry")
-			}
-			if err := checkEntry(e, p.freq.bits); err != nil {
-				return err
-			}
-		}
-	case TaskJoint:
-		if len(rep.Entries) == 0 || len(rep.Entries) > d {
-			return fmt.Errorf("pipeline: joint report with %d entries", len(rep.Entries))
-		}
-		for _, e := range rep.Entries {
-			if e.Kind != core.EntryNumeric && p.joint.oracles == nil {
-				return fmt.Errorf("pipeline: joint categorical entry but schema has no categorical attributes")
-			}
-			if err := checkEntry(e, p.joint.bits); err != nil {
-				return err
-			}
-		}
-	case TaskRange:
+	if rep.Task == TaskRange {
 		if p.rangeT == nil {
 			return fmt.Errorf("pipeline: range report but no range task is registered")
 		}
-		// Shard 0's aggregator shares the immutable collector config every
-		// shard validates against.
-		return p.shards[0].rangeAgg.Validate(rep.Range)
+		return p.rangeCheck.Validate(rep.Range)
+	}
+	wantBits, err := p.checkHeader(rep.Task, len(rep.Entries))
+	if err != nil {
+		return err
+	}
+	for _, e := range rep.Entries {
+		if err := p.checkEntry(rep.Task, e, wantBits); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateBatch checks every report of a batch against the pipeline
+// configuration without touching any shard state or materializing any
+// report: a table-driven loop over the columns (attrMeta carries the
+// per-attribute facts) with every accept-path check inlined; the detailed
+// error message is rebuilt through the scalar path only once a report is
+// known bad.
+func (p *Pipeline) validateBatch(b *ReportBatch) error {
+	meta := p.attrMeta
+	kinds, attrs := b.entKind, b.entAttr
+	d := len(meta)
+	hasMean, hasFreq := p.mean != nil, p.freq != nil
+	hasJoint := p.joint.oracles != nil
+	freqBits := hasFreq && p.freq.bits
+	jointBits := p.joint.bits
+	for i := 0; i < len(b.task); i++ {
+		task := b.task[i]
+		lo, hi := int(b.entOff[i]), int(b.entOff[i+1])
+		n := hi - lo
+		var wantBits, jointCats bool
+		switch task {
+		case TaskMean:
+			if !hasMean || n == 0 || n > d {
+				return p.validateSlow(b, i)
+			}
+			jointCats = true
+		case TaskFreq:
+			if !hasFreq || n == 0 || n > d {
+				return p.validateSlow(b, i)
+			}
+			wantBits, jointCats = freqBits, true
+		case TaskJoint:
+			if n == 0 || n > d {
+				return p.validateSlow(b, i)
+			}
+			wantBits, jointCats = jointBits, hasJoint
+		case TaskRange:
+			if p.rangeT == nil {
+				return fmt.Errorf("pipeline: report %d: range report but no range task is registered", i)
+			}
+			if err := p.rangeCheck.Validate(b.rangeAlias(i)); err != nil {
+				return fmt.Errorf("pipeline: report %d: %w", i, err)
+			}
+			continue
+		default:
+			return p.validateSlow(b, i)
+		}
+		for e := lo; e < hi; e++ {
+			ok := false
+			if a := attrs[e]; a >= 0 && int(a) < d {
+				m := meta[a]
+				switch core.EntryKind(kinds[e]) {
+				case core.EntryNumeric:
+					v := b.entNum[e]
+					ok = task != TaskFreq && m.numeric && !math.IsNaN(v) && !math.IsInf(v, 0)
+				case core.EntryCategoricalBits:
+					ok = task != TaskMean && !m.numeric && wantBits && jointCats &&
+						b.entBitLen[e] == m.words
+				case core.EntryCategoricalValue:
+					v := b.entCat[e]
+					ok = task != TaskMean && !m.numeric && !wantBits && jointCats &&
+						v >= 0 && v < m.card
+				}
+			}
+			if !ok {
+				return p.validateSlow(b, i)
+			}
+		}
+	}
+	return nil
+}
+
+// validateSlow re-validates report i of a batch through the scalar
+// checkers to produce the precise error message. It only runs once the
+// fast columnar pass has found the report (or its header) bad.
+func (p *Pipeline) validateSlow(b *ReportBatch, i int) error {
+	task := b.task[i]
+	lo, hi := b.entOff[i], b.entOff[i+1]
+	wantBits, err := p.checkHeader(task, int(hi-lo))
+	if err != nil {
+		return fmt.Errorf("pipeline: report %d: %w", i, err)
+	}
+	for e := lo; e < hi; e++ {
+		if err := p.checkEntry(task, b.entryAlias(e), wantBits); err != nil {
+			return fmt.Errorf("pipeline: report %d: %w", i, err)
+		}
+	}
+	return fmt.Errorf("pipeline: report %d: invalid entry", i)
+}
+
+// checkHeader validates the task tag and entry count of an entry-list
+// report and resolves the expected oracle response shape.
+func (p *Pipeline) checkHeader(task TaskKind, entries int) (wantBits bool, err error) {
+	d := p.sch.Dim()
+	switch task {
+	case TaskMean:
+		if p.mean == nil {
+			return false, fmt.Errorf("pipeline: mean report but no mean task is registered")
+		}
+		if entries == 0 || entries > d {
+			return false, fmt.Errorf("pipeline: mean report with %d entries", entries)
+		}
+		return false, nil
+	case TaskFreq:
+		if p.freq == nil {
+			return false, fmt.Errorf("pipeline: freq report but no freq task is registered")
+		}
+		if entries == 0 || entries > d {
+			return false, fmt.Errorf("pipeline: freq report with %d entries", entries)
+		}
+		return p.freq.bits, nil
+	case TaskJoint:
+		if entries == 0 || entries > d {
+			return false, fmt.Errorf("pipeline: joint report with %d entries", entries)
+		}
+		return p.joint.bits, nil
 	default:
-		return fmt.Errorf("pipeline: unknown task %v", rep.Task)
+		return false, fmt.Errorf("pipeline: unknown task %v", task)
+	}
+}
+
+// checkEntry validates one entry of an entry-list report: schema bounds,
+// kind consistency with both the task and the attribute, and oracle
+// response shape. It allocates nothing on the accept path.
+func (p *Pipeline) checkEntry(task TaskKind, e core.Entry, wantBits bool) error {
+	switch task {
+	case TaskMean:
+		if e.Kind != core.EntryNumeric {
+			return fmt.Errorf("pipeline: mean report with non-numeric entry")
+		}
+	case TaskFreq:
+		if e.Kind == core.EntryNumeric {
+			return fmt.Errorf("pipeline: freq report with numeric entry")
+		}
+	case TaskJoint:
+		if e.Kind != core.EntryNumeric && p.joint.oracles == nil {
+			return fmt.Errorf("pipeline: joint categorical entry but schema has no categorical attributes")
+		}
+	}
+	d := p.sch.Dim()
+	if e.Attr < 0 || e.Attr >= d {
+		return fmt.Errorf("pipeline: entry attribute %d out of range [0,%d)", e.Attr, d)
+	}
+	a := p.sch.Attrs[e.Attr]
+	switch e.Kind {
+	case core.EntryNumeric:
+		if a.Kind != schema.Numeric {
+			return fmt.Errorf("pipeline: numeric entry for categorical attribute %q", a.Name)
+		}
+		if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+			return fmt.Errorf("pipeline: non-finite value for attribute %q", a.Name)
+		}
+	case core.EntryCategoricalBits:
+		if a.Kind != schema.Categorical {
+			return fmt.Errorf("pipeline: categorical entry for numeric attribute %q", a.Name)
+		}
+		if !wantBits {
+			return fmt.Errorf("pipeline: bitset entry for attribute %q, but the oracle reports single values", a.Name)
+		}
+		if want := freq.BitsetWords(a.Cardinality); len(e.Resp.Bits) != want {
+			return fmt.Errorf("pipeline: attribute %q bitset has %d words, want %d", a.Name, len(e.Resp.Bits), want)
+		}
+	case core.EntryCategoricalValue:
+		if a.Kind != schema.Categorical {
+			return fmt.Errorf("pipeline: categorical entry for numeric attribute %q", a.Name)
+		}
+		if wantBits {
+			return fmt.Errorf("pipeline: value entry for attribute %q, but the oracle reports bitsets", a.Name)
+		}
+		if e.Resp.Value < 0 || e.Resp.Value >= a.Cardinality {
+			return fmt.Errorf("pipeline: attribute %q value %d outside [0,%d)", a.Name, e.Resp.Value, a.Cardinality)
+		}
+	default:
+		return fmt.Errorf("pipeline: unknown entry kind %d", e.Kind)
 	}
 	return nil
 }
@@ -614,16 +857,17 @@ func (p *Pipeline) Snapshot() *Result {
 		}
 		for i := range res.freqEst {
 			if res.freqEst[i] != nil {
-				res.freqEst[i].Merge(sh.freqEst[i])
+				// Shapes match by construction; AddCounts cannot fail.
+				_ = res.freqEst[i].AddCounts(sh.freqCounts[i], sh.freqN[i])
 			}
 		}
 		for i := range res.jointEst {
 			if res.jointEst[i] != nil {
-				res.jointEst[i].Merge(sh.jointEst[i])
+				_ = res.jointEst[i].AddCounts(sh.jointCounts[i], sh.jointN[i])
 			}
 		}
 		if res.rangeAgg != nil {
-			res.rangeAgg.Merge(sh.rangeAgg)
+			res.rangeAgg.MergeAccumulator(sh.rangeAcc)
 		}
 		sh.mu.Unlock()
 	}
@@ -643,52 +887,50 @@ func (p *Pipeline) Merge(o *Pipeline) error {
 		// Copy the source shard without holding any destination lock.
 		src.mu.Lock()
 		tmp := p.newShard()
-		tmp.nMean, tmp.nFreq, tmp.nJoint, tmp.nRange = src.nMean, src.nFreq, src.nJoint, src.nRange
-		copy(tmp.meanSum, src.meanSum)
-		copy(tmp.jointSum, src.jointSum)
-		for j := range tmp.freqEst {
-			if tmp.freqEst[j] != nil {
-				tmp.freqEst[j].Merge(src.freqEst[j])
-			}
-		}
-		for j := range tmp.jointEst {
-			if tmp.jointEst[j] != nil {
-				tmp.jointEst[j].Merge(src.jointEst[j])
-			}
-		}
-		if tmp.rangeAgg != nil {
-			tmp.rangeAgg.Merge(src.rangeAgg)
-		}
+		tmp.addShard(src)
 		src.mu.Unlock()
 
 		dst := p.shards[i%len(p.shards)]
 		dst.mu.Lock()
-		dst.nMean += tmp.nMean
-		dst.nFreq += tmp.nFreq
-		dst.nJoint += tmp.nJoint
-		dst.nRange += tmp.nRange
-		for j, v := range tmp.meanSum {
-			dst.meanSum[j] += v
-		}
-		for j, v := range tmp.jointSum {
-			dst.jointSum[j] += v
-		}
-		for j := range dst.freqEst {
-			if dst.freqEst[j] != nil {
-				dst.freqEst[j].Merge(tmp.freqEst[j])
-			}
-		}
-		for j := range dst.jointEst {
-			if dst.jointEst[j] != nil {
-				dst.jointEst[j].Merge(tmp.jointEst[j])
-			}
-		}
-		if dst.rangeAgg != nil {
-			dst.rangeAgg.Merge(tmp.rangeAgg)
-		}
+		dst.addShard(tmp)
 		dst.mu.Unlock()
 	}
 	return nil
+}
+
+// addShard folds another shard's state into this one. Both shards must be
+// built by the same pipeline configuration; the caller holds whatever
+// locks guard the two shards.
+func (sh *shard) addShard(o *shard) {
+	sh.nMean += o.nMean
+	sh.nFreq += o.nFreq
+	sh.nJoint += o.nJoint
+	sh.nRange += o.nRange
+	for j, v := range o.meanSum {
+		sh.meanSum[j] += v
+	}
+	for j, v := range o.jointSum {
+		sh.jointSum[j] += v
+	}
+	for j, counts := range o.freqCounts {
+		for v, c := range counts {
+			sh.freqCounts[j][v] += c
+		}
+	}
+	for j, n := range o.freqN {
+		sh.freqN[j] += n
+	}
+	for j, counts := range o.jointCounts {
+		for v, c := range counts {
+			sh.jointCounts[j][v] += c
+		}
+	}
+	for j, n := range o.jointN {
+		sh.jointN[j] += n
+	}
+	if sh.rangeAcc != nil {
+		sh.rangeAcc.Merge(o.rangeAcc)
+	}
 }
 
 // compatible checks that o's configuration matches p's closely enough to

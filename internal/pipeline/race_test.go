@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 
+	"ldp/internal/core"
+	"ldp/internal/freq"
 	"ldp/internal/rangequery"
 	"ldp/internal/rng"
 )
@@ -99,6 +101,107 @@ func TestPipelineConcurrentIngest(t *testing.T) {
 	}
 	if got := p.Snapshot().N(); got != want {
 		t.Fatalf("after concurrent ingest snapshot N = %d, want %d", got, want)
+	}
+}
+
+// TestPipelineAddBatchSnapshotMergeRace interleaves AddBatch with
+// Snapshot and Merge under load (run it with -race, as the CI race job
+// does). Every mean report in the batch contributes exactly 1.0 to the
+// "age" sum, so any snapshot must observe Mean("age") == 1.0 exactly: a
+// torn shard read — a report count visible without its sum, or half a
+// batch span — would break the equality. The same batch value is shared
+// by every writer, which also proves AddBatch treats batches as
+// read-only.
+func TestPipelineAddBatchSnapshotMergeRace(t *testing.T) {
+	s := testSchema(t)
+	newP := func() *Pipeline {
+		p, err := New(s, 1, WithShards(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p := newP()
+
+	const (
+		meanPerBatch = 33
+		freqPerBatch = 17
+		writers      = 4
+		perWriter    = 150
+		mergers      = 2
+		perMerger    = 20
+		snapshots    = 150
+	)
+	shared := NewReportBatch()
+	gbits := freq.NewBitset(2)
+	gbits.Set(1)
+	for i := 0; i < meanPerBatch; i++ {
+		shared.Append(Report{Task: TaskMean, Entries: []core.Entry{
+			{Attr: 0, Kind: core.EntryNumeric, Value: 1},
+		}})
+	}
+	for i := 0; i < freqPerBatch; i++ {
+		shared.Append(Report{Task: TaskFreq, Entries: []core.Entry{
+			{Attr: 2, Kind: core.EntryCategoricalBits, Resp: freq.Response{Bits: gbits}},
+		}})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := p.AddBatch(shared); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for m := 0; m < mergers; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perMerger; i++ {
+				other := newP()
+				if err := other.AddBatch(shared); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := p.Merge(other); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < snapshots; i++ {
+			res := p.Snapshot()
+			if res.NTask(TaskMean) == 0 {
+				continue
+			}
+			if m, err := res.Mean("age"); err != nil || m != 1 {
+				t.Errorf("torn snapshot: Mean(age) = %v, %v (want exactly 1)", m, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	batches := int64(writers*perWriter + mergers*perMerger)
+	if got, want := p.N(), batches*(meanPerBatch+freqPerBatch); got != want {
+		t.Fatalf("after concurrent batch ingest N = %d, want %d", got, want)
+	}
+	res := p.Snapshot()
+	if got, want := res.NTask(TaskMean), batches*meanPerBatch; got != want {
+		t.Fatalf("snapshot mean count = %d, want %d", got, want)
+	}
+	if m, _ := res.Mean("age"); m != 1 {
+		t.Fatalf("final Mean(age) = %v, want exactly 1", m)
 	}
 }
 

@@ -170,21 +170,22 @@ func (c *Collector) Perturb(t schema.Tuple, r *rng.Rand) (Report, error) {
 	return Report{Kind: KindHier, Attr: attr, Depth: hr.Depth, Resp: hr.Resp}, nil
 }
 
-// Aggregator is the server-side estimator for range reports. It is safe
-// for concurrent use.
-type Aggregator struct {
-	col *Collector
-
-	mu    sync.Mutex
+// Accumulator is the unlocked estimator state for range reports: the
+// per-attribute hierarchies and per-pair grids of one aggregation domain.
+// It is not safe for concurrent use — callers provide their own locking
+// (the sharded pipeline guards one Accumulator per shard with the shard
+// lock; Aggregator wraps one in a mutex for standalone use).
+type Accumulator struct {
+	col   *Collector
 	n     int64
 	hier  map[int]*HierEstimator // keyed by schema attribute index
 	grids []*GridEstimator       // aligned with col.pairs; nil when disabled
 }
 
-// NewAggregator creates an aggregator matching the collector's
+// NewAccumulator creates unlocked estimator state matching the collector's
 // configuration.
-func NewAggregator(c *Collector) *Aggregator {
-	a := &Aggregator{col: c, hier: make(map[int]*HierEstimator, len(c.numeric))}
+func NewAccumulator(c *Collector) *Accumulator {
+	a := &Accumulator{col: c, hier: make(map[int]*HierEstimator, len(c.numeric))}
 	for _, attr := range c.numeric {
 		a.hier[attr] = NewHierEstimator(c.hier)
 	}
@@ -197,18 +198,18 @@ func NewAggregator(c *Collector) *Aggregator {
 	return a
 }
 
-// Collector returns the collector configuration this aggregator matches.
-func (a *Aggregator) Collector() *Collector { return a.col }
+// Collector returns the collector configuration this accumulator matches.
+func (a *Accumulator) Collector() *Collector { return a.col }
 
-// Schema returns the source schema.
-func (a *Aggregator) Schema() *schema.Schema { return a.col.disc.src }
+// N returns the number of reports folded in.
+func (a *Accumulator) N() int64 { return a.n }
 
-// Validate checks a report against the aggregator's configuration without
+// Validate checks a report against the accumulator's configuration without
 // mutating any state. It reads only configuration that is immutable after
-// construction, so it needs no lock and is safe to call concurrently with
-// Add (batch ingest uses it to validate a whole batch before folding any
-// of it in).
-func (a *Aggregator) Validate(rep Report) error {
+// construction, so it is safe to call concurrently with folds on other
+// accumulators of the same collector (batch ingest validates a whole batch
+// before folding any of it in).
+func (a *Accumulator) Validate(rep Report) error {
 	switch rep.Kind {
 	case KindHier:
 		est, ok := a.hier[rep.Attr]
@@ -229,71 +230,76 @@ func (a *Aggregator) Validate(rep Report) error {
 	}
 }
 
-// Add folds one report into the aggregate state.
-func (a *Aggregator) Add(rep Report) error {
+// Add validates and folds one report in.
+func (a *Accumulator) Add(rep Report) error {
 	if err := a.Validate(rep); err != nil {
 		return err
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	switch rep.Kind {
-	case KindHier:
-		if err := a.hier[rep.Attr].Add(HierReport{Depth: rep.Depth, Resp: rep.Resp}); err != nil {
-			return err
-		}
-	case KindGrid:
-		if err := a.grids[rep.Pair].Add(rep.Resp); err != nil {
-			return err
-		}
-	}
-	a.n++
+	a.FoldValidated(rep)
 	return nil
 }
 
-// N returns the number of reports received.
-func (a *Aggregator) N() int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.n
+// FoldValidated folds one report that has already passed Validate,
+// without re-checking it: the batch ingest path validates lock-free up
+// front and calls this inside the shard critical section.
+func (a *Accumulator) FoldValidated(rep Report) {
+	switch rep.Kind {
+	case KindHier:
+		a.hier[rep.Attr].levels[rep.Depth-1].Add(rep.Resp)
+	case KindGrid:
+		a.grids[rep.Pair].inner.Add(rep.Resp)
+	}
+	a.n++
 }
 
-// Merge combines another aggregator built from the same collector. The
-// source is snapshotted under its own lock before this aggregator locks,
-// so concurrent cross-merges (and self-merges) cannot deadlock.
-func (a *Aggregator) Merge(o *Aggregator) {
-	o.mu.Lock()
-	on := o.n
-	hierCopies := make(map[int]*HierEstimator, len(o.hier))
-	for attr, est := range o.hier {
-		hierCopies[attr] = est.clone()
-	}
-	var gridCopies []*GridEstimator
-	if o.grids != nil {
-		gridCopies = make([]*GridEstimator, len(o.grids))
-		for i, g := range o.grids {
-			gridCopies[i] = g.clone()
+// FoldBatch validates every report, then folds them all in: the batch
+// either folds completely or (on the first invalid report) not at all.
+func (a *Accumulator) FoldBatch(reps []Report) error {
+	for i, rep := range reps {
+		if err := a.Validate(rep); err != nil {
+			return fmt.Errorf("rangequery: report %d: %w", i, err)
 		}
 	}
-	o.mu.Unlock()
+	for _, rep := range reps {
+		a.FoldValidated(rep)
+	}
+	return nil
+}
 
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.n += on
+// Merge folds another accumulator built from the same collector into this
+// one. The source is only read; the caller is responsible for excluding
+// concurrent writers on both sides.
+func (a *Accumulator) Merge(o *Accumulator) {
+	a.n += o.n
 	for attr, est := range a.hier {
-		est.Merge(hierCopies[attr])
+		est.Merge(o.hier[attr])
 	}
 	for i, g := range a.grids {
-		g.Merge(gridCopies[i])
+		g.Merge(o.grids[i])
 	}
+}
+
+// clone deep-copies the accumulator (Aggregator.Merge snapshots sources
+// with it so cross-merges cannot deadlock).
+func (a *Accumulator) clone() *Accumulator {
+	c := &Accumulator{col: a.col, n: a.n, hier: make(map[int]*HierEstimator, len(a.hier))}
+	for attr, est := range a.hier {
+		c.hier[attr] = est.clone()
+	}
+	if a.grids != nil {
+		c.grids = make([]*GridEstimator, len(a.grids))
+		for i, g := range a.grids {
+			c.grids[i] = g.clone()
+		}
+	}
+	return c
 }
 
 // Range1D estimates the fraction of users whose numeric attribute attr
 // (schema index) lies in [lo, hi], from that attribute's hierarchical
 // interval estimates. Query endpoints are rounded outward to bucket
 // boundaries (see Discretizer.Span).
-func (a *Aggregator) Range1D(attr int, lo, hi float64) (float64, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+func (a *Accumulator) Range1D(attr int, lo, hi float64) (float64, error) {
 	est, ok := a.hier[attr]
 	if !ok {
 		return 0, fmt.Errorf("rangequery: attribute %d is not a numeric attribute of the schema", attr)
@@ -309,9 +315,7 @@ func (a *Aggregator) Range1D(attr int, lo, hi float64) (float64, error) {
 // AND attribute aj in [blo, bhi], from the pair's consistent 2-D grid.
 // The attribute order is free: (ai, aj) and (aj, ai) answer the same
 // query.
-func (a *Aggregator) Range2D(ai, aj int, alo, ahi, blo, bhi float64) (float64, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+func (a *Accumulator) Range2D(ai, aj int, alo, ahi, blo, bhi float64) (float64, error) {
 	if a.grids == nil {
 		return 0, fmt.Errorf("rangequery: 2-D grids are disabled in this collector")
 	}
@@ -329,10 +333,118 @@ func (a *Aggregator) Range2D(ai, aj int, alo, ahi, blo, bhi float64) (float64, e
 
 // Hier returns the hierarchical estimator of numeric attribute attr
 // (schema index), or nil if the attribute has none.
+func (a *Accumulator) Hier(attr int) *HierEstimator { return a.hier[attr] }
+
+// GridFor returns the grid estimator of pair index p (see
+// Collector.Pairs), or nil when grids are disabled.
+func (a *Accumulator) GridFor(p int) *GridEstimator {
+	if a.grids == nil || p < 0 || p >= len(a.grids) {
+		return nil
+	}
+	return a.grids[p]
+}
+
+// Aggregator is the concurrency-safe server-side estimator for range
+// reports: an Accumulator behind one mutex. The sharded pipeline bypasses
+// it and guards one Accumulator per shard with the shard lock instead.
+type Aggregator struct {
+	mu  sync.Mutex
+	acc *Accumulator
+}
+
+// NewAggregator creates an aggregator matching the collector's
+// configuration.
+func NewAggregator(c *Collector) *Aggregator {
+	return &Aggregator{acc: NewAccumulator(c)}
+}
+
+// Collector returns the collector configuration this aggregator matches.
+func (a *Aggregator) Collector() *Collector { return a.acc.col }
+
+// Schema returns the source schema.
+func (a *Aggregator) Schema() *schema.Schema { return a.acc.col.disc.src }
+
+// Validate checks a report against the aggregator's configuration without
+// mutating any state; it needs no lock (see Accumulator.Validate).
+func (a *Aggregator) Validate(rep Report) error { return a.acc.Validate(rep) }
+
+// Add validates and folds one report into the aggregate state.
+func (a *Aggregator) Add(rep Report) error {
+	if err := a.acc.Validate(rep); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.acc.FoldValidated(rep)
+	return nil
+}
+
+// FoldBatch validates every report without the lock, then folds the whole
+// batch under a single lock acquisition.
+func (a *Aggregator) FoldBatch(reps []Report) error {
+	for i, rep := range reps {
+		if err := a.acc.Validate(rep); err != nil {
+			return fmt.Errorf("rangequery: report %d: %w", i, err)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, rep := range reps {
+		a.acc.FoldValidated(rep)
+	}
+	return nil
+}
+
+// N returns the number of reports received.
+func (a *Aggregator) N() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acc.n
+}
+
+// Merge combines another aggregator built from the same collector. The
+// source is snapshotted under its own lock before this aggregator locks,
+// so concurrent cross-merges (and self-merges) cannot deadlock.
+func (a *Aggregator) Merge(o *Aggregator) {
+	o.mu.Lock()
+	snap := o.acc.clone()
+	o.mu.Unlock()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.acc.Merge(snap)
+}
+
+// MergeAccumulator folds an unlocked accumulator's state in (the sharded
+// pipeline's snapshot path: the caller holds whatever lock guards acc).
+func (a *Aggregator) MergeAccumulator(acc *Accumulator) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.acc.Merge(acc)
+}
+
+// Range1D estimates the fraction of users whose numeric attribute attr
+// (schema index) lies in [lo, hi]; see Accumulator.Range1D.
+func (a *Aggregator) Range1D(attr int, lo, hi float64) (float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acc.Range1D(attr, lo, hi)
+}
+
+// Range2D estimates the mass of a conjunctive 2-D range; see
+// Accumulator.Range2D.
+func (a *Aggregator) Range2D(ai, aj int, alo, ahi, blo, bhi float64) (float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acc.Range2D(ai, aj, alo, ahi, blo, bhi)
+}
+
+// Hier returns the hierarchical estimator of numeric attribute attr
+// (schema index), or nil if the attribute has none.
 func (a *Aggregator) Hier(attr int) *HierEstimator {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.hier[attr]
+	return a.acc.hier[attr]
 }
 
 // GridFor returns the grid estimator of pair index p (see
@@ -340,8 +452,5 @@ func (a *Aggregator) Hier(attr int) *HierEstimator {
 func (a *Aggregator) GridFor(p int) *GridEstimator {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.grids == nil || p < 0 || p >= len(a.grids) {
-		return nil
-	}
-	return a.grids[p]
+	return a.acc.GridFor(p)
 }

@@ -319,3 +319,77 @@ func TestMergeNoDeadlock(t *testing.T) {
 		t.Errorf("self-merge N = %d, want %d", self.N(), 2*n)
 	}
 }
+
+// TestFoldBatch: the batch entry points fold exactly like per-report Add,
+// and one invalid report rejects the whole batch before any state change.
+func TestFoldBatch(t *testing.T) {
+	s := twoNumSchema(t)
+	c, err := NewCollector(s, 1, Config{Buckets: 32, GridCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reps []Report
+	for i := 0; i < 400; i++ {
+		r := rng.NewStream(41, uint64(i))
+		tp := schema.NewTuple(s)
+		tp.Num[0] = rng.TruncGauss(r, 0.1, 0.4, -1, 1)
+		tp.Num[1] = rng.TruncGauss(r, -0.2, 0.5, -1, 1)
+		tp.Cat[2] = r.IntN(5)
+		rep, err := c.Perturb(tp, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+	}
+
+	one, batch := NewAggregator(c), NewAggregator(c)
+	for _, rep := range reps {
+		if err := one.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batch.FoldBatch(reps); err != nil {
+		t.Fatal(err)
+	}
+	if one.N() != batch.N() {
+		t.Fatalf("N %d != %d", batch.N(), one.N())
+	}
+	for _, span := range [][2]float64{{-1, 1}, {-0.5, 0.5}, {0, 0.9}} {
+		a, err := one.Range1D(0, span[0], span[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := batch.Range1D(0, span[0], span[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("Range1D%v: %v != %v", span, b, a)
+		}
+	}
+
+	// A bad report anywhere rejects the batch atomically.
+	bad := append(append([]Report{}, reps[:3]...), Report{Kind: KindHier, Attr: 0, Depth: 99})
+	fresh := NewAggregator(c)
+	if err := fresh.FoldBatch(bad); err == nil {
+		t.Fatal("FoldBatch accepted an invalid depth")
+	}
+	if fresh.N() != 0 {
+		t.Fatalf("rejected batch still folded %d reports", fresh.N())
+	}
+
+	// The unlocked Accumulator batch path behaves identically.
+	acc := NewAccumulator(c)
+	if err := acc.FoldBatch(reps); err != nil {
+		t.Fatal(err)
+	}
+	if acc.N() != one.N() {
+		t.Fatalf("accumulator N %d != %d", acc.N(), one.N())
+	}
+	if err := acc.FoldBatch(bad); err == nil {
+		t.Fatal("Accumulator.FoldBatch accepted an invalid depth")
+	}
+	if acc.N() != one.N() {
+		t.Fatal("rejected batch changed accumulator state")
+	}
+}

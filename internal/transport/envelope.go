@@ -3,6 +3,7 @@ package transport
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"ldp/internal/pipeline"
 )
@@ -31,77 +32,51 @@ const (
 // EncodeEnvelope serializes a unified report into the versioned,
 // task-multiplexed wire envelope.
 func EncodeEnvelope(rep pipeline.Report) ([]byte, error) {
-	var payload []byte
+	return AppendEnvelope(nil, rep)
+}
+
+// AppendEnvelope appends a report's wire envelope to dst and returns the
+// extended buffer. When dst has capacity it allocates nothing, so a client
+// can assemble a whole batch upload into one reused buffer.
+func AppendEnvelope(dst []byte, rep pipeline.Report) ([]byte, error) {
+	switch rep.Task {
+	case pipeline.TaskMean, pipeline.TaskFreq, pipeline.TaskJoint, pipeline.TaskRange:
+	default:
+		return dst, fmt.Errorf("transport: cannot encode task %v", rep.Task)
+	}
+	start := len(dst)
+	dst = append(dst, wireMagic...)
+	dst = append(dst, wireEnvelopeVersion, 0, 0, 0, 0) // length backfilled below
+	payloadStart := len(dst)
 	switch rep.Task {
 	case pipeline.TaskMean:
-		payload = appendEntries([]byte{envTaskMean}, rep.Entries)
+		dst = appendEntries(append(dst, envTaskMean), rep.Entries)
 	case pipeline.TaskFreq:
-		payload = appendEntries([]byte{envTaskFreq}, rep.Entries)
+		dst = appendEntries(append(dst, envTaskFreq), rep.Entries)
 	case pipeline.TaskJoint:
-		payload = appendEntries([]byte{envTaskJoint}, rep.Entries)
+		dst = appendEntries(append(dst, envTaskJoint), rep.Entries)
 	case pipeline.TaskRange:
-		payload = appendRangeReport([]byte{envTaskRange}, rep.Range)
-	default:
-		return nil, fmt.Errorf("transport: cannot encode task %v", rep.Task)
+		dst = appendRangeReport(append(dst, envTaskRange), rep.Range)
 	}
-	return encodeFrame(wireMagic, wireEnvelopeVersion, payload), nil
+	binary.LittleEndian.PutUint32(dst[start+5:], uint32(len(dst)-payloadStart))
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[payloadStart:])), nil
 }
 
 // DecodeEnvelope parses any report frame the system has ever produced into
 // a unified report: v2 envelopes, legacy v1 report frames (as TaskJoint),
 // and legacy v1 range frames (as TaskRange). Unknown magics, versions, and
 // task tags are errors; malformed frames never panic.
+//
+// It is a materializing wrapper over the columnar batch decoder — one
+// decode implementation serves both paths, so they cannot drift apart in
+// what they accept.
 func DecodeEnvelope(frame []byte) (pipeline.Report, error) {
-	magic, version, payload, err := parseFrame(frame)
-	if err != nil {
+	b := pipeline.GetBatch()
+	defer pipeline.PutBatch(b)
+	if err := decodeFrameInto(frame, b); err != nil {
 		return pipeline.Report{}, err
 	}
-	switch {
-	case magic == wireMagic && version == wireEnvelopeVersion:
-		if len(payload) < 1 {
-			return pipeline.Report{}, ErrTruncated
-		}
-		tag, body := payload[0], payload[1:]
-		switch tag {
-		case envTaskMean, envTaskFreq, envTaskJoint:
-			entries, err := decodeEntries(body)
-			if err != nil {
-				return pipeline.Report{}, err
-			}
-			task := pipeline.TaskMean
-			switch tag {
-			case envTaskFreq:
-				task = pipeline.TaskFreq
-			case envTaskJoint:
-				task = pipeline.TaskJoint
-			}
-			return pipeline.Report{Task: task, Entries: entries}, nil
-		case envTaskRange:
-			rr, err := decodeRangeReport(body)
-			if err != nil {
-				return pipeline.Report{}, err
-			}
-			return pipeline.Report{Task: pipeline.TaskRange, Range: rr}, nil
-		default:
-			return pipeline.Report{}, fmt.Errorf("transport: unknown envelope task tag %d", tag)
-		}
-	case magic == wireMagic && version == wireVersion:
-		entries, err := decodeEntries(payload)
-		if err != nil {
-			return pipeline.Report{}, err
-		}
-		return pipeline.Report{Task: pipeline.TaskJoint, Entries: entries}, nil
-	case magic == wireRangeMagic && version == wireRangeVersion:
-		rr, err := decodeRangeReport(payload)
-		if err != nil {
-			return pipeline.Report{}, err
-		}
-		return pipeline.Report{Task: pipeline.TaskRange, Range: rr}, nil
-	case magic == wireMagic || magic == wireRangeMagic:
-		return pipeline.Report{}, fmt.Errorf("%w: %d", ErrBadVersion, version)
-	default:
-		return pipeline.Report{}, ErrBadMagic
-	}
+	return b.Report(0), nil
 }
 
 // FrameLen returns the total length of the frame starting at buf[0], from
@@ -137,21 +112,44 @@ func SplitFrames(buf []byte) ([][]byte, error) {
 	return frames, nil
 }
 
+// replayBatchSize bounds how many replayed frames accumulate in the
+// columnar batch before a flush into the pipeline.
+const replayBatchSize = 1024
+
 // ReplayPipeline rebuilds pipeline state from persisted frames (any
 // format DecodeEnvelope accepts), e.g. at server startup with
-// reportlog.Replay.
+// reportlog.Replay. Frames are decoded into a pooled columnar batch and
+// folded in replayBatchSize chunks through Pipeline.AddBatch, so replaying
+// a large log runs at batch-ingest speed. It returns the number of frames
+// decoded; on error, frames of the failing chunk may not have been folded.
 func ReplayPipeline(p *pipeline.Pipeline, frames func(fn func(payload []byte) error) error) (int, error) {
+	b := pipeline.GetBatch()
+	defer pipeline.PutBatch(b)
 	n := 0
-	err := frames(func(payload []byte) error {
-		rep, err := DecodeEnvelope(payload)
-		if err != nil {
-			return fmt.Errorf("transport: replay frame %d: %w", n, err)
+	flush := func() error {
+		if b.Len() == 0 {
+			return nil
 		}
-		if err := p.Add(rep); err != nil {
+		if err := p.AddBatch(b); err != nil {
+			return fmt.Errorf("transport: replay frames %d..%d: %w", n-b.Len(), n-1, err)
+		}
+		b.Reset()
+		return nil
+	}
+	err := frames(func(payload []byte) error {
+		mark := b.Mark()
+		if err := decodeFrameInto(payload, b); err != nil {
+			b.Truncate(mark)
 			return fmt.Errorf("transport: replay frame %d: %w", n, err)
 		}
 		n++
+		if b.Len() >= replayBatchSize {
+			return flush()
+		}
 		return nil
 	})
-	return n, err
+	if err != nil {
+		return n, err
+	}
+	return n, flush()
 }

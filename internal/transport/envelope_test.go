@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -412,7 +413,10 @@ func TestReplayPipeline(t *testing.T) {
 	a, b := p.Snapshot(), fresh.Snapshot()
 	ma, _ := a.Mean("age")
 	mb, _ := b.Mean("age")
-	if ma != mb {
+	// Batch replay partitions reports across shards differently from the
+	// original per-report ingest, so the float sums may differ by a few
+	// ulps from the different addition order.
+	if math.Abs(ma-mb) > 1e-12 {
 		t.Errorf("replayed mean %v != original %v", mb, ma)
 	}
 }

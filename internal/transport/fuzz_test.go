@@ -202,3 +202,88 @@ func FuzzDecodeRangeReport(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatch differentially checks the columnar batch decoder
+// against the materializing per-frame path: for any body, DecodeBatch
+// must decode exactly the frames SplitFrames+DecodeEnvelope would, into
+// identical reports, and keep the complete prefix when a later frame is
+// malformed — without ever panicking.
+func FuzzDecodeBatch(f *testing.F) {
+	s, err := schema.New(
+		schema.Attribute{Name: "x", Kind: schema.Numeric},
+		schema.Attribute{Name: "y", Kind: schema.Numeric},
+		schema.Attribute{Name: "c", Kind: schema.Categorical, Cardinality: 70},
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := pipeline.New(s, 2, pipeline.WithRange(rangequery.Config{Buckets: 32, GridCells: 4}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := rng.New(23)
+	var body []byte
+	for i := 0; i < 8; i++ {
+		tup := schema.NewTuple(s)
+		tup.Num[0] = rng.Uniform(r, -1, 1)
+		tup.Num[1] = rng.Uniform(r, -1, 1)
+		tup.Cat[2] = r.IntN(70)
+		rep, err := p.Randomize(tup, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		body, err = AppendEnvelope(body, rep)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), body...)) // growing multi-frame bodies
+	}
+	f.Add(append(append([]byte(nil), body...), body[:11]...)) // trailing partial frame
+	f.Add([]byte{})
+	f.Add([]byte("LDPR\x02\x04\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > MaxBatchSize {
+			return
+		}
+		b := pipeline.NewReportBatch()
+		n, err := DecodeBatch(body, b)
+		if b.Len() != n {
+			t.Fatalf("DecodeBatch returned %d but batch holds %d reports", n, b.Len())
+		}
+		frames, serr := SplitFrames(body)
+		if err == nil {
+			if serr != nil {
+				t.Fatalf("DecodeBatch accepted a body SplitFrames rejects: %v", serr)
+			}
+			if n != len(frames) {
+				t.Fatalf("DecodeBatch decoded %d frames, SplitFrames found %d", n, len(frames))
+			}
+		}
+		// Every decoded report must match the materializing decoder.
+		// (SplitFrames returns nothing on a truncated body, so re-slice
+		// the decoded prefix by frame length instead.)
+		off := 0
+		for i := 0; i < n; i++ {
+			flen, ferr := FrameLen(body[off:])
+			if ferr != nil || flen > len(body)-off {
+				t.Fatalf("frame %d: batch decoder accepted an unframeable prefix: %v", i, ferr)
+			}
+			want, derr := DecodeEnvelope(body[off : off+flen])
+			if derr != nil {
+				t.Fatalf("frame %d: batch decoder accepted what DecodeEnvelope rejects: %v", i, derr)
+			}
+			if !pipelineReportsEqual(want, b.Report(i)) {
+				t.Fatalf("frame %d decodes differently through the batch path", i)
+			}
+			off += flen
+		}
+		// A content error (well-formed framing, bad payload) must be
+		// reproducible on the failing frame.
+		if err != nil && serr == nil && n < len(frames) {
+			if _, derr := DecodeEnvelope(frames[n]); derr == nil {
+				t.Fatalf("batch decoder rejected frame %d that DecodeEnvelope accepts: %v", n, err)
+			}
+		}
+	})
+}

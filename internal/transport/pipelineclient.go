@@ -115,11 +115,11 @@ func (c *PipelineClient) SendReports(ctx context.Context, reps []pipeline.Report
 	}
 	var body []byte
 	for i, rep := range reps {
-		frame, err := EncodeEnvelope(rep)
+		var err error
+		body, err = AppendEnvelope(body, rep)
 		if err != nil {
 			return fmt.Errorf("transport: encode report %d: %w", i, err)
 		}
-		body = append(body, frame...)
 	}
 	if len(body) > MaxBatchSize {
 		return fmt.Errorf("transport: batch of %d bytes exceeds limit %d", len(body), MaxBatchSize)

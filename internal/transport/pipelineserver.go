@@ -59,45 +59,41 @@ func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	frames, err := SplitFrames(body)
-	if err != nil {
+	// The whole body decodes into one pooled columnar batch and folds in
+	// through AddBatch: no per-frame allocation, and a bad frame (or a
+	// report that fails validation) rejects the batch atomically before
+	// any state changes.
+	b := pipeline.GetBatch()
+	defer pipeline.PutBatch(b)
+	if _, err := DecodeBatch(body, b); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(frames) == 0 {
+	if b.Len() == 0 {
 		http.Error(w, "empty report body", http.StatusBadRequest)
 		return
 	}
-	// Decode and validate the whole batch before folding any of it in, so
-	// a bad frame rejects the batch atomically (after validation, Add
-	// cannot fail).
-	reps := make([]pipeline.Report, len(frames))
-	for i, frame := range frames {
-		rep, err := DecodeEnvelope(frame)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("frame %d: %v", i, err), http.StatusBadRequest)
-			return
-		}
-		if err := s.p.Validate(rep); err != nil {
-			http.Error(w, fmt.Sprintf("frame %d: %v", i, err), http.StatusBadRequest)
-			return
-		}
-		reps[i] = rep
+	if err := s.p.AddBatch(b); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
-	for i, rep := range reps {
-		if err := s.p.Add(rep); err != nil {
-			http.Error(w, fmt.Sprintf("frame %d: %v", i, err), http.StatusBadRequest)
-			return
-		}
-		if s.sink != nil {
-			s.mu.Lock()
-			err := s.sink.Append(frames[i])
-			s.mu.Unlock()
+	if s.sink != nil {
+		// Persist the accepted raw frames, re-slicing the body by frame
+		// length (DecodeBatch already proved every header well-formed).
+		s.mu.Lock()
+		for off := 0; off < len(body); {
+			n, err := FrameLen(body[off:])
 			if err != nil {
+				break
+			}
+			if err := s.sink.Append(body[off : off+n]); err != nil {
+				s.mu.Unlock()
 				http.Error(w, "persist: "+err.Error(), http.StatusInternalServerError)
 				return
 			}
+			off += n
 		}
+		s.mu.Unlock()
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -103,8 +103,10 @@ func TestDecodeRangeReportRejectsCorruption(t *testing.T) {
 }
 
 // TestCraftedShortBitsetRejectedByAggregator covers the decode->Add seam:
-// a well-formed frame whose bitset is too small for the claimed depth
-// decodes fine but must be rejected (not panic) by the aggregator.
+// a well-formed frame whose bitset does not match the claimed depth's
+// domain decodes fine but must be rejected (not panic) by the aggregator.
+// The degenerate zero-word bitset is rejected one layer earlier, at the
+// wire boundary (the columnar batch could not represent it faithfully).
 func TestCraftedShortBitsetRejectedByAggregator(t *testing.T) {
 	_, col := rangeFixture(t)
 	agg := rangequery.NewAggregator(col)
@@ -112,14 +114,24 @@ func TestCraftedShortBitsetRejectedByAggregator(t *testing.T) {
 		Kind:  rangequery.KindHier,
 		Attr:  0,
 		Depth: 1,
-		Resp:  freq.Response{Bits: freq.NewBitset(0)}, // zero words
+		Resp:  freq.Response{Bits: freq.NewBitset(128)}, // 2 words; depth 1 wants 1
 	})
 	rep, err := DecodeRangeReport(crafted)
 	if err != nil {
 		t.Fatalf("crafted frame should decode at the wire layer: %v", err)
 	}
 	if err := agg.Add(rep); err == nil {
-		t.Fatal("aggregator accepted a bitset narrower than the depth's domain")
+		t.Fatal("aggregator accepted a bitset wider than the depth's domain")
+	}
+
+	zeroWords := EncodeRangeReport(rangequery.Report{
+		Kind:  rangequery.KindHier,
+		Attr:  0,
+		Depth: 1,
+		Resp:  freq.Response{Bits: freq.NewBitset(0)},
+	})
+	if _, err := DecodeRangeReport(zeroWords); err == nil {
+		t.Fatal("wire layer accepted a zero-word bitset response")
 	}
 }
 

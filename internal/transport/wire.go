@@ -30,6 +30,14 @@ const (
 
 	// MaxFrameSize bounds a report frame (defensive limit).
 	MaxFrameSize = 1 << 20
+
+	// maxWireAttr and maxWireValue bound decoded attribute indices and
+	// categorical values. No real schema comes near them; rejecting the
+	// rest at the decode boundary means downstream narrowing (the
+	// columnar batch stores both as int32) can never truncate an
+	// attacker-chosen value into a valid-looking one.
+	maxWireAttr  = 1 << 16
+	maxWireValue = 1 << 24
 )
 
 // Errors returned by DecodeReport and DecodeRangeReport.
@@ -55,34 +63,41 @@ func encodeFrame(magic string, version byte, payload []byte) []byte {
 }
 
 // parseFrame validates the structural envelope shared by every frame type
-// (size limit, length, checksum) and returns the magic, version, and
-// payload. Callers dispatch on (magic, version).
-func parseFrame(frame []byte) (magic string, version byte, payload []byte, err error) {
+// (size limit, length, checksum) and returns the version and payload.
+// Callers dispatch on (magic, version) with frameMagicIs; the magic is not
+// returned as a string so the batch decode path stays allocation-free.
+func parseFrame(frame []byte) (version byte, payload []byte, err error) {
 	if len(frame) > MaxFrameSize {
-		return "", 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+		return 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
 	}
 	if len(frame) < 13 {
-		return "", 0, nil, ErrTruncated
+		return 0, nil, ErrTruncated
 	}
 	plen := binary.LittleEndian.Uint32(frame[5:9])
 	if int(plen) != len(frame)-13 {
-		return "", 0, nil, ErrTruncated
+		return 0, nil, ErrTruncated
 	}
 	payload = frame[9 : 9+plen]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[9+plen:]) {
-		return "", 0, nil, ErrBadChecksum
+		return 0, nil, ErrBadChecksum
 	}
-	return string(frame[:4]), frame[4], payload, nil
+	return frame[4], payload, nil
+}
+
+// frameMagicIs reports whether the frame starts with the given 4-byte
+// magic. The string conversion in the comparison does not allocate.
+func frameMagicIs(frame []byte, magic string) bool {
+	return len(frame) >= 4 && string(frame[:4]) == magic
 }
 
 // decodeFrame validates the common envelope (size limit, magic, version,
 // length, checksum) and returns the payload.
 func decodeFrame(magic string, version byte, frame []byte) ([]byte, error) {
-	gotMagic, gotVersion, payload, err := parseFrame(frame)
+	gotVersion, payload, err := parseFrame(frame)
 	if err != nil {
 		return nil, err
 	}
-	if gotMagic != magic {
+	if !frameMagicIs(frame, magic) {
 		return nil, ErrBadMagic
 	}
 	if gotVersion != version {
@@ -166,6 +181,9 @@ func decodeEntries(payload []byte) ([]core.Entry, error) {
 		if err != nil {
 			return nil, err
 		}
+		if attr > maxWireAttr {
+			return nil, fmt.Errorf("transport: implausible entry attribute %d", attr)
+		}
 		if pos >= len(payload) {
 			return nil, ErrTruncated
 		}
@@ -186,6 +204,12 @@ func decodeEntries(payload []byte) ([]core.Entry, error) {
 			if err != nil {
 				return nil, err
 			}
+			// A 0-word bitset can never validate (every oracle domain
+			// needs >= 1 word); rejecting it here keeps the decoders from
+			// ever carrying a bits response that looks like a value.
+			if words == 0 {
+				return nil, fmt.Errorf("transport: empty bitset entry")
+			}
 			if words > 1<<12 || pos+int(words)*8 > len(payload) {
 				return nil, ErrTruncated
 			}
@@ -200,6 +224,9 @@ func decodeEntries(payload []byte) ([]core.Entry, error) {
 			v, err := readUvarint()
 			if err != nil {
 				return nil, err
+			}
+			if v > maxWireValue {
+				return nil, fmt.Errorf("transport: implausible categorical value %d", v)
 			}
 			e.Kind = core.EntryCategoricalValue
 			e.Resp = freq.Response{Value: int(v)}

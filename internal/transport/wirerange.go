@@ -129,6 +129,9 @@ func decodeRangeReport(payload []byte) (rangequery.Report, error) {
 		if err != nil {
 			return zero, err
 		}
+		if words == 0 {
+			return zero, fmt.Errorf("transport: empty bitset response")
+		}
 		if words > 1<<12 || pos+int(words)*8 > len(payload) {
 			return zero, ErrTruncated
 		}
@@ -142,6 +145,9 @@ func decodeRangeReport(payload []byte) (rangequery.Report, error) {
 		v, err := readUvarint()
 		if err != nil {
 			return zero, err
+		}
+		if v > maxWireValue {
+			return zero, fmt.Errorf("transport: implausible response value %d", v)
 		}
 		rep.Resp = freq.Response{Value: int(v)}
 	default:

@@ -51,6 +51,10 @@ type (
 	// RangeQuery describes a 1-D or conjunctive 2-D range query against
 	// a Result.
 	RangeQuery = pipeline.RangeQuery
+	// ReportBatch is a reusable columnar batch of reports: the unit of
+	// work of the ingest hot path (Pipeline.AddBatch folds one whole
+	// batch under a single lock acquisition per shard).
+	ReportBatch = pipeline.ReportBatch
 )
 
 // Task kinds.
@@ -94,9 +98,32 @@ func WithTaskWeight(kind TaskKind, w float64) PipelineOption {
 	return pipeline.WithTaskWeight(kind, w)
 }
 
+// NewReportBatch returns an empty report batch. Continuous ingest should
+// prefer GetBatch/PutBatch, which recycle grown buffers through a pool.
+func NewReportBatch() *ReportBatch { return pipeline.NewReportBatch() }
+
+// GetBatch returns an empty report batch from the package pool; return it
+// with PutBatch to keep the steady-state ingest path allocation-free.
+func GetBatch() *ReportBatch { return pipeline.GetBatch() }
+
+// PutBatch resets a batch and returns it to the package pool.
+func PutBatch(b *ReportBatch) { pipeline.PutBatch(b) }
+
 // EncodeReport serializes a unified report into the versioned,
 // task-multiplexed binary wire envelope.
 func EncodeReport(rep Report) ([]byte, error) { return transport.EncodeEnvelope(rep) }
+
+// AppendReport appends a report's wire envelope to dst and returns the
+// extended buffer; with a reused buffer it allocates nothing, so a whole
+// batch upload can be assembled without per-report allocation.
+func AppendReport(dst []byte, rep Report) ([]byte, error) { return transport.AppendEnvelope(dst, rep) }
+
+// DecodeReportBatch decodes a buffer of concatenated report frames (any
+// format DecodeReport accepts, freely mixed) into a columnar batch, ready
+// for Pipeline.AddBatch, and returns the number of frames decoded.
+func DecodeReportBatch(body []byte, b *ReportBatch) (int, error) {
+	return transport.DecodeBatch(body, b)
+}
 
 // DecodeReport parses any report frame the system has ever produced into
 // a unified report: v2 envelopes, legacy v1 Algorithm-4 frames (as

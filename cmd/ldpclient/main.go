@@ -8,9 +8,13 @@
 // Usage:
 //
 //	ldpclient -addr http://127.0.0.1:8080 -dataset br -eps 1 -n 10000 -batch 100
+//	ldpclient -addr http://127.0.0.1:8080 -dataset br -eps 2 -n 10000 -sgd -sgdrounds 20 -sgdgroup 512
 //
-// The dataset, eps, and -range flags must match the server's
-// configuration.
+// With -sgd each simulated user instead participates in one federated
+// LDP-SGD round: they poll the server's model, compute the logistic-loss
+// gradient on their own synthetic census example, and submit only its
+// clipped eps-LDP randomization. The dataset, eps, and -range/-sgd*
+// flags must match the server's configuration.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"time"
 
 	"ldp/internal/dataset"
+	"ldp/internal/erm"
 	"ldp/internal/pipeline"
 	"ldp/internal/rangequery"
 	"ldp/internal/rng"
@@ -50,6 +55,11 @@ func run(args []string) error {
 		batch   = fs.Int("batch", 100, "reports per upload request")
 		rangeOn = fs.Bool("range", false, "register the range-query task (must match the server)")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request timeout")
+		sgdOn   = fs.Bool("sgd", false, "participate in federated LDP-SGD instead of reporting tuples")
+		sgdRnds = fs.Int("sgdrounds", 20, "federated SGD rounds (must match the server)")
+		sgdGrp  = fs.Int("sgdgroup", 512, "gradient reports per round (must match the server)")
+		sgdEta  = fs.Float64("sgdeta", 1.0, "SGD learning-rate scale (must match the server)")
+		sgdLam  = fs.Float64("sgdlambda", 1e-4, "L2 regularization weight")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +77,15 @@ func run(args []string) error {
 	if *rangeOn {
 		opts = append(opts, pipeline.WithRange(rangequery.Config{}))
 	}
+	if *sgdOn {
+		opts = append(opts, pipeline.WithGradient(pipeline.GradientConfig{
+			Dim:       c.ERMDim(),
+			Rounds:    *sgdRnds,
+			GroupSize: *sgdGrp,
+			Eta:       *sgdEta,
+			Lambda:    *sgdLam,
+		}))
+	}
 	p, err := pipeline.New(c.Schema(), *eps, opts...)
 	if err != nil {
 		return err
@@ -76,6 +95,9 @@ func run(args []string) error {
 	}
 	if *workers < 1 {
 		*workers = 1
+	}
+	if *sgdOn {
+		return runSGD(c, p, *addr, *n, *seed, *workers, *sgdLam, *timeout)
 	}
 
 	ctx := context.Background()
@@ -121,6 +143,55 @@ func run(args []string) error {
 	log.Printf("sent %d reports (%d failed)", sent.Load(), failed.Load())
 	if failed.Load() > 0 {
 		return fmt.Errorf("%d of %d reports failed", failed.Load(), *n)
+	}
+	return nil
+}
+
+// runSGD simulates n federated SGD participants: each user polls the
+// model once, computes the logistic-loss gradient on their own synthetic
+// example, and submits its clipped randomization. Users whose poll finds
+// training finished contribute nothing (reported as "idle").
+func runSGD(c *dataset.Census, p *pipeline.Pipeline, addr string, n int, seed uint64, workers int, lambda float64, timeout time.Duration) error {
+	ctx := context.Background()
+	var sent, idle, failed atomic.Int64
+	var wg sync.WaitGroup
+	users := make(chan int, 256)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sgd, err := transport.NewSGDClient(addr, p, erm.LogisticRegression, lambda, transport.WithTimeout(timeout))
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			for id := range users {
+				// The example stream is the user's data; the disjoint
+				// high-bit stream drives the privacy noise.
+				ex := c.EncodeERM(c.Tuple(rng.NewStream(seed, uint64(id))))
+				_, ok, err := sgd.Contribute(ctx, ex.X, ex.YCls, rng.NewStream(seed, 1<<63|uint64(id)))
+				switch {
+				case err != nil:
+					if failed.Add(1) <= 3 {
+						log.Printf("user %d: %v", id, err)
+					}
+				case !ok:
+					idle.Add(1)
+				default:
+					sent.Add(1)
+				}
+			}
+		}()
+	}
+	for id := 0; id < n; id++ {
+		users <- id
+	}
+	close(users)
+	wg.Wait()
+	log.Printf("contributed %d gradients (%d idle after training finished, %d failed)",
+		sent.Load(), idle.Load(), failed.Load())
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d of %d gradient contributions failed", failed.Load(), n)
 	}
 	return nil
 }

@@ -6,13 +6,20 @@
 // Usage:
 //
 //	ldpserver -addr :8080 -dataset br -eps 1 -shards 8 -range -logdir /var/lib/ldp
+//	ldpserver -addr :8080 -dataset br -eps 2 -sgd -sgdrounds 20 -sgdgroup 512
 //
 // The schema (and the privacy budget, which fixes the randomizer debiasing
 // parameters) must match what the clients use. On startup, any existing
 // report log is recovered and replayed so estimates survive restarts.
 //
+// With -sgd the server additionally coordinates federated LDP-SGD over
+// the dataset's ERM feature encoding: it publishes the model on
+// GET /v1/model, accepts gradient reports on the shared /v1/report
+// route, and advances the model whenever a round's group fills.
+//
 //	POST /v1/report   one or more report frames (v2 envelope or legacy v1)
 //	GET  /v1/query    ?kind=stats | mean[&attr=] | freq&attr= | range&attr=&lo=&hi=[&attr2=&lo2=&hi2=]
+//	GET  /v1/model    federated SGD model state (-sgd only)
 package main
 
 import (
@@ -49,6 +56,11 @@ func run(args []string) error {
 		buckets  = fs.Int("buckets", 0, "range hierarchy buckets (power of two; 0 = 256)")
 		gridCell = fs.Int("gridcells", 0, "range 2-D grid resolution per axis (0 = 8)")
 		logdir   = fs.String("logdir", "", "report log directory (empty = no persistence)")
+		sgdOn    = fs.Bool("sgd", false, "register the federated LDP-SGD gradient task")
+		sgdRnds  = fs.Int("sgdrounds", 20, "federated SGD rounds")
+		sgdGroup = fs.Int("sgdgroup", 512, "gradient reports per SGD round")
+		sgdEta   = fs.Float64("sgdeta", 1.0, "SGD learning-rate scale (gamma_t = eta/sqrt(t))")
+		sgdLam   = fs.Float64("sgdlambda", 1e-4, "L2 regularization weight clients train with")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +78,15 @@ func run(args []string) error {
 	opts := []pipeline.Option{pipeline.WithShards(*shards)}
 	if *rangeOn {
 		opts = append(opts, pipeline.WithRange(rangequery.Config{Buckets: *buckets, GridCells: *gridCell}))
+	}
+	if *sgdOn {
+		opts = append(opts, pipeline.WithGradient(pipeline.GradientConfig{
+			Dim:       c.ERMDim(),
+			Rounds:    *sgdRnds,
+			GroupSize: *sgdGroup,
+			Eta:       *sgdEta,
+			Lambda:    *sgdLam,
+		}))
 	}
 	p, err := pipeline.New(c.Schema(), *eps, opts...)
 	if err != nil {

@@ -42,6 +42,35 @@
 // steady state. Per-report Add remains as a thin wrapper; AppendReport
 // assembles batch uploads client-side without per-report allocation.
 //
+// Federated LDP-SGD (the paper's Section V) is the pipeline's fourth
+// task. A pipeline built with WithGradient grows a Trainer: the server
+// publishes the current model (GET /v1/model when served over HTTP), each
+// participating user computes the gradient of the loss on their own
+// example, clips it per-coordinate to [-1, 1], and submits only its
+// Algorithm-4 randomization — k of the d coordinates, each perturbed at
+// eps/k and scaled by d/k — tagged with the training round. When a
+// round's group fills, the Trainer averages the unbiased noisy gradients,
+// takes one SGD step (beta <- beta - eta/sqrt(t) * avg), and publishes a
+// fresh immutable model through an atomic pointer, so model reads never
+// block ingest. Each user participates in exactly one round (the paper
+// shows budget-splitting across rounds is strictly worse).
+//
+//	cfg := ldp.GradientConfig{Dim: d, Rounds: 20, GroupSize: 512, Eta: 1, Lambda: 1e-4}
+//	p, _ := ldp.New(sch, eps, ldp.WithGradient(cfg))     // both sides
+//	// server: ldp.NewPipelineServer(p, nil) serves /v1/model + /v1/report
+//	// client:
+//	sgd, _ := ldp.NewSGDClient(url, p, ldp.LogisticRegression, 1e-4)
+//	round, ok, _ := sgd.Contribute(ctx, x, y, r)         // one user, one round
+//
+// The statistical guarantees are enforced by internal/stattest rather
+// than eyeballed tolerances: mechanisms and estimators must be unbiased
+// within 5 standard errors over seeded many-trial runs, empirical
+// variances must match the paper's closed forms within a stated factor,
+// and the federated path must reach within a fixed accuracy margin of
+// the non-private SGD baseline (see the acceptance tests in
+// internal/transport and the CI slow job that black-box-audits the
+// gradient mechanism's eps-LDP guarantee from samples alone).
+//
 // The pre-pipeline constructors (NewCollector, NewAggregator, NewServer,
 // NewRangeCollector, ...) remain as deprecated shims; see the MIGRATION
 // section of the README for the mapping.

@@ -1,21 +1,28 @@
-// SGD: train a logistic-regression income classifier under eps-local
-// differential privacy (the paper's Section V case study). Each user
-// contributes one clipped, randomized gradient; the aggregator never sees
-// raw features or labels.
+// SGD: train a logistic-regression income classifier by federated LDP-SGD
+// over localhost HTTP (the paper's Section V case study as a networked
+// service). The aggregator publishes the current model on GET /v1/model;
+// each simulated user fetches it once, computes the gradient of the
+// logistic loss on their own example, and submits only a clipped,
+// eps-LDP randomized gradient report to POST /v1/report. When a round's
+// group fills, the server averages the unbiased noisy gradients and takes
+// one SGD step. Raw features, labels, and exact gradients never cross the
+// connection.
 //
 //	go run ./examples/sgd
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
+	"net/http/httptest"
 	"os"
 
 	"ldp"
 	"ldp/internal/dataset"
 	"ldp/internal/erm"
-	"ldp/internal/mech"
+	"ldp/internal/rng"
 )
 
 func main() {
@@ -26,58 +33,77 @@ func main() {
 
 func run(users int, out io.Writer) error {
 	const (
-		eps  = 2.0
-		seed = 11
+		eps    = 2.0
+		seed   = 11
+		lambda = 1e-4
+		eta    = 1.0
 	)
 	census := dataset.NewBR()
 	examples := census.ERMExamples(users, seed)
 	d := census.ERMDim()
-
 	train, test := examples[:users*9/10], examples[users*9/10:]
-	cfg := erm.Config{
-		Task:      erm.LogisticRegression,
-		Lambda:    1e-4,
-		Eta:       1.0,
-		GroupSize: erm.DefaultGroupSize(len(train), d, eps),
-	}
-	fmt.Fprintf(out, "logistic regression on BR-like census: d=%d, train=%d, test=%d\n",
-		d, len(train), len(test))
-	fmt.Fprintf(out, "eps=%g, group size=%d (%d SGD iterations)\n\n",
-		eps, cfg.GroupSize, len(train)/cfg.GroupSize)
 
-	runOne := func(name string, pert mech.VectorPerturber) error {
-		beta, err := erm.Train(cfg, train, pert, seed)
+	// One user contributes to exactly one round (the paper's rule), so the
+	// round count is what the training population can fill.
+	groupSize := erm.DefaultGroupSize(len(train), d, eps)
+	rounds := len(train) / groupSize
+	gradCfg := ldp.GradientConfig{
+		Dim:       d,
+		Rounds:    rounds,
+		GroupSize: groupSize,
+		Eta:       eta,
+		Lambda:    lambda,
+	}
+
+	// Aggregator side: a unified pipeline server with the gradient task.
+	serverPipe, err := ldp.New(census.Schema(), eps, ldp.WithGradient(gradCfg))
+	if err != nil {
+		return err
+	}
+	srv := httptest.NewServer(ldp.NewPipelineServer(serverPipe, nil))
+	defer srv.Close()
+
+	// User side: the same gradient configuration builds the randomizer.
+	clientPipe, err := ldp.New(census.Schema(), eps, ldp.WithGradient(gradCfg))
+	if err != nil {
+		return err
+	}
+	sgd, err := ldp.NewSGDClient(srv.URL, clientPipe, ldp.LogisticRegression, lambda)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "federated logistic regression on BR-like census over %s\n", srv.URL)
+	fmt.Fprintf(out, "d=%d, train=%d, test=%d, eps=%g, group size=%d, rounds=%d\n\n",
+		d, len(train), len(test), eps, groupSize, rounds)
+
+	ctx := context.Background()
+	for i, ex := range train {
+		_, ok, err := sgd.Contribute(ctx, ex.X, ex.YCls, rng.NewStream(seed, uint64(i)))
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  %-12s misclassification rate: %.4f\n",
-			name, erm.MisclassificationRate(beta, test))
-		return nil
+		if !ok {
+			break // training finished; remaining users have nothing to do
+		}
 	}
 
-	if err := runOne("non-private", nil); err != nil {
-		return err
-	}
-
-	hm, err := ldp.NewNumericCollector(ldp.HM, eps, d)
+	state, err := sgd.FetchModel(ctx)
 	if err != nil {
 		return err
 	}
-	if err := runOne("hm (eps=2)", hm); err != nil {
-		return err
-	}
+	fmt.Fprintf(out, "trained %d rounds from %d accepted gradient reports (%d stale)\n",
+		state.Round, state.Accepted, state.Stale)
+	fmt.Fprintf(out, "  federated  (eps=%g) misclassification rate: %.4f\n",
+		eps, erm.MisclassificationRate(state.Beta, test))
 
-	pm, err := ldp.NewNumericCollector(ldp.PM, eps, d)
+	// The in-process non-private baseline for comparison.
+	cfg := erm.Config{Task: erm.LogisticRegression, Lambda: lambda, Eta: eta, GroupSize: groupSize}
+	beta, err := erm.Train(cfg, train, nil, seed)
 	if err != nil {
 		return err
 	}
-	if err := runOne("pm (eps=2)", pm); err != nil {
-		return err
-	}
-
-	du, err := ldp.NewDuchiMulti(eps, d)
-	if err != nil {
-		return err
-	}
-	return runOne("duchi", du)
+	fmt.Fprintf(out, "  non-private baseline misclassification rate: %.4f\n",
+		erm.MisclassificationRate(beta, test))
+	return nil
 }

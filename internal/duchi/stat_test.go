@@ -1,0 +1,37 @@
+package duchi
+
+import (
+	"testing"
+
+	"ldp/internal/stattest"
+)
+
+// Statistical acceptance tests through the shared stattest harness: the
+// Duchi mechanisms must be unbiased within 5 standard errors and match
+// their closed-form variances (Eq. 4 for the 1-D case, Eq. 13 per
+// coordinate for Algorithm 3) within a stated factor.
+
+func TestOneDimStatistics(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 4} {
+		m, err := NewOneDim(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stattest.CheckMechanism(t, m, []float64{-1, -0.5, 0, 0.5, 1}, 60_000, 0xD0C41+uint64(eps*10), 0.06)
+	}
+}
+
+func TestMultiStatistics(t *testing.T) {
+	input := []float64{0.6, -0.9, 0, 0.2}
+	for _, eps := range []float64{1, 4} {
+		m, err := NewMulti(eps, len(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, coord := range []int{0, 1, 2} {
+			stattest.CheckVectorPerturber(t, m, input, coord,
+				m.CoordinateVariance(input[coord]), 60_000,
+				0xD0C42+uint64(eps*100)+uint64(coord), 0.08)
+		}
+	}
+}

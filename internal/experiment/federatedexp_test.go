@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestFederatedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federated training is slow; skipped with -short")
+	}
+	opts := small()
+	opts.ERMUsers = 4_000
+	opts.EpsList = []float64{4}
+	tables, err := runFederated(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want accuracy + throughput", len(tables))
+	}
+	acc := tables[0]
+	if len(acc.Rows) != 1 || len(acc.Rows[0].Values) != 2 {
+		t.Fatalf("unexpected accuracy table shape: %+v", acc.Rows)
+	}
+	for j, v := range acc.Rows[0].Values {
+		if v < 0 || v > 0.7 {
+			t.Errorf("%s: misclassification %v implausible", acc.Columns[j], v)
+		}
+	}
+	thr := tables[1]
+	rate := thr.Rows[0].Values[2]
+	if rate <= 0 {
+		t.Errorf("ingest rate %v, want > 0", rate)
+	}
+}

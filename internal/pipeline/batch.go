@@ -25,6 +25,8 @@ import (
 // Report for inspection and tests; the hot path never does.
 type ReportBatch struct {
 	task   []TaskKind // one element per report
+	round  []int32    // one element per report; the training round of a gradient report, 0 otherwise
+	nGrad  int        // number of gradient reports (lets AddBatch skip the trainer lock entirely)
 	entOff []int32    // entry span of report i: [entOff[i], entOff[i+1])
 
 	// Entry columns (mean/freq/joint reports), one element per entry.
@@ -78,9 +80,15 @@ func (b *ReportBatch) Len() int { return len(b.task) }
 // Task returns the task tag of report i.
 func (b *ReportBatch) Task(i int) TaskKind { return b.task[i] }
 
+// Round returns the training round of report i (meaningful for gradient
+// reports; 0 for every other task).
+func (b *ReportBatch) Round(i int) int32 { return b.round[i] }
+
 // Reset empties the batch, keeping every buffer's capacity for reuse.
 func (b *ReportBatch) Reset() {
 	b.task = b.task[:0]
+	b.round = b.round[:0]
+	b.nGrad = 0
 	b.entOff = b.entOff[:1]
 	b.entOff[0] = 0
 	b.entAttr = b.entAttr[:0]
@@ -104,7 +112,7 @@ func (b *ReportBatch) Reset() {
 // Truncate: a decoder that fails mid-frame rolls the batch back to the
 // last complete report.
 type BatchMark struct {
-	reports, entries, ranges, bits int
+	reports, entries, ranges, bits, grads int
 }
 
 // Mark records the current end of the batch.
@@ -114,12 +122,15 @@ func (b *ReportBatch) Mark() BatchMark {
 		entries: len(b.entAttr),
 		ranges:  len(b.rngKind),
 		bits:    len(b.bits),
+		grads:   b.nGrad,
 	}
 }
 
 // Truncate discards everything appended after the mark.
 func (b *ReportBatch) Truncate(m BatchMark) {
 	b.task = b.task[:m.reports]
+	b.round = b.round[:m.reports]
+	b.nGrad = m.grads
 	b.entOff = b.entOff[:m.reports+1]
 	b.entOff[m.reports] = int32(m.entries)
 	b.entAttr = b.entAttr[:m.entries]
@@ -145,6 +156,18 @@ func (b *ReportBatch) Truncate(m BatchMark) {
 // attach entries to it.
 func (b *ReportBatch) StartEntryReport(task TaskKind) {
 	b.task = append(b.task, task)
+	b.round = append(b.round, 0)
+	b.entOff = append(b.entOff, int32(len(b.entAttr)))
+	b.rngIdx = append(b.rngIdx, -1)
+}
+
+// StartGradientReport begins a new gradient report for the given training
+// round. Subsequent AppendNumeric calls attach its perturbed coordinates
+// (attr = coordinate index).
+func (b *ReportBatch) StartGradientReport(round int32) {
+	b.task = append(b.task, TaskGradient)
+	b.round = append(b.round, round)
+	b.nGrad++
 	b.entOff = append(b.entOff, int32(len(b.entAttr)))
 	b.rngIdx = append(b.rngIdx, -1)
 }
@@ -201,6 +224,7 @@ func (b *ReportBatch) AppendRangeBits(kind rangequery.ReportKind, attr, depth, p
 
 func (b *ReportBatch) appendRange(kind rangequery.ReportKind, attr, depth, pair int, val, bitOff, bitLen int32) {
 	b.task = append(b.task, TaskRange)
+	b.round = append(b.round, 0)
 	b.entOff = append(b.entOff, int32(len(b.entAttr)))
 	b.rngIdx = append(b.rngIdx, int32(len(b.rngKind)))
 	b.rngKind = append(b.rngKind, uint8(kind))
@@ -239,7 +263,11 @@ func (b *ReportBatch) Append(rep Report) {
 		}
 		return
 	}
-	b.StartEntryReport(rep.Task)
+	if rep.Task == TaskGradient {
+		b.StartGradientReport(rep.Round)
+	} else {
+		b.StartEntryReport(rep.Task)
+	}
 	for _, e := range rep.Entries {
 		switch e.Kind {
 		case core.EntryNumeric:
@@ -273,7 +301,7 @@ func (b *ReportBatch) Report(i int) Report {
 		}
 		entries = append(entries, ent)
 	}
-	return Report{Task: b.task[i], Entries: entries}
+	return Report{Task: b.task[i], Round: b.round[i], Entries: entries}
 }
 
 // entryAlias materializes entry e as a core.Entry whose bitset (if any)

@@ -85,3 +85,40 @@ func BenchmarkBatchAppend(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGradientAddBatch measures gradient-report ingest through the
+// trainer: the steady-state fold is flat array arithmetic under one lock
+// acquisition per batch; allocation happens only on a round advance
+// (2 small objects per round), so with a group far larger than the batch
+// the loop reports 0 allocs/op.
+func BenchmarkGradientAddBatch(b *testing.B) {
+	p, err := New(testSchema(b), 5, WithGradient(GradientConfig{
+		Dim: 90, Rounds: 1 << 20, GroupSize: 1 << 30,
+		Eta: 1, Lambda: 1e-4, Mechanism: identityFactory,
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 1024
+	grad := make([]float64, 90)
+	for j := range grad {
+		grad[j] = 0.5
+	}
+	batch := NewReportBatch()
+	r := rng.New(3)
+	for i := 0; i < size; i++ {
+		rep, err := p.GradientTask().RandomizeGradient(0, grad, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch.Append(rep)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.AddBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/report")
+}

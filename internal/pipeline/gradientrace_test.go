@@ -1,0 +1,115 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGradientIngestModelReadRace interleaves concurrent AddBatch
+// gradient ingest with Trainer round advancement and model reads (the
+// state GET /v1/model serves). Run it under -race, as the CI race job
+// does; under the plain runner it still proves two invariants exactly:
+//
+//   - no torn model reads: with the identity mechanism every accepted
+//     report is the all-ones gradient, so every published model must
+//     satisfy Beta[0] == Beta[1] == expectedBeta(Round) bit-for-bit, and
+//     rounds must be observed in nondecreasing order;
+//   - exactly-once round transitions: training ends Done with exactly
+//     Rounds*GroupSize accepted reports — a double-advanced or skipped
+//     round would leave a different count — and accepted+stale equals
+//     the number of reports submitted.
+func TestGradientIngestModelReadRace(t *testing.T) {
+	const (
+		rounds     = 20
+		group      = 32
+		writers    = 8
+		perBatch   = 8
+		readers    = 4
+		readPasses = 2000
+	)
+	p := newGradientPipeline(t, rounds, group)
+	tr := p.Trainer()
+
+	// Exact trajectory table, computed up front.
+	wantBeta := make([]float64, rounds+1)
+	for r := 1; r <= rounds; r++ {
+		wantBeta[r] = expectedBeta(r)
+	}
+
+	var submitted int64
+	var mu sync.Mutex // guards submitted
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := NewReportBatch()
+			n := int64(0)
+			for {
+				m := tr.Model()
+				if m.Done {
+					break
+				}
+				b.Reset()
+				for i := 0; i < perBatch; i++ {
+					b.StartGradientReport(int32(m.Round))
+					b.AppendNumeric(0, 1)
+					b.AppendNumeric(1, 1)
+				}
+				if err := p.AddBatch(b); err != nil {
+					t.Error(err)
+					return
+				}
+				n += perBatch
+			}
+			mu.Lock()
+			submitted += n
+			mu.Unlock()
+		}()
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for i := 0; i < readPasses; i++ {
+				m := tr.Model()
+				if m.Round < last {
+					t.Errorf("model round went backwards: %d after %d", m.Round, last)
+					return
+				}
+				last = m.Round
+				if m.Round < 0 || m.Round > rounds || len(m.Beta) != 2 {
+					t.Errorf("malformed model %+v", m)
+					return
+				}
+				if m.Beta[0] != m.Beta[1] || m.Beta[0] != wantBeta[m.Round] {
+					t.Errorf("torn model read at round %d: beta = %v, want %v", m.Round, m.Beta, wantBeta[m.Round])
+					return
+				}
+				// Cross-state reads race alongside: counters and snapshots
+				// must not tear either.
+				_ = p.N()
+				if i%100 == 0 {
+					_ = p.Snapshot()
+					_ = p.TaskCounts()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	m := tr.Model()
+	if !m.Done || m.Round != rounds {
+		t.Fatalf("final model = %+v, want done at round %d", m, rounds)
+	}
+	if m.Beta[0] != wantBeta[rounds] || m.Beta[1] != wantBeta[rounds] {
+		t.Fatalf("final beta = %v, want %v", m.Beta, wantBeta[rounds])
+	}
+	if got, want := tr.Accepted(), int64(rounds*group); got != want {
+		t.Fatalf("accepted = %d, want exactly %d (exactly-once round transitions)", got, want)
+	}
+	if got, want := tr.Accepted()+tr.Stale(), submitted; got != want {
+		t.Fatalf("accepted+stale = %d, want %d submitted (lost or double-counted reports)", got, want)
+	}
+}

@@ -4,20 +4,27 @@
 // answers mean, frequency, and range queries from it.
 //
 // A Pipeline is built from a schema, a total per-user privacy budget eps,
-// and a set of functional options. It registers up to three tasks:
+// and a set of functional options. It registers up to four tasks:
 //
 //   - MeanTask — Algorithm-4 attribute sampling over the numeric
 //     attributes, perturbed with a 1-D mechanism (HM by default);
 //   - FreqTask — attribute sampling over the categorical attributes,
 //     perturbed with a frequency oracle (OUE by default);
 //   - RangeTask — the rangequery subsystem's hierarchical-interval /
-//     2-D-grid sub-tasks (enabled with WithRange).
+//     2-D-grid sub-tasks (enabled with WithRange);
+//   - GradientTask — federated LDP-SGD over clipped per-example loss
+//     gradients, coordinated round by round by a Trainer (enabled with
+//     WithGradient; see gradient.go).
 //
 // Each user is routed to exactly one task (a data-independent coin flip)
 // and spends the entire budget eps on that task's randomizer, in the
 // user-partition spirit of the paper's Algorithm 4 and the RS+FD /
 // AHEAD lines of work: the released Report is an eps-LDP view of the
 // tuple because exactly one eps-LDP randomizer output is published.
+// The gradient task sits outside tuple routing — its users are training
+// participants who each contribute one randomized gradient to one round —
+// but its reports share the wire envelope, the columnar batch decode
+// path, and AddBatch ingest with every other task.
 //
 // The server side is production-shaped: aggregation state is sharded
 // (WithShards) and batch-first. The unit of ingest is the columnar
@@ -61,6 +68,10 @@ const (
 	// pipelines never produce it; it exists so v1 wire frames keep folding
 	// into a unified aggregator.
 	TaskJoint
+	// TaskGradient is the federated LDP-SGD task (registered with
+	// WithGradient): each report carries one user's randomized clipped
+	// gradient for a specific training round.
+	TaskGradient
 )
 
 // String returns the task tag used in wire formats, logs and options.
@@ -74,6 +85,8 @@ func (k TaskKind) String() string {
 		return "range"
 	case TaskJoint:
 		return "joint"
+	case TaskGradient:
+		return "gradient"
 	default:
 		return fmt.Sprintf("TaskKind(%d)", uint8(k))
 	}
@@ -81,11 +94,13 @@ func (k TaskKind) String() string {
 
 // Report is one user's randomized submission to the unified pipeline:
 // exactly one task's payload, identified by Task. Mean, freq, and joint
-// payloads are attribute-indexed entry lists; range payloads are
-// rangequery reports.
+// payloads are attribute-indexed entry lists; gradient payloads are
+// coordinate-indexed entry lists tagged with the training round; range
+// payloads are rangequery reports.
 type Report struct {
 	Task    TaskKind
-	Entries []core.Entry      // TaskMean, TaskFreq, TaskJoint
+	Round   int32             // TaskGradient: the training round
+	Entries []core.Entry      // TaskMean, TaskFreq, TaskJoint, TaskGradient
 	Range   rangequery.Report // TaskRange
 }
 
@@ -96,6 +111,7 @@ type config struct {
 	mechFactory   mech.Factory
 	oracleFactory freq.Factory
 	rangeCfg      *rangequery.Config
+	gradient      *GradientConfig
 	shards        int
 	weights       map[TaskKind]float64
 }
@@ -204,17 +220,19 @@ type shard struct {
 // concurrent use with per-goroutine PRNGs; the aggregation side (Add,
 // Snapshot, Merge) is sharded and safe for concurrent use.
 type Pipeline struct {
-	sch    *schema.Schema
-	eps    float64
-	tasks  []Task
-	routed []Task    // tasks with positive weight, aligned with cum
-	cum    []float64 // cumulative routing probabilities over routed
-	mean   *MeanTask
-	freq   *FreqTask
-	rangeT *RangeTask
-	joint  jointCompat
-	shards []*shard
-	cursor atomic.Uint64
+	sch     *schema.Schema
+	eps     float64
+	tasks   []Task
+	routed  []Task    // tasks with positive weight, aligned with cum
+	cum     []float64 // cumulative routing probabilities over routed
+	mean    *MeanTask
+	freq    *FreqTask
+	rangeT  *RangeTask
+	grad    *GradientTask
+	trainer *Trainer
+	joint   jointCompat
+	shards  []*shard
+	cursor  atomic.Uint64
 
 	// rangeCheck validates range reports against the immutable collector
 	// configuration without touching any shard state.
@@ -290,6 +308,15 @@ func New(s *schema.Schema, eps float64, opts ...Option) (*Pipeline, error) {
 		p.tasks = append(p.tasks, p.rangeT)
 		p.rangeCheck = rangequery.NewAccumulator(col)
 	}
+	if cfg.gradient != nil {
+		t, err := newGradientTask(eps, *cfg.gradient, cfg.mechFactory)
+		if err != nil {
+			return nil, err
+		}
+		p.grad = t
+		p.trainer = newTrainer(*cfg.gradient)
+		p.tasks = append(p.tasks, t)
+	}
 	if len(p.tasks) == 0 {
 		return nil, fmt.Errorf("pipeline: no tasks for this schema (no numeric or categorical attributes and no WithRange)")
 	}
@@ -299,9 +326,14 @@ func New(s *schema.Schema, eps float64, opts ...Option) (*Pipeline, error) {
 		}
 	}
 
-	// Routing distribution over the registered tasks.
+	// Routing distribution over the registered tasks. The gradient task is
+	// never routed: its reports are derived from the published model, not
+	// from tuples (clients call RandomizeGradient directly).
 	total := 0.0
 	for _, t := range p.tasks {
+		if t.Kind() == TaskGradient {
+			continue
+		}
 		w, ok := cfg.weights[t.Kind()]
 		if !ok {
 			w = 1
@@ -312,7 +344,7 @@ func New(s *schema.Schema, eps float64, opts ...Option) (*Pipeline, error) {
 			p.cum = append(p.cum, total)
 		}
 	}
-	if len(p.routed) == 0 {
+	if len(p.routed) == 0 && p.grad == nil {
 		return nil, fmt.Errorf("pipeline: every task weight is zero")
 	}
 	for i := range p.cum {
@@ -412,6 +444,10 @@ func (p *Pipeline) task(kind TaskKind) Task {
 		if p.rangeT != nil {
 			return p.rangeT
 		}
+	case TaskGradient:
+		if p.grad != nil {
+			return p.grad
+		}
 	}
 	return nil
 }
@@ -425,6 +461,13 @@ func (p *Pipeline) FreqTask() *FreqTask { return p.freq }
 // RangeTask returns the registered range task, or nil.
 func (p *Pipeline) RangeTask() *RangeTask { return p.rangeT }
 
+// GradientTask returns the registered federated SGD task, or nil.
+func (p *Pipeline) GradientTask() *GradientTask { return p.grad }
+
+// Trainer returns the federated SGD coordinator, or nil when the pipeline
+// was built without WithGradient.
+func (p *Pipeline) Trainer() *Trainer { return p.trainer }
+
 // Randomize routes one user to a task (a data-independent draw from the
 // routing distribution) and randomizes their tuple into a unified Report
 // under eps-LDP. It runs entirely on the user's side; only the Report is
@@ -432,6 +475,9 @@ func (p *Pipeline) RangeTask() *RangeTask { return p.rangeT }
 func (p *Pipeline) Randomize(t schema.Tuple, r *rng.Rand) (Report, error) {
 	if err := t.Check(p.sch); err != nil {
 		return Report{}, err
+	}
+	if len(p.routed) == 0 {
+		return Report{}, fmt.Errorf("pipeline: no tuple-routed tasks (gradient-only pipeline; use GradientTask.RandomizeGradient)")
 	}
 	u := r.Float64()
 	task := p.routed[len(p.routed)-1]
@@ -453,6 +499,10 @@ func (p *Pipeline) Randomize(t schema.Tuple, r *rng.Rand) (Report, error) {
 func (p *Pipeline) Add(rep Report) error {
 	if err := p.validate(rep); err != nil {
 		return err
+	}
+	if rep.Task == TaskGradient {
+		p.trainer.foldOne(rep)
+		return nil
 	}
 	sh := p.shards[p.cursor.Add(1)%uint64(len(p.shards))]
 	sh.mu.Lock()
@@ -519,6 +569,14 @@ func (p *Pipeline) AddBatch(b *ReportBatch) error {
 	}
 	if err := p.validateBatch(b); err != nil {
 		return err
+	}
+	// Gradient reports bypass the shards: round accumulation and the
+	// exactly-once round advance live on the Trainer, which folds every
+	// gradient report of the batch under a single lock acquisition.
+	// Gradient-free batches never touch the trainer lock, so analytics
+	// ingest stays fully sharded on mixed pipelines.
+	if p.trainer != nil && b.nGrad > 0 {
+		p.trainer.foldBatch(b)
 	}
 	s := len(p.shards)
 	start := int(p.cursor.Add(1) % uint64(s))
@@ -595,6 +653,17 @@ func (p *Pipeline) validate(rep Report) error {
 		}
 		return p.rangeCheck.Validate(rep.Range)
 	}
+	if rep.Task == TaskGradient {
+		if err := p.checkGradientHeader(rep.Round, len(rep.Entries)); err != nil {
+			return err
+		}
+		for _, e := range rep.Entries {
+			if err := p.checkGradientEntry(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	wantBits, err := p.checkHeader(rep.Task, len(rep.Entries))
 	if err != nil {
 		return err
@@ -650,6 +719,21 @@ func (p *Pipeline) validateBatch(b *ReportBatch) error {
 				return fmt.Errorf("pipeline: report %d: %w", i, err)
 			}
 			continue
+		case TaskGradient:
+			if p.grad == nil || n == 0 || n > p.grad.dim ||
+				b.round[i] < 0 || int(b.round[i]) >= p.grad.rounds {
+				return p.validateSlow(b, i)
+			}
+			gdim := int32(p.grad.dim)
+			for e := lo; e < hi; e++ {
+				v := b.entNum[e]
+				if core.EntryKind(kinds[e]) != core.EntryNumeric ||
+					attrs[e] < 0 || attrs[e] >= gdim ||
+					math.IsNaN(v) || math.IsInf(v, 0) {
+					return p.validateSlow(b, i)
+				}
+			}
+			continue
 		default:
 			return p.validateSlow(b, i)
 		}
@@ -684,6 +768,17 @@ func (p *Pipeline) validateBatch(b *ReportBatch) error {
 func (p *Pipeline) validateSlow(b *ReportBatch, i int) error {
 	task := b.task[i]
 	lo, hi := b.entOff[i], b.entOff[i+1]
+	if task == TaskGradient {
+		if err := p.checkGradientHeader(b.round[i], int(hi-lo)); err != nil {
+			return fmt.Errorf("pipeline: report %d: %w", i, err)
+		}
+		for e := lo; e < hi; e++ {
+			if err := p.checkGradientEntry(b.entryAlias(e)); err != nil {
+				return fmt.Errorf("pipeline: report %d: %w", i, err)
+			}
+		}
+		return fmt.Errorf("pipeline: report %d: invalid gradient entry", i)
+	}
 	wantBits, err := p.checkHeader(task, int(hi-lo))
 	if err != nil {
 		return fmt.Errorf("pipeline: report %d: %w", i, err)
@@ -694,6 +789,38 @@ func (p *Pipeline) validateSlow(b *ReportBatch, i int) error {
 		}
 	}
 	return fmt.Errorf("pipeline: report %d: invalid entry", i)
+}
+
+// checkGradientHeader validates the round tag and coordinate count of a
+// gradient report against the immutable trainer configuration. The check
+// is configuration-only — whether the round is the one currently
+// collecting is decided at fold time under the trainer lock (a stale
+// round is dropped, not an error).
+func (p *Pipeline) checkGradientHeader(round int32, entries int) error {
+	if p.grad == nil {
+		return fmt.Errorf("pipeline: gradient report but no gradient task is registered")
+	}
+	if round < 0 || int(round) >= p.grad.rounds {
+		return fmt.Errorf("pipeline: gradient round %d outside [0,%d)", round, p.grad.rounds)
+	}
+	if entries == 0 || entries > p.grad.dim {
+		return fmt.Errorf("pipeline: gradient report with %d entries for dimension %d", entries, p.grad.dim)
+	}
+	return nil
+}
+
+// checkGradientEntry validates one coordinate of a gradient report.
+func (p *Pipeline) checkGradientEntry(e core.Entry) error {
+	if e.Kind != core.EntryNumeric {
+		return fmt.Errorf("pipeline: gradient report with non-numeric entry")
+	}
+	if e.Attr < 0 || e.Attr >= p.grad.dim {
+		return fmt.Errorf("pipeline: gradient coordinate %d outside [0,%d)", e.Attr, p.grad.dim)
+	}
+	if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+		return fmt.Errorf("pipeline: non-finite gradient coordinate value")
+	}
+	return nil
 }
 
 // checkHeader validates the task tag and entry count of an entry-list
@@ -784,13 +911,18 @@ func (p *Pipeline) checkEntry(task TaskKind, e core.Entry, wantBits bool) error 
 	return nil
 }
 
-// N returns the total number of reports aggregated so far.
+// N returns the total number of reports aggregated so far (for the
+// gradient task, the reports accepted into a round; stale drops are not
+// counted).
 func (p *Pipeline) N() int64 {
 	var n int64
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		n += sh.nMean + sh.nFreq + sh.nJoint + sh.nRange
 		sh.mu.Unlock()
+	}
+	if p.trainer != nil {
+		n += p.trainer.Accepted()
 	}
 	return n
 }
@@ -807,6 +939,9 @@ func (p *Pipeline) TaskCounts() map[TaskKind]int64 {
 		out[TaskJoint] += sh.nJoint
 		out[TaskRange] += sh.nRange
 		sh.mu.Unlock()
+	}
+	if p.trainer != nil {
+		out[TaskGradient] += p.trainer.Accepted()
 	}
 	for k, n := range out {
 		if n == 0 {
@@ -951,8 +1086,13 @@ func (p *Pipeline) compatible(o *Pipeline) error {
 			return fmt.Errorf("pipeline: merge across schemas (attribute %d: %q vs %q)", i, a.Name, b.Name)
 		}
 	}
-	if (p.mean == nil) != (o.mean == nil) || (p.freq == nil) != (o.freq == nil) || (p.rangeT == nil) != (o.rangeT == nil) {
+	if (p.mean == nil) != (o.mean == nil) || (p.freq == nil) != (o.freq == nil) || (p.rangeT == nil) != (o.rangeT == nil) || (p.grad == nil) != (o.grad == nil) {
 		return fmt.Errorf("pipeline: merge across task sets")
+	}
+	if p.grad != nil {
+		// Round-based training state (current round, partially filled
+		// group) has no meaningful union across trainers.
+		return fmt.Errorf("pipeline: merging federated training state is not supported")
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"ldp/internal/rangequery"
 	"ldp/internal/rng"
 	"ldp/internal/schema"
+	"ldp/internal/stattest"
 )
 
 func testSchema(t testing.TB) *schema.Schema {
@@ -78,20 +79,27 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if res.N() != users {
 		t.Fatalf("snapshot N = %d, want %d", res.N(), users)
 	}
+	// The mean estimates must land within 5 sigma of the truth, with
+	// sigma from the mean task's closed-form worst-case per-report
+	// variance over the reports the task actually received (stattest
+	// replaces the old hand-picked 0.05 tolerance).
+	mt := p.MeanTask()
+	scale := float64(len(s.NumericIdx())) / float64(mt.K())
+	wcPerReport := math.Max(
+		scale*mt.Mechanism().Variance(0),
+		scale*(mt.Mechanism().Variance(1)+1)-1,
+	)
+	nMean := int(res.NTask(TaskMean))
 	age, err := res.Mean("age")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := trueAge / users; math.Abs(age-want) > 0.05 {
-		t.Errorf("Mean(age) = %v, want about %v", age, want)
-	}
+	stattest.CheckEstimate(t, "Mean(age)", age, trueAge/users, wcPerReport, nMean)
 	inc, err := res.Mean("income")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := trueInc / users; math.Abs(inc-want) > 0.05 {
-		t.Errorf("Mean(income) = %v, want about %v", inc, want)
-	}
+	stattest.CheckEstimate(t, "Mean(income)", inc, trueInc/users, wcPerReport, nMean)
 	freqs, err := res.Freq("gender")
 	if err != nil {
 		t.Fatal(err)

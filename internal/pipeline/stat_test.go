@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"testing"
+
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+	"ldp/internal/stattest"
+)
+
+// TestMeanTaskEstimatorStatistics feeds a population with a known fixed
+// tuple through the full Randomize -> Add -> Snapshot path and accepts
+// the mean estimates only if they sit within 5 standard deviations of the
+// truth, with the standard deviation derived from the mean task's own
+// closed-form per-report variance — the stattest harness's replacement
+// for hand-picked tolerances.
+func TestMeanTaskEstimatorStatistics(t *testing.T) {
+	s, err := schema.New(
+		schema.Attribute{Name: "a", Kind: schema.Numeric},
+		schema.Attribute{Name: "b", Kind: schema.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{0.55, -0.35}
+	for _, eps := range []float64{1, 4} {
+		p, err := New(s, eps, WithShards(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const users = 40_000
+		tup := schema.NewTuple(s)
+		copy(tup.Num, truth)
+		for i := 0; i < users; i++ {
+			rep, err := p.Randomize(tup, rng.NewStream(0x517A7+uint64(eps*10), uint64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Add(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := p.Snapshot()
+		mt := p.MeanTask()
+		scale := float64(s.Dim()) / float64(mt.K())
+		for j, a := range s.Attrs {
+			// Dense-equivalent per-report variance of Algorithm 4 at input
+			// t: (d/k)(Var_inner(t) + t^2) - t^2.
+			v := truth[j]
+			perReport := scale*(mt.Mechanism().Variance(v)+v*v) - v*v
+			got, err := res.Mean(a.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stattest.CheckEstimate(t, a.Name, got, v, perReport, users)
+		}
+	}
+}

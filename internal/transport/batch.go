@@ -65,6 +65,8 @@ func decodeFrameInto(frame []byte, b *pipeline.ReportBatch) error {
 			return decodeEntriesInto(body, pipeline.TaskJoint, b)
 		case envTaskRange:
 			return decodeRangeReportInto(body, b)
+		case envTaskGradient:
+			return decodeGradientInto(body, b)
 		default:
 			return fmt.Errorf("transport: unknown envelope task tag %d", tag)
 		}

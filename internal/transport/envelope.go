@@ -16,17 +16,19 @@ import (
 //
 // Task bodies reuse the v1 payload encodings: mean/freq/joint bodies are
 // entry lists (see appendEntries), range bodies are range-report payloads
-// (see appendRangeReport). The decoder rejects unknown versions and task
+// (see appendRangeReport), and gradient bodies carry a round tag plus a
+// coordinate list (see appendGradient). The decoder rejects unknown versions and task
 // tags, and still accepts both legacy v1 formats — a v1 "LDPR" frame
 // decodes as a TaskJoint report and a v1 "LDPQ" frame as a TaskRange
 // report — so report logs and in-flight clients survive the migration.
 const (
 	wireEnvelopeVersion = 2
 
-	envTaskMean  = 1
-	envTaskFreq  = 2
-	envTaskRange = 3
-	envTaskJoint = 4
+	envTaskMean     = 1
+	envTaskFreq     = 2
+	envTaskRange    = 3
+	envTaskJoint    = 4
+	envTaskGradient = 5
 )
 
 // EncodeEnvelope serializes a unified report into the versioned,
@@ -40,7 +42,7 @@ func EncodeEnvelope(rep pipeline.Report) ([]byte, error) {
 // can assemble a whole batch upload into one reused buffer.
 func AppendEnvelope(dst []byte, rep pipeline.Report) ([]byte, error) {
 	switch rep.Task {
-	case pipeline.TaskMean, pipeline.TaskFreq, pipeline.TaskJoint, pipeline.TaskRange:
+	case pipeline.TaskMean, pipeline.TaskFreq, pipeline.TaskJoint, pipeline.TaskRange, pipeline.TaskGradient:
 	default:
 		return dst, fmt.Errorf("transport: cannot encode task %v", rep.Task)
 	}
@@ -57,6 +59,8 @@ func AppendEnvelope(dst []byte, rep pipeline.Report) ([]byte, error) {
 		dst = appendEntries(append(dst, envTaskJoint), rep.Entries)
 	case pipeline.TaskRange:
 		dst = appendRangeReport(append(dst, envTaskRange), rep.Range)
+	case pipeline.TaskGradient:
+		dst = appendGradient(append(dst, envTaskGradient), rep.Round, rep.Entries)
 	}
 	binary.LittleEndian.PutUint32(dst[start+5:], uint32(len(dst)-payloadStart))
 	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[payloadStart:])), nil

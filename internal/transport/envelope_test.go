@@ -74,7 +74,7 @@ func samplePipelineReports(t *testing.T, p *pipeline.Pipeline, seed uint64) []pi
 }
 
 func pipelineReportsEqual(a, b pipeline.Report) bool {
-	if a.Task != b.Task || len(a.Entries) != len(b.Entries) {
+	if a.Task != b.Task || a.Round != b.Round || len(a.Entries) != len(b.Entries) {
 		return false
 	}
 	for i := range a.Entries {

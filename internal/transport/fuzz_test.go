@@ -203,6 +203,92 @@ func FuzzDecodeRangeReport(f *testing.F) {
 	})
 }
 
+// FuzzDecodeGradient differentially drives the gradient frame family
+// through both decoders: for any body, DecodeBatch must decode exactly
+// what SplitFrames+DecodeEnvelope would — same rounds, same coordinates —
+// reject out-of-range round/coordinate values, and never panic. Whatever
+// decodes must survive an encode/decode round trip with its round tag
+// intact.
+func FuzzDecodeGradient(f *testing.F) {
+	s, err := schema.New(schema.Attribute{Name: "x", Kind: schema.Numeric})
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := pipeline.New(s, 2, pipeline.WithGradient(pipeline.GradientConfig{
+		Dim: 6, Rounds: 9, GroupSize: 4, Eta: 1, Lambda: 1e-4,
+	}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	gt := p.GradientTask()
+	r := rng.New(31)
+	var body []byte
+	for i := 0; i < 8; i++ {
+		grad := make([]float64, gt.Dim())
+		for j := range grad {
+			grad[j] = rng.Uniform(r, -1, 1)
+		}
+		rep, err := gt.RandomizeGradient(i%9, grad, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		body, err = AppendEnvelope(body, rep)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), body...))
+	}
+	f.Add([]byte("LDPR\x02\x02\x00\x00\x00\x05\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > MaxBatchSize {
+			return
+		}
+		b := pipeline.NewReportBatch()
+		n, err := DecodeBatch(body, b)
+		if b.Len() != n {
+			t.Fatalf("DecodeBatch returned %d but batch holds %d reports", n, b.Len())
+		}
+		off := 0
+		for i := 0; i < n; i++ {
+			flen, ferr := FrameLen(body[off:])
+			if ferr != nil || flen > len(body)-off {
+				t.Fatalf("frame %d: batch decoder accepted an unframeable prefix: %v", i, ferr)
+			}
+			want, derr := DecodeEnvelope(body[off : off+flen])
+			if derr != nil {
+				t.Fatalf("frame %d: batch decoder accepted what DecodeEnvelope rejects: %v", i, derr)
+			}
+			got := b.Report(i)
+			if !pipelineReportsEqual(want, got) {
+				t.Fatalf("frame %d decodes differently through the batch path: %+v != %+v", i, got, want)
+			}
+			if got.Task == pipeline.TaskGradient {
+				if got.Round < 0 || got.Round > maxWireRound {
+					t.Fatalf("frame %d: decoded round %d outside wire bounds", i, got.Round)
+				}
+				for _, e := range got.Entries {
+					if e.Attr < 0 || e.Attr > maxWireAttr {
+						t.Fatalf("frame %d: decoded coordinate %d outside wire bounds", i, e.Attr)
+					}
+				}
+				// Round trip with the round tag intact.
+				again, aerr := EncodeGradientReport(got)
+				if aerr != nil {
+					t.Fatalf("frame %d: re-encode failed: %v", i, aerr)
+				}
+				rep2, derr2 := DecodeEnvelope(again)
+				if derr2 != nil || !pipelineReportsEqual(got, rep2) {
+					t.Fatalf("frame %d: gradient round trip changed the report (%v)", i, derr2)
+				}
+			}
+			off += flen
+		}
+		_ = err // a decode error past the verified prefix is expected
+	})
+}
+
 // FuzzDecodeBatch differentially checks the columnar batch decoder
 // against the materializing per-frame path: for any body, DecodeBatch
 // must decode exactly the frames SplitFrames+DecodeEnvelope would, into

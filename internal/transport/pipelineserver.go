@@ -20,12 +20,14 @@ const MaxBatchSize = 16 << 20
 // route.
 //
 //	POST /v1/report   one or more concatenated report frames -> 204
-//	                  (v2 envelopes; legacy v1 report/range frames are
-//	                  accepted for migration)
+//	                  (v2 envelopes, including gradient frames; legacy v1
+//	                  report/range frames are accepted for migration)
 //	GET  /v1/query    ?kind=stats
 //	                  ?kind=mean[&attr=name]
 //	                  ?kind=freq&attr=name
 //	                  ?kind=range&attr=name&lo=&hi=[&attr2=&lo2=&hi2=]
+//	GET  /v1/model    federated SGD model state (pipelines built with
+//	                  WithGradient; 404 otherwise)
 type PipelineServer struct {
 	p   *pipeline.Pipeline
 	mux *http.ServeMux
@@ -40,6 +42,7 @@ func NewPipelineServer(p *pipeline.Pipeline, sink Sink) *PipelineServer {
 	s := &PipelineServer{p: p, sink: sink, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
 	return s
 }
 
@@ -96,6 +99,42 @@ func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// ModelState is the JSON body of GET /v1/model: the published model plus
+// the training-protocol parameters a client needs to participate.
+type ModelState struct {
+	Round     int       `json:"round"`
+	Done      bool      `json:"done"`
+	Beta      []float64 `json:"beta"`
+	GroupSize int       `json:"group_size"`
+	Rounds    int       `json:"rounds"`
+	Dim       int       `json:"dim"`
+	Eta       float64   `json:"eta"`
+	Lambda    float64   `json:"lambda"`
+	Accepted  int64     `json:"accepted"`
+	Stale     int64     `json:"stale"`
+}
+
+func (s *PipelineServer) handleModel(w http.ResponseWriter, r *http.Request) {
+	tr := s.p.Trainer()
+	if tr == nil {
+		http.Error(w, "no gradient task is registered", http.StatusNotFound)
+		return
+	}
+	m := tr.Model()
+	writeJSON(w, ModelState{
+		Round:     m.Round,
+		Done:      m.Done,
+		Beta:      m.Beta,
+		GroupSize: tr.GroupSize(),
+		Rounds:    tr.Rounds(),
+		Dim:       tr.Dim(),
+		Eta:       tr.Eta(),
+		Lambda:    tr.Lambda(),
+		Accepted:  tr.Accepted(),
+		Stale:     tr.Stale(),
+	})
 }
 
 func (s *PipelineServer) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -41,6 +41,16 @@ type (
 	FreqTask = pipeline.FreqTask
 	// RangeTask answers 1-D/2-D range queries.
 	RangeTask = pipeline.RangeTask
+	// GradientTask randomizes clipped user gradients for federated
+	// LDP-SGD (registered with WithGradient).
+	GradientTask = pipeline.GradientTask
+	// GradientConfig parameterizes the federated SGD task.
+	GradientConfig = pipeline.GradientConfig
+	// Trainer is the server-side federated SGD coordinator: it fills
+	// rounds with gradient reports and advances the published model.
+	Trainer = pipeline.Trainer
+	// Model is an immutable published model snapshot (Trainer.Model).
+	Model = pipeline.Model
 	// Report is one user's randomized submission: exactly one task's
 	// payload under a task tag. (The legacy Algorithm-4 report type is
 	// CollectorReport.)
@@ -68,6 +78,8 @@ const (
 	// TaskJoint tags legacy Algorithm-4 mixed reports (decoded from v1
 	// wire frames; new pipelines never produce it).
 	TaskJoint = pipeline.TaskJoint
+	// TaskGradient tags federated SGD gradient reports.
+	TaskGradient = pipeline.TaskGradient
 )
 
 // New builds the unified pipeline for schema s at total per-user budget
@@ -97,6 +109,13 @@ func WithShards(n int) PipelineOption { return pipeline.WithShards(n) }
 func WithTaskWeight(kind TaskKind, w float64) PipelineOption {
 	return pipeline.WithTaskWeight(kind, w)
 }
+
+// WithGradient registers the federated LDP-SGD task: the pipeline grows a
+// Trainer that fills rounds with clipped, randomized gradient reports and
+// advances the published model one SGD step per round. Clients randomize
+// with GradientTask.RandomizeGradient (or SGDClient over HTTP); tuples
+// are never routed to this task.
+func WithGradient(cfg GradientConfig) PipelineOption { return pipeline.WithGradient(cfg) }
 
 // NewReportBatch returns an empty report batch. Continuous ingest should
 // prefer GetBatch/PutBatch, which recycle grown buffers through a pool.
@@ -140,6 +159,12 @@ type (
 	PipelineClient = transport.PipelineClient
 	// ClientOption configures the HTTP behavior of transport clients.
 	ClientOption = transport.ClientOption
+	// SGDClient runs the user's side of federated LDP-SGD over HTTP:
+	// poll the model, compute the local gradient, submit its clipped
+	// randomization.
+	SGDClient = transport.SGDClient
+	// ModelState is the JSON body of GET /v1/model.
+	ModelState = transport.ModelState
 )
 
 // NewPipelineServer wraps a pipeline (and optional persistence sink; nil
@@ -153,6 +178,15 @@ func NewPipelineServer(p *Pipeline, sink transport.Sink) *PipelineServer {
 func NewPipelineClient(baseURL string, p *Pipeline, opts ...ClientOption) *PipelineClient {
 	return transport.NewPipelineClient(baseURL, p, opts...)
 }
+
+// NewSGDClient builds a federated SGD client for the aggregator at
+// baseURL; the pipeline must be built with the server's WithGradient
+// configuration, and task/lambda select the trained loss.
+var NewSGDClient = transport.NewSGDClient
+
+// EncodeGradientReport serializes a gradient report into the versioned
+// wire envelope (AppendReport/EncodeReport also accept gradient reports).
+var EncodeGradientReport = transport.EncodeGradientReport
 
 // WithHTTPClient uses a custom *http.Client for a transport client.
 var WithHTTPClient = transport.WithHTTPClient

@@ -105,6 +105,27 @@ func BenchmarkPerturbCollector(b *testing.B) {
 	}
 }
 
+// BenchmarkPerturbCollectorInto is BenchmarkPerturbCollector with the
+// output buffer reused through PerturbVectorInto, the shape of a client
+// simulation loop randomizing millions of tuples.
+func BenchmarkPerturbCollectorInto(b *testing.B) {
+	for _, d := range []int{16, 90} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			m, err := NewNumericCollector(PM, 1, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := NewRand(1)
+			in := make([]float64, d)
+			var out []float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out = m.PerturbVectorInto(out, in, r)
+			}
+		})
+	}
+}
+
 func BenchmarkPerturbMixedTuple(b *testing.B) {
 	c := dataset.NewBR()
 	col, err := NewCollector(c.Schema(), 1, PM, OUE)

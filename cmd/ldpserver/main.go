@@ -20,6 +20,11 @@
 //	POST /v1/report   one or more report frames (v2 envelope or legacy v1)
 //	GET  /v1/query    ?kind=stats | mean[&attr=] | freq&attr= | range&attr=&lo=&hi=[&attr2=&lo2=&hi2=]
 //	GET  /v1/model    federated SGD model state (-sgd only)
+//
+// Queries are answered from an epoch-cached snapshot with pre-encoded
+// JSON bodies and epoch-keyed ETags (If-None-Match gets 304 while the
+// view is unchanged); -query-staleness and -query-maxage bound how far
+// the cached view may trail ingest before a query rebuilds it.
 package main
 
 import (
@@ -56,6 +61,8 @@ func run(args []string) error {
 		buckets  = fs.Int("buckets", 0, "range hierarchy buckets (power of two; 0 = 256)")
 		gridCell = fs.Int("gridcells", 0, "range 2-D grid resolution per axis (0 = 8)")
 		logdir   = fs.String("logdir", "", "report log directory (empty = no persistence)")
+		qStale   = fs.Int64("query-staleness", 0, "serve cached query views trailing ingest by up to this many reports (0 = exact)")
+		qMaxAge  = fs.Duration("query-maxage", 0, "rebuild cached query views older than this (0 = no age bound)")
 		sgdOn    = fs.Bool("sgd", false, "register the federated LDP-SGD gradient task")
 		sgdRnds  = fs.Int("sgdrounds", 20, "federated SGD rounds")
 		sgdGroup = fs.Int("sgdgroup", 512, "gradient reports per SGD round")
@@ -75,7 +82,10 @@ func run(args []string) error {
 		return fmt.Errorf("unknown dataset %q (want br or mx)", *name)
 	}
 
-	opts := []pipeline.Option{pipeline.WithShards(*shards)}
+	opts := []pipeline.Option{
+		pipeline.WithShards(*shards),
+		pipeline.WithQueryStaleness(*qStale, *qMaxAge),
+	}
 	if *rangeOn {
 		opts = append(opts, pipeline.WithRange(rangequery.Config{Buckets: *buckets, GridCells: *gridCell}))
 	}

@@ -22,7 +22,7 @@
 //	rep, _ := p.Randomize(tuple, ldp.NewRand(1)) // on the user's device
 //	_ = p.Add(rep)                               // at the aggregator
 //
-//	res := p.Snapshot()
+//	res := p.View() // epoch-cached; p.Snapshot() forces a rebuild
 //	mean, _ := res.Mean("age")
 //	freqs, _ := res.Freq("gender")
 //	mass, _ := res.Range(ldp.RangeQuery{Attr: "age", Lo: -0.4, Hi: -0.2})
@@ -41,6 +41,21 @@
 // under a single lock acquisition — zero allocations per report in the
 // steady state. Per-report Add remains as a thin wrapper; AppendReport
 // assembles batch uploads client-side without per-report allocation.
+//
+// The query hot path is epoch-cached: every fold advances a per-shard
+// atomic epoch, and Pipeline.View serves one immutable memoized Result
+// behind an atomic pointer for as long as the summed ingest watermark
+// stays within the staleness bound (WithQueryStaleness; the default bound
+// of 0 reports keeps queries exact). A cached hit is lock-free and
+// allocation-free; a stale view is rebuilt single-flight, so a query
+// stampede triggers at most one snapshot. Inside a Result, frequency
+// estimates debias lazily per queried attribute from raw pooled support
+// counts and the range state is precomputed once (interval-tree estimates
+// plus Norm-Sub-consistent grids), so Mean/FreqView/Range are pure
+// lookups. The HTTP layer keys pre-encoded JSON bodies and ETags on
+// Result.Epoch: dashboards polling /v1/query (and SGD participants
+// polling /v1/model) with If-None-Match get 304 Not Modified until the
+// state actually changes.
 //
 // Federated LDP-SGD (the paper's Section V) is the pipeline's fourth
 // task. A pipeline built with WithGradient grows a Trainer: the server

@@ -103,17 +103,39 @@ func (c *NumericCollector) K() int { return c.k }
 // Inner returns the 1-D mechanism running at eps/k.
 func (c *NumericCollector) Inner() mech.Mechanism { return c.inner }
 
-// PerturbVector runs Algorithm 4 on a tuple of length Dim().
+// PerturbVector runs Algorithm 4 on a tuple of length Dim(). It returns a
+// freshly allocated vector; hot loops should reuse a buffer through
+// PerturbVectorInto.
 func (c *NumericCollector) PerturbVector(t []float64, r *rng.Rand) []float64 {
+	return c.PerturbVectorInto(nil, t, r)
+}
+
+// PerturbVectorInto runs Algorithm 4 on a tuple of length Dim(), writing
+// the dense output into dst's storage (append-style: dst is truncated and
+// regrown to Dim(), reusing its capacity when sufficient) and returning
+// it. With a reused buffer the only remaining allocation is the sampler's
+// index scratch, so client simulation loops randomizing millions of
+// tuples stop churning one output vector per user.
+func (c *NumericCollector) PerturbVectorInto(dst, t []float64, r *rng.Rand) []float64 {
 	if len(t) != c.d {
 		panic(fmt.Sprintf("core: tuple has %d coordinates, collector built for %d", len(t), c.d))
 	}
-	out := make([]float64, c.d)
-	for _, j := range rng.SampleWithoutReplacement(r, c.d, c.k) {
-		out[j] = c.scale * c.inner.Perturb(t[j], r)
+	dst = dst[:0]
+	if cap(dst) < c.d {
+		dst = make([]float64, c.d)
+	} else {
+		dst = dst[:c.d]
+		for i := range dst {
+			dst[i] = 0
+		}
 	}
-	return out
+	for _, j := range rng.SampleWithoutReplacement(r, c.d, c.k) {
+		dst[j] = c.scale * c.inner.Perturb(t[j], r)
+	}
+	return dst
 }
+
+var _ mech.VectorPerturberInto = (*NumericCollector)(nil)
 
 // CoordinateVariance returns the per-coordinate variance of the dense
 // output for input value t: Var = (d/k) E[x^2] - t^2 with

@@ -173,6 +173,57 @@ func TestEq14ClosedForm(t *testing.T) {
 	}
 }
 
+// TestPerturbVectorInto checks the append-style buffer-reuse contract:
+// identical output to PerturbVector for the same PRNG stream, capacity
+// reuse when the buffer is large enough, and stale-value clearing.
+func TestPerturbVectorInto(t *testing.T) {
+	const d = 12
+	c, err := NewNumericCollector(pmFactory, 1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, d)
+	for j := range in {
+		in[j] = math.Tanh(float64(j) - 5)
+	}
+	want := c.PerturbVector(in, rng.New(42))
+	got := c.PerturbVectorInto(nil, in, rng.New(42))
+	for j := range want {
+		if want[j] != got[j] {
+			t.Fatalf("coordinate %d: Into %v != PerturbVector %v", j, got[j], want[j])
+		}
+	}
+
+	// A poisoned reused buffer must come back fully overwritten, in the
+	// same storage.
+	buf := make([]float64, d)
+	for j := range buf {
+		buf[j] = 99
+	}
+	out := c.PerturbVectorInto(buf, in, rng.New(42))
+	if &out[0] != &buf[0] {
+		t.Error("Into did not reuse the buffer's storage")
+	}
+	for j := range want {
+		if out[j] != want[j] {
+			t.Fatalf("reused buffer coordinate %d: %v != %v (stale value survived?)", j, out[j], want[j])
+		}
+	}
+
+	// A too-small buffer grows; a longer buffer is truncated to Dim.
+	if got := c.PerturbVectorInto(make([]float64, 0, 2), in, rng.New(7)); len(got) != d {
+		t.Fatalf("short buffer: len %d, want %d", len(got), d)
+	}
+	if got := c.PerturbVectorInto(make([]float64, 3*d), in, rng.New(7)); len(got) != d {
+		t.Fatalf("long buffer: len %d, want %d", len(got), d)
+	}
+
+	// The optional-interface dispatcher finds the fast path.
+	if got := mech.PerturbInto(c, buf, in, rng.New(42)); &got[0] != &buf[0] {
+		t.Error("mech.PerturbInto did not dispatch to PerturbVectorInto")
+	}
+}
+
 func TestNumericCollectorPanicsOnWrongLength(t *testing.T) {
 	c, _ := NewNumericCollector(pmFactory, 1, 3)
 	defer func() {

@@ -93,6 +93,7 @@ func runNumericOnce(src *dataset.Source, methods []string, eps float64, n int, s
 		sums[i] = make([]float64, d)
 	}
 	tuple := make([]float64, d)
+	outs := make([][]float64, len(perts))
 	for u := 0; u < n; u++ {
 		r := rng.NewStream(seed, uint64(u))
 		src.Fill(tuple, r)
@@ -100,8 +101,8 @@ func runNumericOnce(src *dataset.Source, methods []string, eps float64, n int, s
 			truth[j] += v
 		}
 		for i, p := range perts {
-			out := p.PerturbVector(tuple, r)
-			for j, v := range out {
+			outs[i] = mech.PerturbInto(p, outs[i], tuple, r)
+			for j, v := range outs[i] {
 				sums[i][j] += v
 			}
 		}
@@ -518,13 +519,15 @@ func numericMSEWithPerturber(src *dataset.Source, p mech.VectorPerturber, n int,
 	truth := make([]float64, d)
 	sum := make([]float64, d)
 	tuple := make([]float64, d)
+	var out []float64
 	for u := 0; u < n; u++ {
 		r := rng.NewStream(seed, uint64(u))
 		src.Fill(tuple, r)
 		for j, v := range tuple {
 			truth[j] += v
 		}
-		for j, v := range p.PerturbVector(tuple, r) {
+		out = mech.PerturbInto(p, out, tuple, r)
+		for j, v := range out {
 			sum[j] += v
 		}
 	}

@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldp/internal/dataset"
+	"ldp/internal/pipeline"
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
+)
+
+func init() {
+	register(Runner{
+		Name: "query",
+		Desc: "query-path throughput: cold Snapshot-per-query vs the epoch-cached View, with ingest idle vs running at full batch rate, at 1/4/8 shards",
+		Run:  runQueryBench,
+	})
+}
+
+// queryShardCounts is the shard axis of the query benchmark.
+var queryShardCounts = []int{1, 4, 8}
+
+// Query counts per timing run: the cold path pays a full snapshot rebuild
+// per query, the cached path is two orders of magnitude cheaper, so the
+// two use different op counts to keep wall time comparable.
+const (
+	coldQueries   = 4_000
+	cachedQueries = 400_000
+	// queryStaleness is the view-cache bound the cached modes run with:
+	// large enough that full-rate ingest does not force a rebuild per
+	// query, small enough to be statistically invisible at bench scale.
+	queryStaleness = 10_000
+)
+
+// runQueryBench measures read-path throughput (dashboard query mixes per
+// second): the pre-PR cost model (a full Pipeline.Snapshot rebuild per
+// query) against the epoch-cached View, with the aggregator idle and with
+// concurrent AddBatch ingest running at full rate, at 1, 4, and 8 shards.
+// One query op is a dashboard mix: one mean, one frequency histogram, one
+// 1-D range, and one 2-D range. opts.Workers goroutines issue queries
+// concurrently; the best of opts.Runs timings is reported.
+func runQueryBench(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	c := dataset.NewBR()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	newPipeline := func(shards int) (*pipeline.Pipeline, error) {
+		return pipeline.New(c.Schema(), opts.Eps,
+			pipeline.WithShards(shards),
+			pipeline.WithRange(rangequery.Config{}),
+			pipeline.WithQueryStaleness(queryStaleness, 0),
+		)
+	}
+
+	// Pre-randomize one report stream (the randomizer side is identical
+	// across configurations) and pre-build the ingest batches.
+	p0, err := newPipeline(1)
+	if err != nil {
+		return nil, err
+	}
+	const batchSize = 1024
+	var batches []*pipeline.ReportBatch
+	b := pipeline.NewReportBatch()
+	for i := 0; i < opts.N; i++ {
+		r := rng.NewStream(opts.Seed, uint64(i))
+		rep, err := p0.Randomize(c.Tuple(r), r)
+		if err != nil {
+			return nil, err
+		}
+		b.Append(rep)
+		if b.Len() == batchSize {
+			batches = append(batches, b)
+			b = pipeline.NewReportBatch()
+		}
+	}
+	if b.Len() > 0 {
+		batches = append(batches, b)
+	}
+
+	// queryOnce is the dashboard mix; res may be a cached view or a fresh
+	// snapshot.
+	queryOnce := func(res *pipeline.Result) error {
+		if _, err := res.Mean("age"); err != nil {
+			return err
+		}
+		if _, err := res.FreqView("gender"); err != nil {
+			return err
+		}
+		if _, err := res.Range(pipeline.RangeQuery{Attr: "age", Lo: -0.5, Hi: 0.5}); err != nil {
+			return err
+		}
+		_, err := res.Range(pipeline.RangeQuery{
+			Attr: "age", Lo: -0.5, Hi: 0.5,
+			Attr2: "income", Lo2: 0, Hi2: 1,
+		})
+		return err
+	}
+
+	// timeQueries clocks n query ops split across the workers.
+	timeQueries := func(n int, query func() error) (float64, error) {
+		var firstErr error
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		start := time.Now()
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(count int) {
+				defer wg.Done()
+				for i := 0; i < count; i++ {
+					if err := query(); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}(hi - lo)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		return float64(n) / elapsed.Seconds(), nil
+	}
+
+	table := Table{
+		ID: "query",
+		Title: fmt.Sprintf("query throughput after %d reports, %d query workers (best of %d runs); one query = mean+freq+1D range+2D range",
+			opts.N, workers, opts.Runs),
+		XLabel:  "configuration",
+		YLabel:  "queries/sec",
+		Columns: []string{"queries_per_sec"},
+	}
+
+	for _, shards := range queryShardCounts {
+		p, err := newPipeline(shards)
+		if err != nil {
+			return nil, err
+		}
+		for _, bb := range batches {
+			if err := p.AddBatch(bb); err != nil {
+				return nil, err
+			}
+		}
+
+		type mode struct {
+			name    string
+			queries int
+			query   func() error
+			ingest  bool
+		}
+		modes := []mode{
+			{"cold-idle", coldQueries, func() error { return queryOnce(p.Snapshot()) }, false},
+			{"cached-idle", cachedQueries, func() error { return queryOnce(p.View()) }, false},
+			{"cold-ingest", coldQueries, func() error { return queryOnce(p.Snapshot()) }, true},
+			{"cached-ingest", cachedQueries, func() error { return queryOnce(p.View()) }, true},
+		}
+		for _, m := range modes {
+			bestRate := 0.0
+			for run := 0; run < opts.Runs; run++ {
+				var stop atomic.Bool
+				var ingesters sync.WaitGroup
+				var ingestErr atomic.Pointer[error]
+				if m.ingest {
+					// Two writers keep AddBatch running at full rate for
+					// the duration of the timing window. An ingest error
+					// fails the benchmark — a silently idle writer would
+					// make the *-ingest rows measure an idle aggregator.
+					for w := 0; w < 2; w++ {
+						ingesters.Add(1)
+						go func(w int) {
+							defer ingesters.Done()
+							for i := w; !stop.Load(); i = (i + 1) % len(batches) {
+								if err := p.AddBatch(batches[i%len(batches)]); err != nil {
+									ingestErr.Store(&err)
+									return
+								}
+							}
+						}(w)
+					}
+				}
+				rate, err := timeQueries(m.queries, m.query)
+				stop.Store(true)
+				ingesters.Wait()
+				if err == nil {
+					if pe := ingestErr.Load(); pe != nil {
+						err = fmt.Errorf("ingest writer failed during %s: %w", m.name, *pe)
+					}
+				}
+				if err != nil {
+					return nil, err
+				}
+				if rate > bestRate {
+					bestRate = rate
+				}
+			}
+			table.Rows = append(table.Rows, TableRow{
+				X:      fmt.Sprintf("%s-%dshards", m.name, shards),
+				Values: []float64{bestRate},
+			})
+		}
+	}
+	return []Table{table}, nil
+}

@@ -347,6 +347,68 @@ func FoldBits(counts []float64, words []uint64) {
 	}
 }
 
+// CountsView returns a debiasing view over the estimator's live support
+// counts without copying them. The view is valid only while the estimator
+// is not folded into concurrently; snapshot paths that need an immutable
+// view should copy the counts first (NewDebiasView over Counts()).
+func (e *Estimator) CountsView() DebiasView {
+	return NewDebiasView(e.oracle, e.counts, e.n)
+}
+
+// DebiasView is an immutable lazy debiasing view over raw support counts:
+// the oracle's (p, q) support probabilities are captured once at
+// construction, and every Estimate call is two flops over the count array
+// — no estimator object, no interface dispatch, no allocation. It is the
+// query-side dual of the flat count accumulators the sharded ingest path
+// keeps: a snapshot copies counts out of the shards and wraps them in
+// views, and debiasing happens only for the attributes actually queried.
+//
+// The view aliases the count slice it is given; the caller promises the
+// counts are not mutated for the lifetime of the view. Views are safe for
+// concurrent use under that contract.
+type DebiasView struct {
+	counts []float64
+	n      int64
+	p, q   float64
+}
+
+// NewDebiasView wraps pooled support counts for n responses of oracle o in
+// a lazy debiasing view. The counts are aliased, not copied.
+func NewDebiasView(o Oracle, counts []float64, n int64) DebiasView {
+	p, q := o.SupportProbs()
+	return DebiasView{counts: counts, n: n, p: p, q: q}
+}
+
+// N returns the number of responses behind the view.
+func (v DebiasView) N() int64 { return v.n }
+
+// Len returns the domain size.
+func (v DebiasView) Len() int { return len(v.counts) }
+
+// Count returns the raw support count of value i.
+func (v DebiasView) Count(i int) float64 { return v.counts[i] }
+
+// Estimate returns the debiased frequency estimate of value i, computed
+// with exactly the arithmetic of Estimator.Estimates (so a view over an
+// estimator's counts is bit-identical to its Estimates slice). With no
+// responses it returns 0.
+func (v DebiasView) Estimate(i int) float64 {
+	if v.n == 0 {
+		return 0
+	}
+	return (v.counts[i]/float64(v.n) - v.q) / (v.p - v.q)
+}
+
+// AppendEstimates appends the debiased estimate of every domain value to
+// dst and returns the extended slice; with a pre-sized dst it allocates
+// nothing.
+func (v DebiasView) AppendEstimates(dst []float64) []float64 {
+	for i := range v.counts {
+		dst = append(dst, v.Estimate(i))
+	}
+	return dst
+}
+
 // AddCounts folds pre-aggregated support counts for nUsers responses
 // (used when merging transport-level aggregates).
 func (e *Estimator) AddCounts(counts []float64, nUsers int64) error {
@@ -379,18 +441,10 @@ func (e *Estimator) Counts() []float64 {
 }
 
 // Estimates returns the debiased frequency estimate for every value in the
-// domain. With no responses it returns all zeros.
+// domain. With no responses it returns all zeros. It is a materializing
+// wrapper over CountsView, so the two paths cannot drift.
 func (e *Estimator) Estimates() []float64 {
-	out := make([]float64, len(e.counts))
-	if e.n == 0 {
-		return out
-	}
-	p, q := e.oracle.SupportProbs()
-	n := float64(e.n)
-	for v := range out {
-		out[v] = (e.counts[v]/n - q) / (p - q)
-	}
-	return out
+	return e.CountsView().AppendEstimates(make([]float64, 0, len(e.counts)))
 }
 
 // TheoreticalVariance returns the per-value estimation variance of the

@@ -309,6 +309,60 @@ func TestEstimatesSumNearOne(t *testing.T) {
 	}
 }
 
+// TestDebiasViewMatchesEstimates pins the lazy debiasing view against
+// Estimator.Estimates bit-for-bit: the snapshot query path debiases
+// through views, so any drift between the two would silently change
+// query answers.
+func TestDebiasViewMatchesEstimates(t *testing.T) {
+	for _, mk := range []func() Oracle{
+		func() Oracle { o, _ := NewOUE(1, 10); return o },
+		func() Oracle { o, _ := NewSUE(1, 10); return o },
+		func() Oracle { o, _ := NewGRR(1, 10); return o },
+	} {
+		o := mk()
+		est := NewEstimator(o)
+		r := rng.New(21)
+		for i := 0; i < 5000; i++ {
+			est.Add(o.Perturb(r.IntN(10), r))
+		}
+		want := est.Estimates()
+		view := est.CountsView()
+		if view.N() != est.N() || view.Len() != 10 {
+			t.Fatalf("%s: view shape N=%d len=%d", o.Name(), view.N(), view.Len())
+		}
+		for v := range want {
+			if got := view.Estimate(v); got != want[v] {
+				t.Errorf("%s value %d: view %v != estimates %v", o.Name(), v, got, want[v])
+			}
+		}
+		appended := view.AppendEstimates(make([]float64, 0, 10))
+		for v := range want {
+			if appended[v] != want[v] {
+				t.Errorf("%s value %d: appended %v != estimates %v", o.Name(), v, appended[v], want[v])
+			}
+		}
+		// A detached view over copied counts answers identically.
+		detached := NewDebiasView(o, est.Counts(), est.N())
+		for v := range want {
+			if detached.Estimate(v) != want[v] {
+				t.Errorf("%s value %d: detached view drifted", o.Name(), v)
+			}
+		}
+		if c := view.Count(3); c != est.Counts()[3] {
+			t.Errorf("%s: Count(3) = %v, want %v", o.Name(), c, est.Counts()[3])
+		}
+	}
+
+	// Empty views estimate zero everywhere, like an empty estimator.
+	o, _ := NewOUE(1, 4)
+	empty := NewEstimator(o).CountsView()
+	for v := 0; v < 4; v++ {
+		if empty.Estimate(v) != 0 {
+			t.Errorf("empty view estimate(%d) = %v, want 0", v, empty.Estimate(v))
+		}
+	}
+}
+
 func TestOracleDeterministicGivenSeed(t *testing.T) {
 	f := func(seed uint64, v uint8) bool {
 		o, _ := NewOUE(1, 8)

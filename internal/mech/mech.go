@@ -60,6 +60,29 @@ type VectorPerturber interface {
 	PerturbVector(t []float64, r *rng.Rand) []float64
 }
 
+// VectorPerturberInto is the allocation-aware extension of
+// VectorPerturber: PerturbVectorInto writes the dense output vector into
+// dst's storage (append-style: dst is truncated and regrown to Dim(), its
+// capacity reused when sufficient) and returns it. Client simulation and
+// benchmark loops that randomize millions of tuples should reuse one
+// buffer through it; PerturbInto dispatches to it when available.
+type VectorPerturberInto interface {
+	VectorPerturber
+	PerturbVectorInto(dst, t []float64, r *rng.Rand) []float64
+}
+
+// PerturbInto randomizes t through p, reusing dst's storage when p
+// implements VectorPerturberInto and falling back to the allocating
+// PerturbVector otherwise. Loops over mixed perturber sets use it to get
+// the allocation-free path where it exists without type-switching at
+// every site.
+func PerturbInto(p VectorPerturber, dst, t []float64, r *rng.Rand) []float64 {
+	if pi, ok := p.(VectorPerturberInto); ok {
+		return pi.PerturbVectorInto(dst, t, r)
+	}
+	return p.PerturbVector(t, r)
+}
+
 // ValidateEpsilon returns ErrInvalidEpsilon unless eps is a positive finite
 // float.
 func ValidateEpsilon(eps float64) error {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"ldp/internal/dataset"
+	"ldp/internal/rangequery"
 	"ldp/internal/rng"
 )
 
@@ -31,6 +33,34 @@ func BenchmarkPipelineAdd(b *testing.B) {
 		b.Fatal(err)
 	}
 	reps := benchReports(b, p, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Add(reps[i%len(reps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineAddBR measures the per-report ingest wrapper on the
+// 16-attribute BR census schema — the configuration the ingest-throughput
+// experiment records — so the single-report slow path is benchmarked at
+// production width, not just on the 3-attribute test schema.
+func BenchmarkPipelineAddBR(b *testing.B) {
+	c := dataset.NewBR()
+	p, err := New(c.Schema(), 1, WithShards(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reps := make([]Report, 4096)
+	for i := range reps {
+		r := rng.NewStream(1, uint64(i))
+		rep, err := p.Randomize(c.Tuple(r), r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps[i] = rep
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -84,6 +114,76 @@ func BenchmarkBatchAppend(b *testing.B) {
 			batch.Append(rep)
 		}
 	}
+}
+
+// benchQueryPipeline builds an ingested pipeline with every query
+// surface for the query-path benchmarks.
+func benchQueryPipeline(b *testing.B) *Pipeline {
+	b.Helper()
+	p, err := New(testSchema(b), 2, WithShards(4),
+		WithRange(rangequery.Config{Buckets: 64, GridCells: 4}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := NewReportBatch()
+	for _, rep := range benchReports(b, p, 4096) {
+		batch.Append(rep)
+	}
+	if err := p.AddBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// queryOnce runs one dashboard-shaped query mix (a mean, a frequency
+// histogram, a 1-D range, and a 2-D range) against a result.
+func queryOnce(b *testing.B, res *Result) float64 {
+	m, err := res.Mean("age")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fr, err := res.FreqView("gender")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mass1, err := res.Range(RangeQuery{Attr: "age", Lo: -0.5, Hi: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mass2, err := res.Range(RangeQuery{Attr: "age", Lo: -0.5, Hi: 0.5, Attr2: "income", Lo2: 0, Hi2: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m + fr[0] + mass1 + mass2
+}
+
+// BenchmarkQueryCached measures the cached-hit query path: View() plus
+// the dashboard query mix against an unchanged watermark. This is the
+// steady state of a dashboard-heavy server, and it must stay lock-free
+// and allocation-free — the CI allocation guard fails on any alloc/op.
+func BenchmarkQueryCached(b *testing.B) {
+	p := benchQueryPipeline(b)
+	sink := queryOnce(b, p.View()) // warm the view and its memoized paths
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += queryOnce(b, p.View())
+	}
+	_ = sink
+}
+
+// BenchmarkQuerySnapshot measures the uncached baseline the view cache
+// replaces: a full Snapshot rebuild per query, the cost every /v1/query
+// request paid before the epoch cache.
+func BenchmarkQuerySnapshot(b *testing.B) {
+	p := benchQueryPipeline(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += queryOnce(b, p.Snapshot())
+	}
+	_ = sink
 }
 
 // BenchmarkGradientAddBatch measures gradient-report ingest through the

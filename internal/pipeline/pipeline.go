@@ -44,6 +44,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ldp/internal/core"
 	"ldp/internal/freq"
@@ -114,6 +115,8 @@ type config struct {
 	gradient      *GradientConfig
 	shards        int
 	weights       map[TaskKind]float64
+	staleReports  int64
+	staleAge      time.Duration
 }
 
 // WithMechanism selects the 1-D numeric mechanism factory used by the mean
@@ -195,7 +198,15 @@ type jointCompat struct {
 // arithmetic with no estimator or interface indirection; Snapshot rebuilds
 // debiasing estimators from the counts. Everything is guarded by mu.
 type shard struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+
+	// epoch counts the reports folded into this shard, mirrored into an
+	// atomic so the pipeline's ingest watermark (the freshness signal of
+	// the cached query view) is readable without taking any shard lock.
+	// It is written only while mu is held, immediately after the fold, so
+	// under mu it is exactly nMean+nFreq+nJoint+nRange.
+	epoch atomic.Int64
+
 	nMean    int64
 	nFreq    int64
 	nJoint   int64
@@ -233,6 +244,7 @@ type Pipeline struct {
 	joint   jointCompat
 	shards  []*shard
 	cursor  atomic.Uint64
+	view    viewCache
 
 	// rangeCheck validates range reports against the immutable collector
 	// configuration without touching any shard state.
@@ -382,6 +394,8 @@ func New(s *schema.Schema, eps float64, opts ...Option) (*Pipeline, error) {
 	for i := range p.shards {
 		p.shards[i] = p.newShard()
 	}
+	p.view.maxStale = cfg.staleReports
+	p.view.maxAge = cfg.staleAge
 	return p, nil
 }
 
@@ -496,32 +510,120 @@ func (p *Pipeline) Randomize(t schema.Tuple, r *rng.Rand) (Report, error) {
 // aggregator. Safe for concurrent use; only one shard is locked. Batch
 // ingest should prefer AddBatch, which amortizes the validation pass and
 // the lock round-trip over many reports.
+//
+// Validation runs through the same table-driven fast path the batch
+// validator uses (attrMeta carries the per-attribute facts), so the
+// per-report cost is a few array lookups; the scalar checkers run only to
+// rebuild the precise error message once a report is known bad.
 func (p *Pipeline) Add(rep Report) error {
-	if err := p.validate(rep); err != nil {
+	if err := p.validateFast(&rep); err != nil {
 		return err
 	}
 	if rep.Task == TaskGradient {
 		p.trainer.foldOne(rep)
 		return nil
 	}
-	sh := p.shards[p.cursor.Add(1)%uint64(len(p.shards))]
+	// Shard selection: the single-shard pipeline (the common CLI and test
+	// configuration) skips the atomic round-robin cursor and its 64-bit
+	// modulo entirely; power-of-two shard counts mask instead of divide.
+	var idx uint64
+	if n := uint64(len(p.shards)); n > 1 {
+		c := p.cursor.Add(1)
+		if n&(n-1) == 0 {
+			idx = c & (n - 1)
+		} else {
+			idx = c % n
+		}
+	}
+	sh := p.shards[idx]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	p.foldReport(sh, rep)
+	p.foldReport(sh, &rep)
+	sh.epoch.Add(1)
+	sh.mu.Unlock()
+	return nil
+}
+
+// validateFast accept-checks a report with the columnar validation table
+// and falls back to the scalar checkers (validate) only to produce the
+// detailed error. It accepts exactly the reports validate accepts.
+func (p *Pipeline) validateFast(rep *Report) error {
+	switch rep.Task {
+	case TaskRange:
+		if p.rangeT == nil {
+			return fmt.Errorf("pipeline: range report but no range task is registered")
+		}
+		return p.rangeCheck.Validate(rep.Range)
+	case TaskGradient:
+		if p.grad == nil || len(rep.Entries) == 0 || len(rep.Entries) > p.grad.dim ||
+			rep.Round < 0 || int(rep.Round) >= p.grad.rounds {
+			return p.validate(*rep)
+		}
+		for i := range rep.Entries {
+			e := &rep.Entries[i]
+			if e.Kind != core.EntryNumeric || e.Attr < 0 || e.Attr >= p.grad.dim ||
+				math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+				return p.validate(*rep)
+			}
+		}
+		return nil
+	}
+	n, d := len(rep.Entries), len(p.attrMeta)
+	var wantBits, jointCats bool
+	switch rep.Task {
+	case TaskMean:
+		if p.mean == nil || n == 0 || n > d {
+			return p.validate(*rep)
+		}
+		jointCats = true
+	case TaskFreq:
+		if p.freq == nil || n == 0 || n > d {
+			return p.validate(*rep)
+		}
+		wantBits, jointCats = p.freq.bits, true
+	case TaskJoint:
+		if n == 0 || n > d {
+			return p.validate(*rep)
+		}
+		wantBits, jointCats = p.joint.bits, p.joint.oracles != nil
+	default:
+		return p.validate(*rep)
+	}
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		ok := false
+		if e.Attr >= 0 && e.Attr < d {
+			m := p.attrMeta[e.Attr]
+			switch e.Kind {
+			case core.EntryNumeric:
+				ok = rep.Task != TaskFreq && m.numeric && !math.IsNaN(e.Value) && !math.IsInf(e.Value, 0)
+			case core.EntryCategoricalBits:
+				ok = rep.Task != TaskMean && !m.numeric && wantBits && jointCats &&
+					len(e.Resp.Bits) == int(m.words)
+			case core.EntryCategoricalValue:
+				ok = rep.Task != TaskMean && !m.numeric && !wantBits && jointCats &&
+					e.Resp.Value >= 0 && e.Resp.Value < int(m.card)
+			}
+		}
+		if !ok {
+			return p.validate(*rep)
+		}
+	}
 	return nil
 }
 
 // foldReport folds one validated report into a shard. The caller holds the
 // shard lock.
-func (p *Pipeline) foldReport(sh *shard, rep Report) {
+func (p *Pipeline) foldReport(sh *shard, rep *Report) {
 	switch rep.Task {
 	case TaskMean:
-		for _, e := range rep.Entries {
+		for i := range rep.Entries {
+			e := &rep.Entries[i]
 			sh.meanSum[e.Attr] += e.Value
 		}
 		sh.nMean++
 	case TaskFreq:
-		for _, e := range rep.Entries {
+		for i := range rep.Entries {
+			e := &rep.Entries[i]
 			if e.Kind == core.EntryCategoricalBits {
 				freq.FoldBits(sh.freqCounts[e.Attr], e.Resp.Bits)
 			} else {
@@ -531,7 +633,8 @@ func (p *Pipeline) foldReport(sh *shard, rep Report) {
 		}
 		sh.nFreq++
 	case TaskJoint:
-		for _, e := range rep.Entries {
+		for i := range rep.Entries {
+			e := &rep.Entries[i]
 			switch e.Kind {
 			case core.EntryNumeric:
 				sh.jointSum[e.Attr] += e.Value
@@ -587,16 +690,21 @@ func (p *Pipeline) AddBatch(b *ReportBatch) error {
 		}
 		sh := p.shards[(start+k)%s]
 		sh.mu.Lock()
-		p.foldSpan(sh, b, lo, hi)
+		if folded := p.foldSpan(sh, b, lo, hi); folded > 0 {
+			sh.epoch.Add(int64(folded))
+		}
 		sh.mu.Unlock()
 	}
 	return nil
 }
 
 // foldSpan folds the validated reports [lo, hi) of a batch into a shard:
-// pure array arithmetic, no validation, no allocation. The caller holds
-// the shard lock.
-func (p *Pipeline) foldSpan(sh *shard, b *ReportBatch, lo, hi int) {
+// pure array arithmetic, no validation, no allocation. It returns the
+// number of reports folded into the shard (gradient reports ride the
+// trainer, not the shards, so they do not advance the shard epoch). The
+// caller holds the shard lock.
+func (p *Pipeline) foldSpan(sh *shard, b *ReportBatch, lo, hi int) int {
+	folded := 0
 	for i := lo; i < hi; i++ {
 		switch b.task[i] {
 		case TaskMean:
@@ -604,6 +712,7 @@ func (p *Pipeline) foldSpan(sh *shard, b *ReportBatch, lo, hi int) {
 				sh.meanSum[b.entAttr[e]] += b.entNum[e]
 			}
 			sh.nMean++
+			folded++
 		case TaskFreq:
 			for e := b.entOff[i]; e < b.entOff[i+1]; e++ {
 				attr := b.entAttr[e]
@@ -616,6 +725,7 @@ func (p *Pipeline) foldSpan(sh *shard, b *ReportBatch, lo, hi int) {
 				sh.freqN[attr]++
 			}
 			sh.nFreq++
+			folded++
 		case TaskJoint:
 			for e := b.entOff[i]; e < b.entOff[i+1]; e++ {
 				attr := b.entAttr[e]
@@ -632,11 +742,14 @@ func (p *Pipeline) foldSpan(sh *shard, b *ReportBatch, lo, hi int) {
 				}
 			}
 			sh.nJoint++
+			folded++
 		case TaskRange:
 			sh.rangeAcc.FoldValidated(b.rangeAlias(i))
 			sh.nRange++
+			folded++
 		}
 	}
+	return folded
 }
 
 // Validate checks a report's shape against the pipeline configuration —
@@ -951,32 +1064,61 @@ func (p *Pipeline) TaskCounts() map[TaskKind]int64 {
 	return out
 }
 
+// Watermark returns the total number of reports folded into the shard
+// state so far (gradient reports ride the Trainer and are not counted).
+// It reads one atomic per shard — no locks — so freshness checks on the
+// cached query view are free even under full-rate ingest.
+func (p *Pipeline) Watermark() int64 {
+	var n int64
+	for _, sh := range p.shards {
+		n += sh.epoch.Load()
+	}
+	return n
+}
+
 // Snapshot combines every shard into an immutable, queryable Result. It
 // locks shards one at a time, so concurrent Adds on other shards are not
 // blocked. Reports added while the snapshot is in progress may or may not
 // be included.
+//
+// The result holds raw pooled support counts, not rebuilt estimators:
+// debiasing happens lazily per queried attribute (freq.DebiasView with
+// the schema's precomputed support probabilities), and the range state is
+// precomputed once into a rangequery.View so every Range call is a pure
+// lookup. Most callers should prefer View, which memoizes one Result
+// behind an atomic pointer and rebuilds only when the ingest watermark
+// moves past the configured staleness bound.
 func (p *Pipeline) Snapshot() *Result {
+	d := p.sch.Dim()
 	res := &Result{
 		sch:      p.sch,
-		meanSum:  make([]float64, p.sch.Dim()),
-		jointSum: make([]float64, p.sch.Dim()),
+		meanSum:  make([]float64, d),
+		jointSum: make([]float64, d),
 	}
 	if p.freq != nil {
-		res.freqEst = make([]*freq.Estimator, p.sch.Dim())
+		res.freqOracles = p.freq.oracles
+		res.freqCounts = make([][]float64, d)
+		res.freqN = make([]int64, d)
 		for _, j := range p.freq.catIdx {
-			res.freqEst[j] = freq.NewEstimator(p.freq.oracles[j])
+			res.freqCounts[j] = make([]float64, p.sch.Attrs[j].Cardinality)
 		}
 	}
 	if p.joint.oracles != nil {
-		res.jointEst = make([]*freq.Estimator, p.sch.Dim())
+		res.jointOracles = p.joint.oracles
+		res.jointCounts = make([][]float64, d)
+		res.jointN = make([]int64, d)
 		for j, o := range p.joint.oracles {
 			if o != nil {
-				res.jointEst[j] = freq.NewEstimator(o)
+				res.jointCounts[j] = make([]float64, o.Cardinality())
 			}
 		}
 	}
+	if res.freqCounts != nil || res.jointCounts != nil {
+		res.freqCache = make([]atomic.Pointer[[]float64], d)
+	}
+	var rangeAcc *rangequery.Accumulator
 	if p.rangeT != nil {
-		res.rangeAgg = rangequery.NewAggregator(p.rangeT.col)
+		rangeAcc = rangequery.NewAccumulator(p.rangeT.col)
 	}
 	for _, sh := range p.shards {
 		sh.mu.Lock()
@@ -990,21 +1132,34 @@ func (p *Pipeline) Snapshot() *Result {
 		for i, v := range sh.jointSum {
 			res.jointSum[i] += v
 		}
-		for i := range res.freqEst {
-			if res.freqEst[i] != nil {
-				// Shapes match by construction; AddCounts cannot fail.
-				_ = res.freqEst[i].AddCounts(sh.freqCounts[i], sh.freqN[i])
+		for i := range res.freqCounts {
+			if dst := res.freqCounts[i]; dst != nil {
+				for v, c := range sh.freqCounts[i] {
+					dst[v] += c
+				}
+				res.freqN[i] += sh.freqN[i]
 			}
 		}
-		for i := range res.jointEst {
-			if res.jointEst[i] != nil {
-				_ = res.jointEst[i].AddCounts(sh.jointCounts[i], sh.jointN[i])
+		for i := range res.jointCounts {
+			if dst := res.jointCounts[i]; dst != nil {
+				for v, c := range sh.jointCounts[i] {
+					dst[v] += c
+				}
+				res.jointN[i] += sh.jointN[i]
 			}
 		}
-		if res.rangeAgg != nil {
-			res.rangeAgg.MergeAccumulator(sh.rangeAcc)
+		if rangeAcc != nil {
+			rangeAcc.Merge(sh.rangeAcc)
 		}
 		sh.mu.Unlock()
+	}
+	// The shard epochs equal the per-task counters under each shard lock,
+	// so the snapshot's watermark is exactly the reports it contains.
+	res.watermark = res.nMean + res.nFreq + res.nJoint + res.nRange
+	if rangeAcc != nil {
+		// Debias every depth and run Norm-Sub once, outside all locks:
+		// Range answers on the result are pure lookups.
+		res.rangeView = rangeAcc.View()
 	}
 	return res
 }
@@ -1037,6 +1192,7 @@ func (p *Pipeline) Merge(o *Pipeline) error {
 // built by the same pipeline configuration; the caller holds whatever
 // locks guard the two shards.
 func (sh *shard) addShard(o *shard) {
+	sh.epoch.Add(o.nMean + o.nFreq + o.nJoint + o.nRange)
 	sh.nMean += o.nMean
 	sh.nFreq += o.nFreq
 	sh.nJoint += o.nJoint

@@ -2,6 +2,8 @@ package pipeline
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"ldp/internal/freq"
 	"ldp/internal/rangequery"
@@ -19,20 +21,48 @@ type RangeQuery struct {
 }
 
 // Result is an immutable point-in-time view of a Pipeline's aggregate
-// state, produced by Pipeline.Snapshot. It answers every query kind the
-// pipeline collects: Mean for numeric attributes, Freq for categorical
-// attributes, and Range for 1-D/2-D range queries. Methods are safe for
-// concurrent use.
+// state, produced by Pipeline.Snapshot (or served from the epoch cache by
+// Pipeline.View). It answers every query kind the pipeline collects: Mean
+// for numeric attributes, Freq for categorical attributes, and Range for
+// 1-D/2-D range queries. Methods are safe for concurrent use.
+//
+// Internally a Result is raw state plus precomputed constants, not
+// rebuilt estimators: numeric sums, pooled frequency-oracle support
+// counts debiased lazily per queried attribute (the combined estimate is
+// memoized, so repeated queries are lookups), and a rangequery.View whose
+// interval-tree estimates and Norm-Sub-consistent grids were computed
+// once at snapshot time.
 type Result struct {
 	sch *schema.Schema
+
+	// watermark is the ingest watermark the snapshot captured: exactly
+	// the number of reports it contains. epoch and built are stamped by
+	// the view cache (epoch 0 for a plain Snapshot).
+	watermark int64
+	epoch     uint64
+	built     time.Time
 
 	nMean, nFreq, nJoint, nRange int64
 
 	meanSum  []float64
 	jointSum []float64
-	freqEst  []*freq.Estimator
-	jointEst []*freq.Estimator
-	rangeAgg *rangequery.Aggregator
+
+	// Pooled support counts by attribute (nil entries for numeric
+	// attributes), with the oracles that debias them. The freq task and
+	// legacy joint reports run their oracles at different budgets, so the
+	// two streams pool separately and combine at query time.
+	freqOracles  []freq.Oracle
+	jointOracles []freq.Oracle
+	freqCounts   [][]float64
+	freqN        []int64
+	jointCounts  [][]float64
+	jointN       []int64
+
+	// freqCache memoizes the combined debiased estimate per attribute:
+	// computed on first query, a pure lookup afterwards.
+	freqCache []atomic.Pointer[[]float64]
+
+	rangeView *rangequery.View
 }
 
 // N returns the total number of reports in the snapshot.
@@ -53,6 +83,21 @@ func (r *Result) NTask(kind TaskKind) int64 {
 		return 0
 	}
 }
+
+// Watermark returns the ingest watermark the snapshot captured: the
+// number of reports folded into the pipeline's shards when it was taken
+// (equal to N by construction).
+func (r *Result) Watermark() int64 { return r.watermark }
+
+// Epoch returns the view-cache build sequence number of this result, or 0
+// for a result built by a direct Snapshot call. Epochs from one
+// pipeline's View are strictly increasing, which is what makes them
+// usable as HTTP ETags: equal epoch implies byte-identical answers.
+func (r *Result) Epoch() uint64 { return r.epoch }
+
+// BuiltAt returns when the view cache materialized this result (the zero
+// time for a result built by a direct Snapshot call).
+func (r *Result) BuiltAt() time.Time { return r.built }
 
 // Schema returns the snapshot's schema.
 func (r *Result) Schema() *schema.Schema { return r.sch }
@@ -100,57 +145,79 @@ func (r *Result) Means() map[string]float64 {
 	return out
 }
 
+// freqCombined returns the memoized combined frequency estimate of
+// categorical attribute i: on first call it debiases the freq-task and
+// legacy-joint support counts through their DebiasViews and combines the
+// two streams weighted by per-attribute reporter counts; afterwards it is
+// an atomic load. The returned slice is shared — callers must not write
+// to it.
+func (r *Result) freqCombined(i int) []float64 {
+	if ptr := r.freqCache[i].Load(); ptr != nil {
+		return *ptr
+	}
+	out := make([]float64, r.sch.Attrs[i].Cardinality)
+	var nF, nJ int64
+	if r.freqCounts != nil && r.freqCounts[i] != nil {
+		nF = r.freqN[i]
+	}
+	if r.jointCounts != nil && r.jointCounts[i] != nil {
+		nJ = r.jointN[i]
+	}
+	if nF+nJ > 0 {
+		wF := float64(nF) / float64(nF+nJ)
+		wJ := float64(nJ) / float64(nF+nJ)
+		if nF > 0 {
+			fv := freq.NewDebiasView(r.freqOracles[i], r.freqCounts[i], nF)
+			for v := range out {
+				out[v] += wF * fv.Estimate(v)
+			}
+		}
+		if nJ > 0 {
+			jv := freq.NewDebiasView(r.jointOracles[i], r.jointCounts[i], nJ)
+			for v := range out {
+				out[v] += wJ * jv.Estimate(v)
+			}
+		}
+	}
+	// A racing first query may store a concurrently computed slice; both
+	// are identical (pure function of immutable state), so either wins.
+	r.freqCache[i].Store(&out)
+	return out
+}
+
 // Freq estimates the frequency of every value of the named categorical
-// attribute. Freq-task reports and legacy joint reports run their oracles
-// at different budgets, so each stream is debiased with its own estimator
-// and the two estimates are combined weighted by per-attribute reporter
-// counts.
+// attribute. The returned slice is a fresh copy the caller may modify;
+// query paths that must not allocate should use FreqView.
 func (r *Result) Freq(attr string) ([]float64, error) {
+	shared, err := r.FreqView(attr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(shared))
+	copy(out, shared)
+	return out, nil
+}
+
+// FreqView returns the combined frequency estimate of the named
+// categorical attribute as a shared read-only slice: after the first call
+// for an attribute the answer is memoized on the Result, so a cached-view
+// query allocates nothing. Callers must not modify the returned slice.
+func (r *Result) FreqView(attr string) ([]float64, error) {
 	i, err := r.attrIndex(attr)
 	if err != nil {
 		return nil, err
 	}
-	a := r.sch.Attrs[i]
-	if a.Kind != schema.Categorical {
+	if r.sch.Attrs[i].Kind != schema.Categorical {
 		return nil, fmt.Errorf("pipeline: attribute %q is not categorical", attr)
 	}
-	var fEst, jEst *freq.Estimator
-	if r.freqEst != nil {
-		fEst = r.freqEst[i]
-	}
-	if r.jointEst != nil {
-		jEst = r.jointEst[i]
-	}
-	var nF, nJ int64
-	if fEst != nil {
-		nF = fEst.N()
-	}
-	if jEst != nil {
-		nJ = jEst.N()
-	}
-	out := make([]float64, a.Cardinality)
-	if nF+nJ == 0 {
-		return out, nil
-	}
-	wF := float64(nF) / float64(nF+nJ)
-	wJ := float64(nJ) / float64(nF+nJ)
-	if nF > 0 {
-		for v, f := range fEst.Estimates() {
-			out[v] += wF * f
-		}
-	}
-	if nJ > 0 {
-		for v, f := range jEst.Estimates() {
-			out[v] += wJ * f
-		}
-	}
-	return out, nil
+	return r.freqCombined(i), nil
 }
 
-// Range answers a 1-D or 2-D range query (see RangeQuery). It errors when
-// the pipeline was built without WithRange.
+// Range answers a 1-D or 2-D range query (see RangeQuery) from the
+// snapshot's precomputed range view: a pure lookup with zero allocation.
+// It errors when the pipeline was built without WithRange.
 func (r *Result) Range(q RangeQuery) (float64, error) {
-	if r.rangeAgg == nil {
+	if r.rangeView == nil {
 		return 0, fmt.Errorf("pipeline: range queries need a pipeline built with WithRange")
 	}
 	i, err := r.attrIndex(q.Attr)
@@ -158,16 +225,16 @@ func (r *Result) Range(q RangeQuery) (float64, error) {
 		return 0, err
 	}
 	if q.Attr2 == "" {
-		return r.rangeAgg.Range1D(i, q.Lo, q.Hi)
+		return r.rangeView.Range1D(i, q.Lo, q.Hi)
 	}
 	j, err := r.attrIndex(q.Attr2)
 	if err != nil {
 		return 0, err
 	}
-	return r.rangeAgg.Range2D(i, j, q.Lo, q.Hi, q.Lo2, q.Hi2)
+	return r.rangeView.Range2D(i, j, q.Lo, q.Hi, q.Lo2, q.Hi2)
 }
 
-// RangeAggregator exposes the snapshot's merged range aggregator (nil when
+// RangeView exposes the snapshot's precomputed range-query view (nil when
 // the range task is absent), for callers that need the lower-level
 // estimator surface.
-func (r *Result) RangeAggregator() *rangequery.Aggregator { return r.rangeAgg }
+func (r *Result) RangeView() *rangequery.View { return r.rangeView }

@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// viewCache memoizes one immutable Result behind an atomic pointer: the
+// read half of the pipeline's epoch machinery. A query loads the pointer,
+// checks the lock-free ingest watermark against the staleness bound, and
+// serves the cached result without touching a single shard lock; only
+// when the watermark has moved past the bound (or the view has aged out)
+// does one query rebuild, single-flight — a stampede of concurrent
+// queries triggers at most one Snapshot, with the others serving the
+// previous view until the fresh one lands.
+type viewCache struct {
+	cur atomic.Pointer[Result]
+	seq atomic.Uint64 // build counter; stamped into Result.epoch
+
+	// mu serializes rebuilds (single-flight). It is never taken on the
+	// cached-hit path.
+	mu sync.Mutex
+
+	// maxStale is how many reports the cached view may trail the ingest
+	// watermark before a query rebuilds it (0 = any ingest invalidates);
+	// maxAge is the wall-clock analogue (0 = no age bound).
+	maxStale int64
+	maxAge   time.Duration
+}
+
+// WithQueryStaleness bounds how stale the cached query view (Pipeline.View)
+// may get before a query rebuilds it: a cached view is served as long as
+// it trails the ingest watermark by at most `reports` reports AND is
+// younger than maxAge (0 disables the age bound). The default bound is 0
+// reports — the cached view is served only while no new report has been
+// folded, so an uncontended query is exact — which already collapses a
+// query stampede on an idle aggregator to one snapshot. Servers answering
+// heavy dashboard traffic under full-rate ingest should set a real bound
+// (say, 10k reports or 1s): estimates over millions of reports move by
+// O(1/n) per report, so bounded staleness is statistically invisible while
+// making the steady-state query cost a single atomic load.
+//
+// One exception to the bound: while a rebuild is in flight, concurrent
+// View calls return the previous view (whatever its trail) instead of
+// queueing behind the snapshot — availability over exactness for the
+// duration of one rebuild. Callers that need a point-in-time-exact result
+// regardless of concurrent ingest should call Snapshot directly.
+func WithQueryStaleness(reports int64, maxAge time.Duration) Option {
+	return func(c *config) error {
+		if reports < 0 {
+			return fmt.Errorf("pipeline: query staleness must be >= 0 reports, got %d", reports)
+		}
+		if maxAge < 0 {
+			return fmt.Errorf("pipeline: query max age must be >= 0, got %v", maxAge)
+		}
+		c.staleReports = reports
+		c.staleAge = maxAge
+		return nil
+	}
+}
+
+// View returns a point-in-time Result, served from the epoch cache when it
+// is within the configured staleness bound (see WithQueryStaleness) and
+// rebuilt single-flight otherwise; while one caller rebuilds, concurrent
+// callers serve the previous view even past the bound rather than block
+// (see the exception note on WithQueryStaleness). The cached-hit path is
+// lock-free and allocation-free: one atomic pointer load plus one atomic
+// load per shard for the watermark check. The returned Result is immutable
+// and safe for concurrent use; successive rebuilds carry strictly
+// increasing Epoch values, so transports can key response caches (and
+// HTTP ETags) on it.
+func (p *Pipeline) View() *Result {
+	if v := p.view.cur.Load(); v != nil && p.viewFresh(v) {
+		return v
+	}
+	return p.refreshView()
+}
+
+// viewFresh reports whether a cached result is still within the staleness
+// bound. It allocates nothing.
+func (p *Pipeline) viewFresh(v *Result) bool {
+	if p.view.maxAge > 0 && time.Since(v.built) > p.view.maxAge {
+		return false
+	}
+	return p.Watermark()-v.watermark <= p.view.maxStale
+}
+
+// refreshView rebuilds the cached view single-flight. Losers of the build
+// race serve the previous view rather than pile up behind the builder;
+// they block only when there is no view at all yet.
+func (p *Pipeline) refreshView() *Result {
+	if !p.view.mu.TryLock() {
+		// Another query is already snapshotting. Anything cached is at
+		// worst one rebuild behind — serve it instead of stampeding.
+		if v := p.view.cur.Load(); v != nil {
+			return v
+		}
+		p.view.mu.Lock()
+	}
+	defer p.view.mu.Unlock()
+	// The builder we waited on (or a freshness race winner) may have
+	// stored a result that is already fresh enough.
+	if v := p.view.cur.Load(); v != nil && p.viewFresh(v) {
+		return v
+	}
+	res := p.Snapshot()
+	res.epoch = p.view.seq.Add(1)
+	res.built = time.Now()
+	p.view.cur.Store(res)
+	return res
+}

@@ -121,14 +121,50 @@ func (e *GridEstimator) Joint() []float64 {
 // [xlo, xhi] x [ylo, yhi] from the consistent joint histogram; cells
 // partially covered contribute proportionally to their overlap area.
 func (e *GridEstimator) RectMass(xlo, xhi, ylo, yhi float64) float64 {
+	return rectMass(e.Joint(), e.col.cells, xlo, xhi, ylo, yhi)
+}
+
+// View snapshots the consistent joint histogram so that many rectangle
+// queries can be served without re-debiasing or re-running Norm-Sub: the
+// per-epoch precomputation a server answering heavy query traffic does
+// once per view.
+func (e *GridEstimator) View() *GridView {
+	return &GridView{cells: e.col.cells, joint: e.Joint()}
+}
+
+// GridView is an immutable snapshot of a GridEstimator's Norm-Sub-
+// consistent joint cell histogram. It is safe for concurrent use; queries
+// allocate nothing.
+type GridView struct {
+	cells int
+	joint []float64
+}
+
+// Cells returns the per-axis resolution g.
+func (v *GridView) Cells() int { return v.cells }
+
+// Joint returns a copy of the consistent joint cell histogram.
+func (v *GridView) Joint() []float64 {
+	out := make([]float64, len(v.joint))
+	copy(out, v.joint)
+	return out
+}
+
+// RectMass answers the rectangle [xlo, xhi] x [ylo, yhi] from the
+// precomputed consistent histogram: a pure lookup loop, zero allocation.
+func (v *GridView) RectMass(xlo, xhi, ylo, yhi float64) float64 {
+	return rectMass(v.joint, v.cells, xlo, xhi, ylo, yhi)
+}
+
+// rectMass integrates the joint histogram over a clamped query rectangle;
+// cells partially covered contribute proportionally to their overlap area.
+func rectMass(joint []float64, g int, xlo, xhi, ylo, yhi float64) float64 {
 	xlo, xhi = mech.Clamp1(xlo), mech.Clamp1(xhi)
 	ylo, yhi = mech.Clamp1(ylo), mech.Clamp1(yhi)
 	if xhi <= xlo || yhi <= ylo {
 		return 0
 	}
-	g := e.col.cells
 	w := 2 / float64(g)
-	joint := e.Joint()
 	mass := 0.0
 	for cx := 0; cx < g; cx++ {
 		fx := overlap1(xlo, xhi, -1+float64(cx)*w, w)

@@ -292,15 +292,26 @@ func (v *HierView) NodeEstimate(n Node) float64 {
 }
 
 // SpanMass answers the inclusive bucket range [lo, hi] from the snapshot
-// in O(log B) time, clamped into [0, 1].
+// in O(log B) time, clamped into [0, 1]. It walks the canonical dyadic
+// cover in place (the same greedy decomposition as Decompose) without
+// materializing the node list, so a cached-view query allocates nothing.
 func (v *HierView) SpanMass(lo, hi int) (float64, error) {
-	nodes, err := Decompose(v.buckets, lo, hi)
-	if err != nil {
-		return 0, err
+	if lo < 0 || hi >= v.buckets || lo > hi {
+		return 0, fmt.Errorf("rangequery: bucket range [%d,%d] outside domain [0,%d]", lo, hi, v.buckets-1)
 	}
+	maxDepth := len(v.levels)
 	mass := 0.0
-	for _, n := range nodes {
-		mass += v.levels[n.Depth-1][n.Index]
+	for lo <= hi {
+		size := lo & -lo
+		if lo == 0 || size > v.buckets/2 {
+			size = v.buckets / 2
+		}
+		for size > hi-lo+1 {
+			size >>= 1
+		}
+		depth := maxDepth - (bits.Len(uint(size)) - 1)
+		mass += v.levels[depth-1][lo/size]
+		lo += size
 	}
 	if mass < 0 {
 		mass = 0

@@ -1,0 +1,171 @@
+package rangequery
+
+import (
+	"math"
+	"testing"
+
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+)
+
+func viewTestCollector(t *testing.T) *Collector {
+	t.Helper()
+	s, err := schema.New(
+		schema.Attribute{Name: "x", Kind: schema.Numeric},
+		schema.Attribute{Name: "y", Kind: schema.Numeric},
+		schema.Attribute{Name: "c", Kind: schema.Categorical, Cardinality: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewCollector(s, 1, Config{Buckets: 16, GridCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+// TestViewMatchesAccumulator pins the precomputed View against the
+// estimator-backed Accumulator: every 1-D and 2-D answer must agree to
+// within float roundoff, since the view only reorders when the debiasing
+// and Norm-Sub work happens.
+func TestViewMatchesAccumulator(t *testing.T) {
+	col := viewTestCollector(t)
+	acc := NewAccumulator(col)
+	r := rng.New(5)
+	tup := schema.NewTuple(col.Schema())
+	for i := 0; i < 4000; i++ {
+		tup.Num[0] = rng.Uniform(r, -1, 1)
+		tup.Num[1] = rng.Uniform(r, -0.5, 1)
+		rep, err := col.Perturb(tup, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := acc.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	v := acc.View()
+	if v.N() != acc.N() {
+		t.Fatalf("view N = %d, accumulator N = %d", v.N(), acc.N())
+	}
+	queries := [][2]float64{{-1, 1}, {-0.6, 0.2}, {0.11, 0.13}, {0.5, -0.5}}
+	for attr := 0; attr < 2; attr++ {
+		for _, q := range queries {
+			want, err1 := acc.Range1D(attr, q[0], q[1])
+			got, err2 := v.Range1D(attr, q[0], q[1])
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("attr %d %v: error mismatch (%v vs %v)", attr, q, err1, err2)
+			}
+			if math.Abs(want-got) > 1e-12 {
+				t.Errorf("attr %d range %v: accumulator %.9f != view %.9f", attr, q, want, got)
+			}
+		}
+	}
+	for _, q := range [][4]float64{{-1, 1, -1, 1}, {-0.4, 0.3, 0, 0.9}, {0.2, 0.21, -0.9, -0.8}} {
+		want, err1 := acc.Range2D(0, 1, q[0], q[1], q[2], q[3])
+		got, err2 := v.Range2D(0, 1, q[0], q[1], q[2], q[3])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("2-D %v: %v / %v", q, err1, err2)
+		}
+		if math.Abs(want-got) > 1e-12 {
+			t.Errorf("2-D %v: accumulator %.9f != view %.9f", q, want, got)
+		}
+		// The argument order is free on both surfaces.
+		swapped, err := v.Range2D(1, 0, q[2], q[3], q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if swapped != got {
+			t.Errorf("2-D %v: swapped order %.9f != %.9f", q, swapped, got)
+		}
+	}
+
+	// Error surfaces survive on the view.
+	if _, err := v.Range1D(2, -1, 1); err == nil {
+		t.Error("Range1D on a categorical attribute should error")
+	}
+	if _, err := v.Range1D(99, -1, 1); err == nil {
+		t.Error("Range1D on an out-of-range attribute should error")
+	}
+	if v.Hier(0) == nil || v.Hier(2) != nil || v.Hier(-1) != nil {
+		t.Error("Hier accessor shape wrong")
+	}
+	if v.GridFor(0) == nil || v.GridFor(99) != nil {
+		t.Error("GridFor accessor shape wrong")
+	}
+	if v.Collector() != col {
+		t.Error("Collector accessor lost the configuration")
+	}
+}
+
+// TestHierViewSpanMassExhaustive pins the allocation-free inline dyadic
+// walk of HierView.SpanMass against the Decompose-based estimator path
+// over every (lo, hi) pair of the domain, including the error cases.
+func TestHierViewSpanMassExhaustive(t *testing.T) {
+	c, err := NewHierCollector(1, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewHierEstimator(c)
+	r := rng.New(9)
+	for i := 0; i < 3000; i++ {
+		if err := est.Add(c.Perturb(r.IntN(16), r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := est.View()
+	for lo := 0; lo < 16; lo++ {
+		for hi := lo; hi < 16; hi++ {
+			want, err := est.SpanMass(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := view.SpanMass(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(want-got) > 1e-12 {
+				t.Fatalf("span [%d,%d]: estimator %.9f != view %.9f", lo, hi, want, got)
+			}
+		}
+	}
+	for _, q := range [][2]int{{-1, 3}, {0, 16}, {5, 4}} {
+		if _, err := view.SpanMass(q[0], q[1]); err == nil {
+			t.Errorf("span [%d,%d] accepted", q[0], q[1])
+		}
+	}
+}
+
+// TestGridViewMatchesEstimator pins the precomputed grid view against
+// the estimator, including the Joint copy semantics.
+func TestGridViewMatchesEstimator(t *testing.T) {
+	c, err := NewGridCollector(1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewGridEstimator(c)
+	r := rng.New(3)
+	for i := 0; i < 2000; i++ {
+		if err := est.Add(c.Perturb(rng.Uniform(r, -1, 1), rng.Uniform(r, -1, 1), r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := est.View()
+	if v.Cells() != 4 {
+		t.Fatalf("cells = %d, want 4", v.Cells())
+	}
+	for _, q := range [][4]float64{{-1, 1, -1, 1}, {-0.3, 0.8, -1, 0}, {0, 0.1, 0.1, 0.2}} {
+		want := est.RectMass(q[0], q[1], q[2], q[3])
+		got := v.RectMass(q[0], q[1], q[2], q[3])
+		if math.Abs(want-got) > 1e-12 {
+			t.Errorf("rect %v: estimator %.9f != view %.9f", q, want, got)
+		}
+	}
+	j := v.Joint()
+	j[0] = 99 // the returned histogram is a copy
+	if v.Joint()[0] == 99 {
+		t.Error("Joint returned the view's internal slice")
+	}
+}

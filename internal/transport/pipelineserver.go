@@ -1,11 +1,15 @@
 package transport
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ldp/internal/pipeline"
 	"ldp/internal/schema"
@@ -14,6 +18,23 @@ import (
 // MaxBatchSize bounds the body of one batched report upload (defensive
 // limit; a batch holds many MaxFrameSize-bounded frames).
 const MaxBatchSize = 16 << 20
+
+// maxCachedQueries bounds the number of distinct pre-encoded query
+// responses kept per view epoch, maxCachedQueryKey bounds the raw query
+// string an entry may be keyed by, and maxCachedQueryBytes bounds the
+// total keys+bodies retained — together they keep an adversarial sweep
+// of distinct (or padded) query strings from pinning memory; uncached
+// queries are still answered, just not remembered.
+const (
+	maxCachedQueries    = 1024
+	maxCachedQueryKey   = 1 << 10
+	maxCachedQueryBytes = 8 << 20
+)
+
+// jsonContentType is the Content-Type header value of every JSON
+// response, preallocated so the cached-hit path assigns it without
+// allocating.
+var jsonContentType = []string{"application/json"}
 
 // PipelineServer is the unified aggregator front end: every task's
 // reports arrive on one route and every query kind is answered on one
@@ -28,12 +49,53 @@ const MaxBatchSize = 16 << 20
 //	                  ?kind=range&attr=name&lo=&hi=[&attr2=&lo2=&hi2=]
 //	GET  /v1/model    federated SGD model state (pipelines built with
 //	                  WithGradient; 404 otherwise)
+//
+// Queries are answered from the pipeline's epoch-cached view
+// (Pipeline.View): the JSON encoding of each answered (kind, attr, range)
+// is pre-encoded once per view epoch and served as raw bytes afterwards,
+// tagged with an epoch-keyed ETag. Clients that replay the ETag in
+// If-None-Match get 304 Not Modified while the view is unchanged, so a
+// hot dashboard costs one header compare; /v1/model gets the same
+// treatment keyed on the trainer state.
 type PipelineServer struct {
 	p   *pipeline.Pipeline
 	mux *http.ServeMux
 
 	mu   sync.Mutex
 	sink Sink
+
+	// qcache holds the current view epoch's pre-encoded query responses
+	// behind an atomic pointer: hits are lock-free map reads of an
+	// immutable state, misses clone-and-swap under qmu (copy-on-write).
+	qmu    sync.Mutex
+	qcache atomic.Pointer[queryCacheState]
+
+	// mcache is the single-entry analogue for /v1/model.
+	mcache atomic.Pointer[modelCacheState]
+}
+
+// queryCacheState is one view epoch's immutable set of pre-encoded query
+// responses, keyed by the request's raw query string. States are
+// replaced, never mutated, so readers need no lock. bytes tracks the
+// retained keys+bodies against maxCachedQueryBytes.
+type queryCacheState struct {
+	epoch   uint64
+	etag    string
+	etagHdr []string
+	body    map[string][]byte
+	bytes   int
+}
+
+// modelCacheState is the pre-encoded /v1/model response for one exact
+// trainer state (round, done, accepted, stale).
+type modelCacheState struct {
+	round    int
+	done     bool
+	accepted int64
+	stale    int64
+	etag     string
+	etagHdr  []string
+	body     []byte
 }
 
 // NewPipelineServer wraps a pipeline (and optional persistence sink,
@@ -123,75 +185,214 @@ func (s *PipelineServer) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := tr.Model()
-	writeJSON(w, ModelState{
-		Round:     m.Round,
-		Done:      m.Done,
-		Beta:      m.Beta,
-		GroupSize: tr.GroupSize(),
-		Rounds:    tr.Rounds(),
-		Dim:       tr.Dim(),
-		Eta:       tr.Eta(),
-		Lambda:    tr.Lambda(),
-		Accepted:  tr.Accepted(),
-		Stale:     tr.Stale(),
-	})
+	acc, stale := tr.Accepted(), tr.Stale()
+	st := s.mcache.Load()
+	if st == nil || st.round != m.Round || st.done != m.Done || st.accepted != acc || st.stale != stale {
+		body, err := json.Marshal(ModelState{
+			Round:     m.Round,
+			Done:      m.Done,
+			Beta:      m.Beta,
+			GroupSize: tr.GroupSize(),
+			Rounds:    tr.Rounds(),
+			Dim:       tr.Dim(),
+			Eta:       tr.Eta(),
+			Lambda:    tr.Lambda(),
+			Accepted:  acc,
+			Stale:     stale,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		done := 0
+		if m.Done {
+			done = 1
+		}
+		etag := fmt.Sprintf("\"m%d-%d-%d-%d\"", m.Round, done, acc, stale)
+		st = &modelCacheState{
+			round: m.Round, done: m.Done, accepted: acc, stale: stale,
+			etag: etag, etagHdr: []string{etag}, body: append(body, '\n'),
+		}
+		// A racing poller may store a state for a neighbouring trainer
+		// snapshot; the next mismatch rebuilds, so last-write-wins is fine.
+		s.mcache.Store(st)
+	}
+	h := w.Header()
+	h["Etag"] = st.etagHdr
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == st.etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h["Content-Type"] = jsonContentType
+	_, _ = w.Write(st.body)
 }
 
 func (s *PipelineServer) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	switch kind := q.Get("kind"); kind {
-	case "stats":
-		// Stats need only the shard counters, not a full snapshot.
-		counts := s.p.TaskCounts()
-		var n int64
-		tasks := make(map[string]int64, len(counts))
-		for k, c := range counts {
-			n += c
-			tasks[k.String()] = c
-		}
-		writeJSON(w, map[string]any{
-			"n":     n,
-			"dim":   s.p.Schema().Dim(),
-			"tasks": tasks,
-		})
-	case "mean":
-		res := s.p.Snapshot()
-		if name := q.Get("attr"); name != "" {
-			m, err := res.Mean(name)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+	raw := r.URL.RawQuery
+	// Stats read only the shard counters and change with every report
+	// (including gradient reports, which never advance the view epoch),
+	// so they are answered directly, never from the view cache.
+	if strings.Contains(raw, "kind=stats") && r.URL.Query().Get("kind") == "stats" {
+		s.handleStats(w)
+		return
+	}
+
+	v := s.p.View()
+	if st := s.qcache.Load(); st != nil && st.epoch == v.Epoch() {
+		if body, ok := st.body[raw]; ok {
+			h := w.Header()
+			h["Etag"] = st.etagHdr
+			if inm := r.Header.Get("If-None-Match"); inm != "" && inm == st.etag {
+				w.WriteHeader(http.StatusNotModified)
 				return
 			}
-			writeJSON(w, map[string]any{"attr": name, "mean": m})
+			h["Content-Type"] = jsonContentType
+			_, _ = w.Write(body)
 			return
 		}
-		writeJSON(w, res.Means())
+	}
+
+	// Cold path: parse the query, answer it from the same view, and
+	// remember the encoded bytes for the rest of this epoch.
+	body, cacheable, err := s.queryJSON(v, r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var etagHdr []string
+	if cacheable {
+		etagHdr = s.storeQuery(v.Epoch(), raw, body)
+	}
+	h := w.Header()
+	if etagHdr != nil {
+		h["Etag"] = etagHdr
+	}
+	h["Content-Type"] = jsonContentType
+	_, _ = w.Write(body)
+}
+
+// handleStats answers kind=stats from the cheap per-task counters.
+func (s *PipelineServer) handleStats(w http.ResponseWriter) {
+	writeJSON(w, s.statsPayload())
+}
+
+// statsPayload is the kind=stats response body, shared by the fast path
+// and queryJSON so the two cannot drift.
+func (s *PipelineServer) statsPayload() map[string]any {
+	counts := s.p.TaskCounts()
+	var n int64
+	tasks := make(map[string]int64, len(counts))
+	for k, c := range counts {
+		n += c
+		tasks[k.String()] = c
+	}
+	return map[string]any{
+		"n":     n,
+		"dim":   s.p.Schema().Dim(),
+		"tasks": tasks,
+	}
+}
+
+// queryJSON answers one query against an immutable view and returns the
+// encoded response body. cacheable is false for kinds whose answer is not
+// a pure function of the view.
+func (s *PipelineServer) queryJSON(v *pipeline.Result, q url.Values) (body []byte, cacheable bool, err error) {
+	var payload any
+	switch kind := q.Get("kind"); kind {
+	case "stats":
+		// Reachable only with an encoding of kind=stats the fast path's
+		// substring probe missed; answer uncached like the fast path.
+		body, err := json.Marshal(s.statsPayload())
+		if err != nil {
+			return nil, false, err
+		}
+		return append(body, '\n'), false, nil
+	case "mean":
+		if name := q.Get("attr"); name != "" {
+			m, err := v.Mean(name)
+			if err != nil {
+				return nil, false, err
+			}
+			payload = map[string]any{"attr": name, "mean": m}
+		} else {
+			payload = v.Means()
+		}
 	case "freq":
 		name := q.Get("attr")
 		if name == "" {
-			http.Error(w, "freq queries need attr=", http.StatusBadRequest)
-			return
+			return nil, false, fmt.Errorf("freq queries need attr=")
 		}
-		freqs, err := s.p.Snapshot().Freq(name)
+		freqs, err := v.FreqView(name)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, false, err
 		}
-		writeJSON(w, map[string]any{"attr": name, "freqs": freqs})
+		payload = map[string]any{"attr": name, "freqs": freqs}
 	case "range":
 		rq, err := parseRangeQuery(q.Get, s.p.Schema())
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, false, err
 		}
-		mass, err := s.p.Snapshot().Range(rq)
+		mass, err := v.Range(rq)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, false, err
 		}
-		writeJSON(w, map[string]any{"query": rq, "mass": mass})
+		payload = map[string]any{"query": rq, "mass": mass}
 	default:
-		http.Error(w, fmt.Sprintf("unknown query kind %q (want stats, mean, freq, or range)", kind), http.StatusBadRequest)
+		return nil, false, fmt.Errorf("unknown query kind %q (want stats, mean, freq, or range)", kind)
+	}
+	body, err = json.Marshal(payload)
+	if err != nil {
+		return nil, false, err
+	}
+	return append(body, '\n'), true, nil
+}
+
+// storeQuery remembers a pre-encoded response for the rest of its view
+// epoch (copy-on-write, so the lock-free readers never observe a map
+// write) and returns the epoch's preallocated ETag header value. Entries
+// past the count, key-size, or total-byte bounds are served but not
+// retained.
+func (s *PipelineServer) storeQuery(epoch uint64, raw string, body []byte) []string {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	st := s.qcache.Load()
+	cost := len(raw) + len(body)
+	fits := len(raw) <= maxCachedQueryKey && cost <= maxCachedQueryBytes
+	switch {
+	case st == nil || st.epoch < epoch:
+		etag := "\"q" + strconv.FormatUint(epoch, 10) + "\""
+		next := &queryCacheState{
+			epoch:   epoch,
+			etag:    etag,
+			etagHdr: []string{etag},
+			body:    map[string][]byte{},
+		}
+		if fits {
+			next.body[raw] = body
+			next.bytes = cost
+		}
+		s.qcache.Store(next)
+		return next.etagHdr
+	case st.epoch == epoch:
+		if _, ok := st.body[raw]; !ok && fits &&
+			len(st.body) < maxCachedQueries && st.bytes+cost <= maxCachedQueryBytes {
+			nb := make(map[string][]byte, len(st.body)+1)
+			for k, b := range st.body {
+				nb[k] = b
+			}
+			nb[raw] = body
+			s.qcache.Store(&queryCacheState{
+				epoch: st.epoch, etag: st.etag, etagHdr: st.etagHdr,
+				body: nb, bytes: st.bytes + cost,
+			})
+		}
+		return st.etagHdr
+	default:
+		// The cache has moved to a newer epoch while this response was
+		// being computed; tag the response with its own epoch and leave
+		// the cache alone.
+		etag := "\"q" + strconv.FormatUint(epoch, 10) + "\""
+		return []string{etag}
 	}
 }
 

@@ -1,0 +1,465 @@
+package transport
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ldp/internal/pipeline"
+	"ldp/internal/rng"
+)
+
+// ingestPipelineReports folds n randomized reports straight into the
+// pipeline (bypassing HTTP) to move the ingest watermark.
+func ingestPipelineReports(t testing.TB, p *pipeline.Pipeline, seed uint64, n int) {
+	t.Helper()
+	b := pipeline.NewReportBatch()
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		rep, err := p.Randomize(randomTuple(p.Schema(), r), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Append(rep)
+	}
+	if err := p.AddBatch(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getWithINM(t *testing.T, c *http.Client, url, inm string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestQueryETag exercises the epoch-keyed response cache on /v1/query:
+// stable ETags and byte-identical bodies while the view is unchanged, 304
+// on If-None-Match, and a new ETag (with fresh bytes) once ingest moves
+// the watermark.
+func TestQueryETag(t *testing.T) {
+	p := newTestPipeline(t)
+	ingestPipelineReports(t, p, 3, 200)
+	srv := httptest.NewServer(NewPipelineServer(p, nil))
+	defer srv.Close()
+	c := srv.Client()
+
+	paths := []string{
+		"/v1/query?kind=mean&attr=age",
+		"/v1/query?kind=mean",
+		"/v1/query?kind=freq&attr=gender",
+		"/v1/query?kind=range&attr=age&lo=-0.5&hi=0.5",
+	}
+	etags := make(map[string]string)
+	bodies := make(map[string][]byte)
+	for _, path := range paths {
+		resp, body := getWithINM(t, c, srv.URL+path, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s -> %s", path, resp.Status)
+		}
+		etag := resp.Header.Get("Etag")
+		if etag == "" {
+			t.Fatalf("%s: no ETag on cacheable query", path)
+		}
+		if !json.Valid(body) {
+			t.Fatalf("%s: invalid JSON %q", path, body)
+		}
+		etags[path], bodies[path] = etag, body
+	}
+	// Every cacheable kind shares the view epoch's ETag.
+	for _, path := range paths[1:] {
+		if etags[path] != etags[paths[0]] {
+			t.Fatalf("ETags differ across kinds within one epoch: %q vs %q", etags[path], etags[paths[0]])
+		}
+	}
+
+	// Unchanged view: identical bytes, and If-None-Match short-circuits.
+	for _, path := range paths {
+		resp, body := getWithINM(t, c, srv.URL+path, "")
+		if resp.Header.Get("Etag") != etags[path] {
+			t.Fatalf("%s: ETag changed without ingest", path)
+		}
+		if string(body) != string(bodies[path]) {
+			t.Fatalf("%s: body changed without ingest", path)
+		}
+		resp, body = getWithINM(t, c, srv.URL+path, etags[path])
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("%s with If-None-Match -> %s, want 304", path, resp.Status)
+		}
+		if len(body) != 0 {
+			t.Fatalf("%s: 304 carried a body (%d bytes)", path, len(body))
+		}
+	}
+
+	// stats is never cached and never tagged.
+	resp, _ := getWithINM(t, c, srv.URL+"/v1/query?kind=stats", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats -> %s", resp.Status)
+	}
+	if etag := resp.Header.Get("Etag"); etag != "" {
+		t.Fatalf("stats response carries ETag %q", etag)
+	}
+
+	// Ingest advances the watermark: new epoch, new ETag, 200 again.
+	ingestPipelineReports(t, p, 5, 50)
+	for _, path := range paths {
+		resp, body := getWithINM(t, c, srv.URL+path, etags[path])
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s after ingest -> %s, want 200", path, resp.Status)
+		}
+		etag := resp.Header.Get("Etag")
+		if etag == "" || etag == etags[path] {
+			t.Fatalf("%s after ingest: ETag %q did not advance from %q", path, etag, etags[path])
+		}
+		if !json.Valid(body) {
+			t.Fatalf("%s after ingest: invalid JSON", path)
+		}
+	}
+
+	// Errors carry no ETag and are not cached.
+	resp, _ = getWithINM(t, c, srv.URL+"/v1/query?kind=freq", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query -> %s, want 400", resp.Status)
+	}
+	if etag := resp.Header.Get("Etag"); etag != "" {
+		t.Fatalf("error response carries ETag %q", etag)
+	}
+}
+
+// TestQueryCacheKeyBound checks the memory bound on the response cache:
+// a query padded past maxCachedQueryKey is answered (unknown parameters
+// are ignored) but never retained, so repeated padded sweeps cannot pin
+// server memory.
+func TestQueryCacheKeyBound(t *testing.T) {
+	p := newTestPipeline(t)
+	ingestPipelineReports(t, p, 3, 50)
+	s := NewPipelineServer(p, nil)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	pad := strings.Repeat("x", maxCachedQueryKey)
+	resp, body := getWithINM(t, srv.Client(), srv.URL+"/v1/query?kind=mean&attr=age&junk="+pad, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("padded query -> %s", resp.Status)
+	}
+	if !json.Valid(body) {
+		t.Fatalf("padded query body invalid: %q", body[:40])
+	}
+	if st := s.qcache.Load(); st != nil {
+		for k := range st.body {
+			if len(k) > maxCachedQueryKey {
+				t.Fatalf("oversized key retained (%d bytes)", len(k))
+			}
+		}
+		if st.bytes > maxCachedQueryBytes {
+			t.Fatalf("cache bytes %d exceed bound", st.bytes)
+		}
+	}
+	// A normal-sized query on the same epoch still caches.
+	getWithINM(t, srv.Client(), srv.URL+"/v1/query?kind=mean&attr=age", "")
+	st := s.qcache.Load()
+	if st == nil || len(st.body) != 1 {
+		t.Fatalf("expected exactly the unpadded query cached, got %+v", st)
+	}
+}
+
+// TestModelETag exercises the /v1/model cache: 304 while the trainer
+// state is unchanged, and a fresh ETag as soon as a gradient report is
+// accepted (or dropped stale), so SGD participants polling the model
+// don't re-download unchanged snapshots.
+func TestModelETag(t *testing.T) {
+	cfg := pipeline.GradientConfig{Dim: 4, Rounds: 8, GroupSize: 3, Eta: 1, Lambda: 0}
+	p, err := pipeline.New(gradSchema(t), 2, pipeline.WithGradient(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewPipelineServer(p, nil))
+	defer srv.Close()
+	c := srv.Client()
+
+	resp, body := getWithINM(t, c, srv.URL+"/v1/model", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model -> %s", resp.Status)
+	}
+	etag := resp.Header.Get("Etag")
+	if etag == "" {
+		t.Fatal("no ETag on /v1/model")
+	}
+	var st ModelState
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unchanged trainer: byte-identical 200, then 304 with the ETag.
+	resp, body2 := getWithINM(t, c, srv.URL+"/v1/model", "")
+	if resp.Header.Get("Etag") != etag || string(body2) != string(body) {
+		t.Fatal("model response changed without trainer activity")
+	}
+	resp, _ = getWithINM(t, c, srv.URL+"/v1/model", etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("unchanged model with If-None-Match -> %s, want 304", resp.Status)
+	}
+
+	// One accepted gradient changes the state: the ETag must advance.
+	r := rng.New(1)
+	rep, err := p.GradientTask().RandomizeGradient(0, []float64{0.5, -0.5, 0.25, 0}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(rep); err != nil {
+		t.Fatal(err)
+	}
+	resp, body3 := getWithINM(t, c, srv.URL+"/v1/model", etag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("changed model with stale If-None-Match -> %s, want 200", resp.Status)
+	}
+	if got := resp.Header.Get("Etag"); got == etag {
+		t.Fatal("ETag did not advance after an accepted gradient")
+	}
+	var st3 ModelState
+	if err := json.Unmarshal(body3, &st3); err != nil {
+		t.Fatal(err)
+	}
+	if st3.Accepted != st.Accepted+1 {
+		t.Fatalf("accepted = %d, want %d", st3.Accepted, st.Accepted+1)
+	}
+}
+
+// TestQueryETagConcurrentIngest hammers /v1/query (with If-None-Match
+// replays) from several readers while writers ingest at full batch rate
+// through POST /v1/report. Run under -race (the CI race job does) to
+// prove the lock-free cache swap tears nothing; under the plain runner it
+// checks that every response is either a valid JSON 200 or a 304, and
+// that the epoch encoded in the ETag never goes backwards per reader.
+func TestQueryETagConcurrentIngest(t *testing.T) {
+	p := newTestPipeline(t)
+	ingestPipelineReports(t, p, 2, 100)
+	srv := httptest.NewServer(NewPipelineServer(p, nil))
+	defer srv.Close()
+
+	const (
+		writers   = 2
+		uploads   = 30
+		perUpload = 20
+		readers   = 4
+		perReader = 60
+	)
+
+	// Pre-encode the upload bodies.
+	bodies := make([][]byte, writers*uploads)
+	r := rng.New(77)
+	for i := range bodies {
+		var body []byte
+		for j := 0; j < perUpload; j++ {
+			rep, err := p.Randomize(randomTuple(p.Schema(), r), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err = AppendEnvelope(body, rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		bodies[i] = body
+	}
+
+	var wg sync.WaitGroup
+	var fail atomic.Bool
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < uploads && !fail.Load(); i++ {
+				resp, err := srv.Client().Post(srv.URL+"/v1/report", "application/octet-stream",
+					strings.NewReader(string(bodies[w*uploads+i])))
+				if err != nil {
+					t.Error(err)
+					fail.Store(true)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNoContent {
+					t.Errorf("report upload -> %s", resp.Status)
+					fail.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	paths := []string{
+		"/v1/query?kind=mean&attr=age",
+		"/v1/query?kind=freq&attr=gender",
+		"/v1/query?kind=range&attr=age&lo=-0.5&hi=0.5",
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lastEtag := ""
+			lastEpoch := uint64(0)
+			for i := 0; i < perReader && !fail.Load(); i++ {
+				path := paths[i%len(paths)]
+				req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+				if err != nil {
+					t.Error(err)
+					fail.Store(true)
+					return
+				}
+				if lastEtag != "" {
+					req.Header.Set("If-None-Match", lastEtag)
+				}
+				resp, err := srv.Client().Do(req)
+				if err != nil {
+					t.Error(err)
+					fail.Store(true)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					fail.Store(true)
+					return
+				}
+				etag := resp.Header.Get("Etag")
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if !json.Valid(body) {
+						t.Errorf("%s: invalid JSON %q", path, body)
+						fail.Store(true)
+						return
+					}
+				case http.StatusNotModified:
+					if len(body) != 0 {
+						t.Errorf("%s: 304 carried a body", path)
+						fail.Store(true)
+						return
+					}
+				default:
+					t.Errorf("%s -> %s", path, resp.Status)
+					fail.Store(true)
+					return
+				}
+				if etag != "" {
+					var epoch uint64
+					if n, err := parseEpochETag(etag); err == nil {
+						epoch = n
+					} else {
+						t.Errorf("unparsable ETag %q: %v", etag, err)
+						fail.Store(true)
+						return
+					}
+					if epoch < lastEpoch {
+						t.Errorf("reader %d: epoch went backwards (%d after %d)", g, epoch, lastEpoch)
+						fail.Store(true)
+						return
+					}
+					lastEpoch, lastEtag = epoch, etag
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fail.Load() {
+		t.FailNow()
+	}
+	if got, want := p.N(), int64(100+writers*uploads*perUpload); got != want {
+		t.Fatalf("final N = %d, want %d", got, want)
+	}
+}
+
+// parseEpochETag extracts the epoch from a `"q<epoch>"` query ETag.
+func parseEpochETag(etag string) (uint64, error) {
+	s := strings.TrimSuffix(strings.TrimPrefix(etag, "\"q"), "\"")
+	var n uint64
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, io.ErrUnexpectedEOF
+		}
+		n = n*10 + uint64(s[i]-'0')
+	}
+	if len(s) == 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+// discardResponseWriter is a reusable allocation-free ResponseWriter for
+// the handler benchmarks: the header map persists across requests, so the
+// steady state assigns existing keys without allocating.
+type discardResponseWriter struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func (w *discardResponseWriter) Header() http.Header         { return w.h }
+func (w *discardResponseWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+func (w *discardResponseWriter) WriteHeader(code int)        { w.code = code }
+
+// BenchmarkHandleQueryCached measures the cached-hit /v1/query handler
+// path: pre-encoded JSON served as one Write, no re-marshal, no snapshot.
+// The CI allocation guard requires 0 allocs/op.
+func BenchmarkHandleQueryCached(b *testing.B) {
+	p := newTestPipeline(b)
+	ingestPipelineReports(b, p, 3, 1000)
+	s := NewPipelineServer(p, nil)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/query?kind=freq&attr=gender", nil)
+	w := &discardResponseWriter{h: make(http.Header)}
+	s.handleQuery(w, req) // warm the view and the encoded-response cache
+	if w.n == 0 {
+		b.Fatal("warmup wrote no body")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.handleQuery(w, req)
+	}
+}
+
+// BenchmarkHandleQueryNotModified measures the 304 path: an If-None-Match
+// replay of the current epoch's ETag costs one header compare.
+func BenchmarkHandleQueryNotModified(b *testing.B) {
+	p := newTestPipeline(b)
+	ingestPipelineReports(b, p, 3, 1000)
+	s := NewPipelineServer(p, nil)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/query?kind=range&attr=age&lo=-0.5&hi=0.5", nil)
+	w := &discardResponseWriter{h: make(http.Header)}
+	s.handleQuery(w, req)
+	etag := w.h.Get("Etag")
+	if etag == "" {
+		b.Fatal("warmup produced no ETag")
+	}
+	req.Header.Set("If-None-Match", etag)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.handleQuery(w, req)
+	}
+	if w.code != http.StatusNotModified {
+		b.Fatalf("got status %d, want 304", w.code)
+	}
+}

@@ -1,6 +1,8 @@
 package ldp
 
 import (
+	"time"
+
 	"ldp/internal/pipeline"
 	"ldp/internal/transport"
 )
@@ -21,7 +23,7 @@ import (
 //	rep, _ := p.Randomize(tuple, r) // on the user's device
 //	_ = p.Add(rep)                  // at the aggregator
 //
-//	res := p.Snapshot()
+//	res := p.View() // epoch-cached; p.Snapshot() forces a rebuild
 //	mean, _ := res.Mean("age")
 //	freqs, _ := res.Freq("gender")
 //	mass, _ := res.Range(ldp.RangeQuery{Attr: "age", Lo: -0.4, Hi: -0.2})
@@ -108,6 +110,20 @@ func WithShards(n int) PipelineOption { return pipeline.WithShards(n) }
 // each; weights are normalized, 0 disables routing to the task).
 func WithTaskWeight(kind TaskKind, w float64) PipelineOption {
 	return pipeline.WithTaskWeight(kind, w)
+}
+
+// WithQueryStaleness bounds how stale the epoch-cached query view
+// (Pipeline.View) may get before a query rebuilds it: the cached Result
+// is served while it trails the ingest watermark by at most `reports`
+// reports and is younger than maxAge (0 disables the age bound). The
+// default bound of 0 reports serves the cache only while no new report
+// has arrived, so queries are always exact; servers answering heavy
+// dashboard traffic under full-rate ingest should set a real bound.
+// Result.Epoch, Result.Watermark, and Result.BuiltAt identify a cached
+// view; Result.FreqView and Result.RangeView answer from it without
+// allocating.
+func WithQueryStaleness(reports int64, maxAge time.Duration) PipelineOption {
+	return pipeline.WithQueryStaleness(reports, maxAge)
 }
 
 // WithGradient registers the federated LDP-SGD task: the pipeline grows a

@@ -7,6 +7,7 @@
 //
 //	ldpserver -addr :8080 -dataset br -eps 1 -shards 8 -range -logdir /var/lib/ldp
 //	ldpserver -addr :8080 -dataset br -eps 2 -sgd -sgdrounds 20 -sgdgroup 512
+//	ldpserver -addr :8080 -dataset br -debug-addr 127.0.0.1:6060 -log-format json
 //
 // The schema (and the privacy budget, which fixes the randomizer debiasing
 // parameters) must match what the clients use. On startup, any existing
@@ -19,27 +20,42 @@
 //
 //	POST /v1/report   one or more report frames (v2 envelope or legacy v1)
 //	GET  /v1/query    ?kind=stats | mean[&attr=] | freq&attr= | range&attr=&lo=&hi=[&attr2=&lo2=&hi2=]
+//	GET  /v1/stats    aggregate report counts, ETag-cached on the watermark
 //	GET  /v1/model    federated SGD model state (-sgd only)
+//	GET  /metrics     Prometheus text exposition of every subsystem
 //
 // Queries are answered from an epoch-cached snapshot with pre-encoded
 // JSON bodies and epoch-keyed ETags (If-None-Match gets 304 while the
 // view is unchanged); -query-staleness and -query-maxage bound how far
 // the cached view may trail ingest before a query rebuilds it.
+//
+// Observability: the server always registers its telemetry (the hot paths
+// stay allocation-free either way) and serves it on /metrics. Logs are
+// structured (log/slog); -log-level debug adds one line per request and
+// -log-format json switches to JSON lines. -debug-addr starts a second,
+// operator-only listener serving net/http/pprof under /debug/pprof/,
+// expvar under /debug/vars (the registry is published as the "ldp" var),
+// and a /metrics alias — keep it bound to localhost; nothing on it is
+// meant for report-submitting clients.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"ldp/internal/dataset"
 	"ldp/internal/pipeline"
 	"ldp/internal/rangequery"
 	"ldp/internal/reportlog"
+	"ldp/internal/telemetry"
 	"ldp/internal/transport"
 )
 
@@ -50,26 +66,70 @@ func main() {
 	}
 }
 
+// publishExpvar guards the process-global expvar name: run is re-entered
+// by tests, and expvar.Publish panics on duplicates.
+var publishExpvar sync.Once
+
+// newLogger builds the process logger from the -log-level/-log-format
+// flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// debugMux assembles the operator-only debug handler: pprof, expvar, and
+// the metrics exposition on one explicit mux (the point of -debug-addr is
+// precisely not to hang these off the public DefaultServeMux).
+func debugMux(reg *telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	return mux
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("ldpserver", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
-		name     = fs.String("dataset", "br", "schema to serve: br or mx")
-		eps      = fs.Float64("eps", 1, "privacy budget the clients use")
-		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "aggregation shards (ingest concurrency)")
-		rangeOn  = fs.Bool("range", false, "register the range-query task")
-		buckets  = fs.Int("buckets", 0, "range hierarchy buckets (power of two; 0 = 256)")
-		gridCell = fs.Int("gridcells", 0, "range 2-D grid resolution per axis (0 = 8)")
-		logdir   = fs.String("logdir", "", "report log directory (empty = no persistence)")
-		qStale   = fs.Int64("query-staleness", 0, "serve cached query views trailing ingest by up to this many reports (0 = exact)")
-		qMaxAge  = fs.Duration("query-maxage", 0, "rebuild cached query views older than this (0 = no age bound)")
-		sgdOn    = fs.Bool("sgd", false, "register the federated LDP-SGD gradient task")
-		sgdRnds  = fs.Int("sgdrounds", 20, "federated SGD rounds")
-		sgdGroup = fs.Int("sgdgroup", 512, "gradient reports per SGD round")
-		sgdEta   = fs.Float64("sgdeta", 1.0, "SGD learning-rate scale (gamma_t = eta/sqrt(t))")
-		sgdLam   = fs.Float64("sgdlambda", 1e-4, "L2 regularization weight clients train with")
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
+		name      = fs.String("dataset", "br", "schema to serve: br or mx")
+		eps       = fs.Float64("eps", 1, "privacy budget the clients use")
+		shards    = fs.Int("shards", runtime.GOMAXPROCS(0), "aggregation shards (ingest concurrency)")
+		rangeOn   = fs.Bool("range", false, "register the range-query task")
+		buckets   = fs.Int("buckets", 0, "range hierarchy buckets (power of two; 0 = 256)")
+		gridCell  = fs.Int("gridcells", 0, "range 2-D grid resolution per axis (0 = 8)")
+		logdir    = fs.String("logdir", "", "report log directory (empty = no persistence)")
+		qStale    = fs.Int64("query-staleness", 0, "serve cached query views trailing ingest by up to this many reports (0 = exact)")
+		qMaxAge   = fs.Duration("query-maxage", 0, "rebuild cached query views older than this (0 = no age bound)")
+		sgdOn     = fs.Bool("sgd", false, "register the federated LDP-SGD gradient task")
+		sgdRnds   = fs.Int("sgdrounds", 20, "federated SGD rounds")
+		sgdGroup  = fs.Int("sgdgroup", 512, "gradient reports per SGD round")
+		sgdEta    = fs.Float64("sgdeta", 1.0, "SGD learning-rate scale (gamma_t = eta/sqrt(t))")
+		sgdLam    = fs.Float64("sgdlambda", 1e-4, "L2 regularization weight clients train with")
+		debugAddr = fs.String("debug-addr", "", "operator debug listener (pprof, expvar, metrics); empty = off")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, or error (debug logs every request)")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	var c *dataset.Census
@@ -82,9 +142,11 @@ func run(args []string) error {
 		return fmt.Errorf("unknown dataset %q (want br or mx)", *name)
 	}
 
+	reg := telemetry.NewRegistry()
 	opts := []pipeline.Option{
 		pipeline.WithShards(*shards),
 		pipeline.WithQueryStaleness(*qStale, *qMaxAge),
+		pipeline.WithTelemetry(reg),
 	}
 	if *rangeOn {
 		opts = append(opts, pipeline.WithRange(rangequery.Config{Buckets: *buckets, GridCells: *gridCell}))
@@ -117,7 +179,7 @@ func run(args []string) error {
 			if err != nil {
 				return fmt.Errorf("replay report log: %w", err)
 			}
-			log.Printf("replayed %d reports from %s", n, *logdir)
+			logger.Info("replayed report log", "reports", n, "dir", *logdir)
 		}
 		w, err := reportlog.Open(*logdir, 64<<20)
 		if err != nil {
@@ -127,9 +189,26 @@ func run(args []string) error {
 		sink = w
 	}
 
+	publishExpvar.Do(func() { expvar.Publish("ldp", reg.Expvar()) })
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           transport.NewPipelineServer(p, sink),
+		Addr: *addr,
+		Handler: transport.NewPipelineServer(p, sink,
+			transport.WithServerTelemetry(reg),
+			transport.WithRequestLog(logger)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	tasks := ""
@@ -139,7 +218,8 @@ func run(args []string) error {
 		}
 		tasks += t.Name()
 	}
-	log.Printf("unified aggregator for %q (d=%d, eps=%g, tasks=%s, shards=%d) listening on %s",
-		*name, c.Schema().Dim(), *eps, tasks, p.Shards(), *addr)
+	logger.Info("unified aggregator listening",
+		"addr", *addr, "dataset", *name, "dim", c.Schema().Dim(),
+		"eps", *eps, "tasks", tasks, "shards", p.Shards())
 	return srv.ListenAndServe()
 }

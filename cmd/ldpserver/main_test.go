@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ldp/internal/telemetry"
+)
 
 func TestRejectsUnknownDataset(t *testing.T) {
 	if err := run([]string{"-dataset", "nope", "-addr", "127.0.0.1:0"}); err == nil {
@@ -18,5 +25,50 @@ func TestRejectsBadLogDir(t *testing.T) {
 	// A log directory that is actually a file must fail before serving.
 	if err := run([]string{"-dataset", "br", "-logdir", "/dev/null/xx", "-addr", "127.0.0.1:0"}); err == nil {
 		t.Error("want error for unusable log directory")
+	}
+}
+
+func TestRejectsBadLogLevel(t *testing.T) {
+	if err := run([]string{"-dataset", "br", "-log-level", "loud", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("want error for unknown log level")
+	}
+}
+
+func TestRejectsBadLogFormat(t *testing.T) {
+	if err := run([]string{"-dataset", "br", "-log-format", "xml", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("want error for unknown log format")
+	}
+}
+
+func TestNewLoggerAcceptsAllLevels(t *testing.T) {
+	for _, lvl := range []string{"debug", "info", "warn", "error", "DEBUG", "WARN"} {
+		for _, format := range []string{"text", "json"} {
+			if _, err := newLogger(lvl, format); err != nil {
+				t.Errorf("newLogger(%q, %q): %v", lvl, format, err)
+			}
+		}
+	}
+}
+
+func TestDebugMuxRoutes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("ldp_test_total", "Test counter.").Inc()
+	mux := debugMux(reg)
+	for _, path := range []string{"/debug/pprof/", "/debug/vars", "/metrics"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "ldp_test_total 1") {
+		t.Errorf("debug /metrics missing registered counter:\n%s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/vars", nil))
+	if !strings.Contains(rec.Body.String(), "memstats") {
+		t.Error("debug /debug/vars is not the expvar handler")
 	}
 }

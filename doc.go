@@ -86,6 +86,16 @@
 // internal/transport and the CI slow job that black-box-audits the
 // gradient mechanism's eps-LDP guarantee from samples alone).
 //
+// Deployments observe themselves through a shared metrics registry
+// (NewTelemetryRegistry): WithTelemetry instruments the pipeline's
+// ingest, view-cache, and trainer state, WithServerTelemetry adds
+// per-route HTTP metrics and a Prometheus GET /metrics route, and
+// WithRequestLog emits structured per-request log lines. Telemetry
+// follows the hot-path discipline of the rest of the system — per-batch
+// counters, scrape-time reads of existing aggregator state, and no
+// allocations on the instrumented ingest or cached-query paths (the
+// instrumented benchmarks are pinned at 0 allocs/op in CI).
+//
 // The pre-pipeline constructors (NewCollector, NewAggregator, NewServer,
 // NewRangeCollector, ...) remain as deprecated shims; see the MIGRATION
 // section of the README for the mapping.

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ldp/internal/dataset"
+	"ldp/internal/pipeline"
+	"ldp/internal/rng"
+	"ldp/internal/telemetry"
+)
+
+func init() {
+	register(Runner{
+		Name: "telemetry",
+		Desc: "telemetry overhead on the ingest hot path: plain vs instrumented columnar AddBatch (batch 1024) across shard counts, with overhead_pct",
+		Run:  runTelemetryBench,
+	})
+}
+
+// telemetryShardCounts is the shard axis of the overhead benchmark.
+var telemetryShardCounts = []int{1, 4, 8}
+
+// telemetryBatchSize matches the pipeline experiment's fastest ingest
+// configuration; overhead is measured where it would hurt most.
+const telemetryBatchSize = 1024
+
+// runTelemetryBench measures what the telemetry subsystem costs on the
+// ingest hot path: the identical pre-randomized, pre-batched report
+// stream is folded through a plain pipeline and through one built with
+// WithTelemetry (per-batch counters, batch-size histogram, scrape-time
+// func metrics), and the column overhead_pct reports the throughput gap.
+// The design target is under 2%: hot counters are per-batch (two atomic
+// adds per 1024 reports) and everything per-task is read at scrape time,
+// so the fold loops themselves are untouched. As in the pipeline
+// experiment, the best of opts.Runs timings is kept per configuration.
+func runTelemetryBench(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	c := dataset.NewBR()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	p0, err := pipeline.New(c.Schema(), opts.Eps)
+	if err != nil {
+		return nil, err
+	}
+	reps := make([]pipeline.Report, opts.N)
+	for i := range reps {
+		r := rng.NewStream(opts.Seed, uint64(i))
+		rep, err := p0.Randomize(c.Tuple(r), r)
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = rep
+	}
+
+	var batches []*pipeline.ReportBatch
+	for lo := 0; lo < len(reps); lo += telemetryBatchSize {
+		hi := lo + telemetryBatchSize
+		if hi > len(reps) {
+			hi = len(reps)
+		}
+		b := pipeline.NewReportBatch()
+		for _, rep := range reps[lo:hi] {
+			b.Append(rep)
+		}
+		batches = append(batches, b)
+	}
+
+	timeIngest := func(p *pipeline.Pipeline) (float64, error) {
+		var firstErr error
+		var mu sync.Mutex
+		start := time.Now()
+		var wg sync.WaitGroup
+		chunk := (len(batches) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(batches) {
+				hi = len(batches)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if err := p.AddBatch(batches[i]); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		return float64(len(reps)) / elapsed.Seconds(), nil
+	}
+
+	// best rebuilds the pipeline each run through buildOpts — the
+	// instrumented configuration needs a fresh registry per pipeline
+	// (re-registering a series on one registry is a programming error).
+	best := func(buildOpts func() []pipeline.Option) (float64, error) {
+		bestRate := 0.0
+		for run := 0; run < opts.Runs; run++ {
+			p, err := pipeline.New(c.Schema(), opts.Eps, buildOpts()...)
+			if err != nil {
+				return 0, err
+			}
+			rate, err := timeIngest(p)
+			if err != nil {
+				return 0, err
+			}
+			if rate > bestRate {
+				bestRate = rate
+			}
+		}
+		return bestRate, nil
+	}
+
+	table := Table{
+		ID:      "telemetry",
+		Title:   fmt.Sprintf("telemetry ingest overhead, %d reports, batch %d, %d workers (best of %d runs)", opts.N, telemetryBatchSize, workers, opts.Runs),
+		XLabel:  "aggregator",
+		YLabel:  "reports/sec (and overhead %)",
+		Columns: []string{"plain_reports_per_sec", "telemetry_reports_per_sec", "overhead_pct"},
+	}
+	for _, shards := range telemetryShardCounts {
+		plain, err := best(func() []pipeline.Option {
+			return []pipeline.Option{pipeline.WithShards(shards)}
+		})
+		if err != nil {
+			return nil, err
+		}
+		instr, err := best(func() []pipeline.Option {
+			return []pipeline.Option{pipeline.WithShards(shards), pipeline.WithTelemetry(telemetry.NewRegistry())}
+		})
+		if err != nil {
+			return nil, err
+		}
+		overhead := (plain - instr) / plain * 100
+		table.Rows = append(table.Rows, TableRow{
+			X:      fmt.Sprintf("pipeline-%d-shards-batch%d", shards, telemetryBatchSize),
+			Values: []float64{plain, instr, overhead},
+		})
+	}
+	return []Table{table}, nil
+}

@@ -1,0 +1,34 @@
+package experiment
+
+import "testing"
+
+func TestTelemetryBenchShape(t *testing.T) {
+	opts := small()
+	opts.N = 4_096
+	opts.Runs = 1
+	tables, err := runTelemetryBench(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	tb := tables[0]
+	if len(tb.Columns) != 3 || tb.Columns[2] != "overhead_pct" {
+		t.Fatalf("unexpected columns %v", tb.Columns)
+	}
+	if len(tb.Rows) != len(telemetryShardCounts) {
+		t.Fatalf("got %d rows, want %d", len(tb.Rows), len(telemetryShardCounts))
+	}
+	for _, row := range tb.Rows {
+		plain, instr := row.Values[0], row.Values[1]
+		if plain <= 0 || instr <= 0 {
+			t.Errorf("row %s: non-positive throughput %v", row.X, row.Values)
+		}
+		// No tight overhead bound at unit-test scale (noise dominates),
+		// but the instrumented path must be the same order of magnitude.
+		if instr < plain/2 {
+			t.Errorf("row %s: instrumented %v below half of plain %v", row.X, instr, plain)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"ldp/internal/dataset"
 	"ldp/internal/rangequery"
 	"ldp/internal/rng"
+	"ldp/internal/telemetry"
 )
 
 // benchReports pre-randomizes n reports so only the aggregation side is on
@@ -118,10 +119,10 @@ func BenchmarkBatchAppend(b *testing.B) {
 
 // benchQueryPipeline builds an ingested pipeline with every query
 // surface for the query-path benchmarks.
-func benchQueryPipeline(b *testing.B) *Pipeline {
+func benchQueryPipeline(b *testing.B, opts ...Option) *Pipeline {
 	b.Helper()
-	p, err := New(testSchema(b), 2, WithShards(4),
-		WithRange(rangequery.Config{Buckets: 64, GridCells: 4}))
+	p, err := New(testSchema(b), 2, append([]Option{WithShards(4),
+		WithRange(rangequery.Config{Buckets: 64, GridCells: 4})}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -182,6 +183,45 @@ func BenchmarkQuerySnapshot(b *testing.B) {
 	var sink float64
 	for i := 0; i < b.N; i++ {
 		sink += queryOnce(b, p.Snapshot())
+	}
+	_ = sink
+}
+
+// BenchmarkAddBatchInstrumented is BenchmarkPipelineAddBatch/size1024
+// with a live telemetry registry wired in: the CI allocation guard holds
+// it to 0 allocs/op, proving instrumentation does not reintroduce
+// allocation on the batch ingest path, and its ns/report stands next to
+// the uninstrumented number in BENCH_pipeline.json as the overhead bound.
+func BenchmarkAddBatchInstrumented(b *testing.B) {
+	const bs = 1024
+	p, err := New(testSchema(b), 1, WithShards(4), WithTelemetry(telemetry.NewRegistry()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := NewReportBatch()
+	for _, rep := range benchReports(b, p, bs) {
+		batch.Append(rep)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.AddBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*bs), "ns/report")
+}
+
+// BenchmarkQueryCachedInstrumented is BenchmarkQueryCached with a live
+// telemetry registry: the cached-hit path gains exactly one counter add
+// (the view-hit counter) and must stay at 0 allocs/op.
+func BenchmarkQueryCachedInstrumented(b *testing.B) {
+	p := benchQueryPipeline(b, WithTelemetry(telemetry.NewRegistry()))
+	sink := queryOnce(b, p.View())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += queryOnce(b, p.View())
 	}
 	_ = sink
 }

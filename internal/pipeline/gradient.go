@@ -240,6 +240,16 @@ func (tr *Trainer) Accepted() int64 { return tr.accepted.Load() }
 // round filled, or anything after training finished).
 func (tr *Trainer) Stale() int64 { return tr.stale.Load() }
 
+// Fill returns the number of gradient reports accumulated toward the
+// current round's group so far; it resets to zero when a round advances.
+// A monitoring read: it takes the trainer lock, so the fold path pays
+// nothing for it.
+func (tr *Trainer) Fill() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.count
+}
+
 // foldBatch folds every gradient report of a validated batch into the
 // trainer under a single lock acquisition. Reports for stale rounds are
 // dropped; a round that fills mid-batch advances immediately, so the

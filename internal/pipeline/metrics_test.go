@@ -1,0 +1,221 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ldp/internal/core"
+	"ldp/internal/rng"
+	"ldp/internal/telemetry"
+)
+
+// scrape renders a registry's full Prometheus exposition.
+func scrape(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// mustContain asserts one exact sample line is present in an exposition.
+func mustContain(t *testing.T, exp, line string) {
+	t.Helper()
+	if !strings.Contains(exp, line+"\n") {
+		t.Fatalf("exposition missing line %q:\n%s", line, exp)
+	}
+}
+
+// TestIngestMetricsExactCounts folds a known workload and asserts the
+// instrumented counts are exact: batches, batch sizes, rejects, per-task
+// report totals, per-shard fills, and the watermark all line up with the
+// pipeline's own ground truth.
+func TestIngestMetricsExactCounts(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p, err := New(testSchema(t), 1, WithShards(2), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perBatch, batches = 100, 3
+	r := rng.New(11)
+	for b := 0; b < batches; b++ {
+		batch := NewReportBatch()
+		for i := 0; i < perBatch; i++ {
+			rep, err := p.Randomize(sampleTuple(p.Schema(), r), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch.Append(rep)
+		}
+		if err := p.AddBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := p.met.batches.Value(); got != batches {
+		t.Fatalf("batches counter = %d, want %d", got, batches)
+	}
+	if got := p.met.batchSize.Count(); got != batches {
+		t.Fatalf("batch size observations = %d, want %d", got, batches)
+	}
+	// 100 lands in bucket 7 (64..127).
+	if got := p.met.batchSize.Bucket(7); got != batches {
+		t.Fatalf("batch size bucket 7 = %d, want %d", got, batches)
+	}
+
+	// Rejects: one bad single report, one bad batch, neither folds state.
+	bad := Report{Task: TaskMean, Entries: []core.Entry{{Attr: 99, Kind: core.EntryNumeric}}}
+	if err := p.Add(bad); err == nil {
+		t.Fatal("bad report accepted")
+	}
+	badBatch := NewReportBatch()
+	badBatch.Append(bad)
+	if err := p.AddBatch(badBatch); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if p.met.rejectReports.Value() != 1 || p.met.rejectBatches.Value() != 1 {
+		t.Fatalf("rejects = report %d batch %d, want 1 and 1",
+			p.met.rejectReports.Value(), p.met.rejectBatches.Value())
+	}
+
+	// The func-backed series must agree with the pipeline's own counters.
+	exp := scrape(t, reg)
+	counts := p.TaskCounts()
+	mustContain(t, exp, fmt.Sprintf(`ldp_ingest_reports_total{task="mean"} %d`, counts[TaskMean]))
+	mustContain(t, exp, fmt.Sprintf(`ldp_ingest_reports_total{task="freq"} %d`, counts[TaskFreq]))
+	mustContain(t, exp, `ldp_ingest_reports_total{task="joint"} 0`)
+	mustContain(t, exp, fmt.Sprintf("ldp_ingest_watermark %d", p.Watermark()))
+	var shardSum int64
+	for i, sh := range p.shards {
+		n := sh.epoch.Load()
+		shardSum += n
+		mustContain(t, exp, fmt.Sprintf(`ldp_ingest_shard_reports{shard="%d"} %d`, i, n))
+	}
+	if shardSum != batches*perBatch {
+		t.Fatalf("shard fills sum to %d, want %d", shardSum, batches*perBatch)
+	}
+	mustContain(t, exp, fmt.Sprintf("ldp_ingest_batches_total %d", batches))
+	mustContain(t, exp, `ldp_ingest_rejects_total{path="batch"} 1`)
+	mustContain(t, exp, `ldp_ingest_rejects_total{path="report"} 1`)
+}
+
+// TestViewMetricsExactCounts drives the cached-view state machine through
+// a miss, a hit, and a staleness-forced rebuild, checking the counters at
+// each step (the default staleness bound 0 makes every step exact).
+func TestViewMetricsExactCounts(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p, err := New(testSchema(t), 1, WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	add := func() {
+		rep, err := p.Randomize(sampleTuple(p.Schema(), r), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	add()
+	p.View() // cold: rebuild
+	p.View() // unchanged watermark: cached hit
+	p.View() // cached hit
+	add()
+	p.View() // stale: rebuild
+
+	if h, m := p.met.viewHits.Value(), p.met.viewMisses.Value(); h != 2 || m != 2 {
+		t.Fatalf("view hits/misses = %d/%d, want 2/2", h, m)
+	}
+	if got := p.met.rebuild.Count(); got != 2 {
+		t.Fatalf("rebuild histogram count = %d, want 2", got)
+	}
+	exp := scrape(t, reg)
+	mustContain(t, exp, "ldp_view_hits_total 2")
+	mustContain(t, exp, "ldp_view_misses_total 2")
+	mustContain(t, exp, "ldp_view_losers_total 0")
+	mustContain(t, exp, "ldp_view_epoch 2")
+}
+
+// TestTrainerMetrics folds accepted and stale gradients and checks the
+// trainer's func-backed series, including the group fill resetting when a
+// round advances.
+func TestTrainerMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p, err := New(testSchema(t), 5, WithTelemetry(reg), WithGradient(GradientConfig{
+		Dim: 2, Rounds: 4, GroupSize: 3,
+		Eta: 1, Lambda: 1e-4, Mechanism: identityFactory,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	grad := []float64{0.25, -0.5}
+	submit := func(round int) {
+		rep, err := p.GradientTask().RandomizeGradient(round, grad, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	submit(0)
+	submit(0)
+	submit(2) // valid round tag, but not the collecting round: stale
+	if got := p.Trainer().Fill(); got != 2 {
+		t.Fatalf("Fill = %d, want 2", got)
+	}
+	exp := scrape(t, reg)
+	mustContain(t, exp, "ldp_trainer_round 0")
+	mustContain(t, exp, "ldp_trainer_done 0")
+	mustContain(t, exp, "ldp_trainer_group_fill 2")
+	mustContain(t, exp, "ldp_trainer_accepted_total 2")
+	mustContain(t, exp, "ldp_trainer_stale_total 1")
+	mustContain(t, exp, `ldp_ingest_reports_total{task="gradient"} 2`)
+
+	submit(0) // fills the group: round advances, fill resets
+	if got := p.Trainer().Fill(); got != 0 {
+		t.Fatalf("Fill after round advance = %d, want 0", got)
+	}
+	exp = scrape(t, reg)
+	mustContain(t, exp, "ldp_trainer_round 1")
+	mustContain(t, exp, "ldp_trainer_group_fill 0")
+	mustContain(t, exp, "ldp_trainer_accepted_total 3")
+}
+
+// TestTelemetryDisabled proves the default (no WithTelemetry) pipeline
+// runs every instrumented path with nil handles: ingest, rejects, and
+// view traffic must all work and count nothing.
+func TestTelemetryDisabled(t *testing.T) {
+	p, err := New(testSchema(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	batch := NewReportBatch()
+	for i := 0; i < 10; i++ {
+		rep, err := p.Randomize(sampleTuple(p.Schema(), r), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch.Append(rep)
+	}
+	if err := p.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Report{Task: TaskMean}); err == nil {
+		t.Fatal("empty report accepted")
+	}
+	p.View()
+	p.View()
+	if p.met.batches != nil || p.met.viewHits != nil || p.met.rebuild != nil {
+		t.Fatal("metric handles live without WithTelemetry")
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"ldp/internal/rangequery"
 	"ldp/internal/rng"
 	"ldp/internal/schema"
+	"ldp/internal/telemetry"
 )
 
 // TaskKind identifies the sub-task a unified report answers.
@@ -117,6 +118,7 @@ type config struct {
 	weights       map[TaskKind]float64
 	staleReports  int64
 	staleAge      time.Duration
+	telemetry     *telemetry.Registry
 }
 
 // WithMechanism selects the 1-D numeric mechanism factory used by the mean
@@ -184,6 +186,22 @@ func WithTaskWeight(kind TaskKind, w float64) Option {
 	}
 }
 
+// WithTelemetry registers the pipeline's metric families — ingest volume
+// per task and shard, batch sizes, validation rejects, view-cache traffic
+// and rebuild latency, trainer round state — on reg and keeps them live
+// (see metrics.go for the family list). The instrumentation is shaped so
+// the per-report fold loops gain no atomics: per-task and per-shard
+// counts are read from existing fold state at scrape time, and the only
+// hot-path updates are one counter add and one histogram add per batch
+// (not per report) and one counter add per query. A nil registry disables
+// telemetry entirely (the default).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) error {
+		c.telemetry = reg
+		return nil
+	}
+}
+
 // jointCompat holds the state needed to fold legacy Algorithm-4 reports
 // (TaskJoint) into the pipeline: the oracle parameters the old collector
 // would have used for this schema and budget.
@@ -245,6 +263,7 @@ type Pipeline struct {
 	shards  []*shard
 	cursor  atomic.Uint64
 	view    viewCache
+	met     pipelineMetrics // nil handles (no-ops) without WithTelemetry
 
 	// rangeCheck validates range reports against the immutable collector
 	// configuration without touching any shard state.
@@ -396,6 +415,7 @@ func New(s *schema.Schema, eps float64, opts ...Option) (*Pipeline, error) {
 	}
 	p.view.maxStale = cfg.staleReports
 	p.view.maxAge = cfg.staleAge
+	p.initTelemetry(cfg.telemetry)
 	return p, nil
 }
 
@@ -517,6 +537,7 @@ func (p *Pipeline) Randomize(t schema.Tuple, r *rng.Rand) (Report, error) {
 // rebuild the precise error message once a report is known bad.
 func (p *Pipeline) Add(rep Report) error {
 	if err := p.validateFast(&rep); err != nil {
+		p.met.rejectReports.Inc()
 		return err
 	}
 	if rep.Task == TaskGradient {
@@ -671,6 +692,7 @@ func (p *Pipeline) AddBatch(b *ReportBatch) error {
 		return nil
 	}
 	if err := p.validateBatch(b); err != nil {
+		p.met.rejectBatches.Inc()
 		return err
 	}
 	// Gradient reports bypass the shards: round accumulation and the
@@ -695,6 +717,10 @@ func (p *Pipeline) AddBatch(b *ReportBatch) error {
 		}
 		sh.mu.Unlock()
 	}
+	// Telemetry is per batch, not per report: two atomic adds amortized
+	// over the whole batch keep the fold loops uninstrumented.
+	p.met.batches.Inc()
+	p.met.batchSize.Observe(int64(n))
 	return nil
 }
 

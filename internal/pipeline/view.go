@@ -73,6 +73,7 @@ func WithQueryStaleness(reports int64, maxAge time.Duration) Option {
 // HTTP ETags) on it.
 func (p *Pipeline) View() *Result {
 	if v := p.view.cur.Load(); v != nil && p.viewFresh(v) {
+		p.met.viewHits.Inc()
 		return v
 	}
 	return p.refreshView()
@@ -95,6 +96,7 @@ func (p *Pipeline) refreshView() *Result {
 		// Another query is already snapshotting. Anything cached is at
 		// worst one rebuild behind — serve it instead of stampeding.
 		if v := p.view.cur.Load(); v != nil {
+			p.met.viewLosers.Inc()
 			return v
 		}
 		p.view.mu.Lock()
@@ -103,11 +105,20 @@ func (p *Pipeline) refreshView() *Result {
 	// The builder we waited on (or a freshness race winner) may have
 	// stored a result that is already fresh enough.
 	if v := p.view.cur.Load(); v != nil && p.viewFresh(v) {
+		p.met.viewHits.Inc()
 		return v
+	}
+	// The start timestamp is taken only when the rebuild histogram is
+	// live, so the telemetry-disabled rebuild path skips the clock reads.
+	var start time.Time
+	if p.met.rebuild != nil {
+		start = time.Now()
 	}
 	res := p.Snapshot()
 	res.epoch = p.view.seq.Add(1)
 	res.built = time.Now()
 	p.view.cur.Store(res)
+	p.met.viewMisses.Inc()
+	p.met.rebuild.ObserveSince(start)
 	return res
 }

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistogramBuckets is the fixed bucket count of every Histogram. Bucket 0
+// holds observations <= 0; bucket i (1 <= i < HistogramBuckets-1) holds
+// observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i - 1];
+// the last bucket is the overflow (+Inf) bucket. 40 buckets cover
+// nanosecond latencies up to ~9 minutes and sizes up to ~2^38 before
+// overflowing, in 320 bytes per histogram.
+const HistogramBuckets = 40
+
+// Histogram is a fixed-bucket lock-free histogram over power-of-two
+// boundaries: Observe computes the bucket with one bits.Len64 and does a
+// single atomic add — no locks, no floating point, no allocation — which
+// is what lets rebuild latencies and batch sizes be recorded from the
+// hot paths. The trade-off of keeping Observe to one atomic is that the
+// exposition's _sum line is approximated from bucket midpoints (each
+// bucket's count times 1.5*2^(i-1), the midpoint of its range) rather
+// than tracked exactly; bucket counts and _count are exact.
+type Histogram struct {
+	buckets [HistogramBuckets]atomic.Uint64
+}
+
+// Observe records one value (a duration in nanoseconds, a byte size, a
+// batch length — the buckets are unit-agnostic powers of two). A nil
+// receiver is a no-op.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+		if i > HistogramBuckets-1 {
+			i = HistogramBuckets - 1
+		}
+	}
+	h.buckets[i].Add(1)
+}
+
+// ObserveSince records the elapsed nanoseconds since start: the latency
+// idiom, h.ObserveSince(start) at the end of the timed section. A nil
+// receiver is a no-op (time.Since is still evaluated by the caller's
+// argument; callers on allocation-guarded paths gate on Enabled
+// instrumentation before taking the start timestamp).
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Count returns the exact total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Bucket returns the exact count of bucket i (0 on nil).
+func (h *Histogram) Bucket(i int) uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i: 0 for
+// bucket 0, 2^i - 1 for the middle buckets, and MaxUint64 (rendered
+// +Inf) for the last.
+func BucketUpperBound(i int) uint64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= HistogramBuckets-1:
+		return ^uint64(0)
+	default:
+		return 1<<uint(i) - 1
+	}
+}
+
+// approxSum estimates the sum of all observations from bucket midpoints;
+// see the type comment for the contract.
+func (h *Histogram) approxSum() float64 {
+	var sum float64
+	for i := 1; i < HistogramBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		sum += float64(n) * 1.5 * float64(uint64(1)<<uint(i-1))
+	}
+	return sum
+}

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm writes every registered family in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family, one sample line per series, and for histograms the cumulative
+// _bucket series plus _sum (approximate; see Histogram) and _count. The
+// whole exposition is rendered into a reused buffer under the registry
+// lock and written with a single Write, so a scrape does not interleave
+// with another scrape's output. A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) (int, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	buf := r.scratch[:0]
+	for _, f := range r.fams {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, escapeHelp(f.help)...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.typ.String()...)
+		buf = append(buf, '\n')
+		for _, s := range f.series {
+			buf = appendSeries(buf, f, s)
+		}
+	}
+	r.scratch = buf
+	n, err := w.Write(buf)
+	r.mu.Unlock()
+	return n, err
+}
+
+func appendSeries(buf []byte, f *family, s *series) []byte {
+	if s.h != nil {
+		return appendHistogram(buf, f.name, s)
+	}
+	buf = append(buf, s.prefix...)
+	buf = append(buf, ' ')
+	switch {
+	case s.c != nil:
+		buf = strconv.AppendUint(buf, s.c.Value(), 10)
+	case s.g != nil:
+		buf = strconv.AppendInt(buf, s.g.Value(), 10)
+	default:
+		buf = strconv.AppendFloat(buf, s.fn(), 'g', -1, 64)
+	}
+	return append(buf, '\n')
+}
+
+// appendHistogram renders the cumulative _bucket/_sum/_count triple for
+// one histogram series, splicing le into any existing label block.
+func appendHistogram(buf []byte, name string, s *series) []byte {
+	var cum uint64
+	for i := 0; i < HistogramBuckets; i++ {
+		cum += s.h.Bucket(i)
+		buf = append(buf, name...)
+		buf = append(buf, "_bucket"...)
+		buf = appendLabelsWithLE(buf, s.labels, i)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, name...)
+	buf = append(buf, "_sum"...)
+	buf = append(buf, s.labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, s.h.approxSum(), 'g', -1, 64)
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_count"...)
+	buf = append(buf, s.labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, cum, 10)
+	return append(buf, '\n')
+}
+
+// appendLabelsWithLE appends {existing...,le="bound"}.
+func appendLabelsWithLE(buf []byte, labels string, bucket int) []byte {
+	if labels == "" {
+		buf = append(buf, '{')
+	} else {
+		buf = append(buf, labels[:len(labels)-1]...) // strip trailing '}'
+		buf = append(buf, ',')
+	}
+	buf = append(buf, `le="`...)
+	if bucket >= HistogramBuckets-1 {
+		buf = append(buf, "+Inf"...)
+	} else {
+		buf = strconv.AppendUint(buf, BucketUpperBound(bucket), 10)
+	}
+	return append(buf, `"}`...)
+}
+
+// escapeHelp escapes backslash and newline in a help string.
+func escapeHelp(help string) string {
+	out := make([]byte, 0, len(help))
+	for i := 0; i < len(help); i++ {
+		switch help[i] {
+		case '\\':
+			out = append(out, `\\`...)
+		case '\n':
+			out = append(out, `\n`...)
+		default:
+			out = append(out, help[i])
+		}
+	}
+	return string(out)
+}
+
+// Handler returns an http.Handler serving the text exposition: the
+// /metrics endpoint of a debug listener. A nil registry serves 404.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", PromContentType)
+		_, _ = r.WriteProm(w)
+	})
+}
+
+// Expvar returns an expvar.Func exposing a snapshot of every series as a
+// JSON object keyed by the series' exposition name ("name{labels}"):
+// counters and gauges as numbers, histograms as {count, sum, buckets}.
+// Publish it once per process, e.g.
+//
+//	expvar.Publish("ldp", reg.Expvar())
+//
+// (expvar panics on duplicate names, so the publish belongs in main, not
+// in library code). A nil registry exposes an empty object.
+func (r *Registry) Expvar() expvar.Func {
+	return func() any {
+		out := map[string]any{}
+		if r == nil {
+			return out
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for _, f := range r.fams {
+			for _, s := range f.series {
+				switch {
+				case s.c != nil:
+					out[s.prefix] = s.c.Value()
+				case s.g != nil:
+					out[s.prefix] = s.g.Value()
+				case s.fn != nil:
+					out[s.prefix] = s.fn()
+				case s.h != nil:
+					buckets := make([]uint64, HistogramBuckets)
+					for i := range buckets {
+						buckets[i] = s.h.Bucket(i)
+					}
+					out[s.prefix] = map[string]any{
+						"count":   s.h.Count(),
+						"sum":     s.h.approxSum(),
+						"buckets": buckets,
+					}
+				}
+			}
+		}
+		return out
+	}
+}

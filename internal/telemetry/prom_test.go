@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exact exposition of a small registry: the
+// format is a wire contract with Prometheus scrapers, so any drift must
+// be deliberate.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ldp_test_reports_total", "Reports folded.", L("task", "mean")).Add(7)
+	r.Counter("ldp_test_reports_total", "Reports folded.", L("task", "freq")).Add(2)
+	r.Gauge("ldp_test_watermark", "Ingest watermark.").Set(9)
+	r.GaugeFunc("ldp_test_fill", "Group fill.", func() float64 { return 0.5 })
+
+	var sb strings.Builder
+	n, err := r.WriteProm(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if n != len(got) {
+		t.Fatalf("WriteProm reported %d bytes, wrote %d", n, len(got))
+	}
+	want := `# HELP ldp_test_reports_total Reports folded.
+# TYPE ldp_test_reports_total counter
+ldp_test_reports_total{task="mean"} 7
+ldp_test_reports_total{task="freq"} 2
+# HELP ldp_test_watermark Ingest watermark.
+# TYPE ldp_test_watermark gauge
+ldp_test_watermark 9
+# HELP ldp_test_fill Group fill.
+# TYPE ldp_test_fill gauge
+ldp_test_fill 0.5
+`
+	if got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm is a minimal parser of the text exposition format, enough to
+// round-trip what WriteProm emits: # lines are validated for HELP/TYPE
+// shape, sample lines are split into name, label block, and value.
+func parseProm(t *testing.T, text string) (samples []promSample, types map[string]string) {
+	t.Helper()
+	types = map[string]string{}
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if typ := parts[3]; typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown type in %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if len(strings.Fields(line)) < 3 {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		head, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(strings.Replace(valStr, "+Inf", "Inf", 1), 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		s := promSample{labels: map[string]string{}, value: val}
+		if i := strings.IndexByte(head, '{'); i >= 0 {
+			if !strings.HasSuffix(head, "}") {
+				t.Fatalf("unterminated label block in %q", line)
+			}
+			s.name = head[:i]
+			for _, pair := range splitLabelPairs(t, head[i+1:len(head)-1]) {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 || len(pair) < eq+3 || pair[eq+1] != '"' || pair[len(pair)-1] != '"' {
+					t.Fatalf("malformed label pair %q in %q", pair, line)
+				}
+				s.labels[pair[:eq]] = unescapeLabel(pair[eq+2 : len(pair)-1])
+			}
+		} else {
+			s.name = head
+		}
+		samples = append(samples, s)
+	}
+	return samples, types
+}
+
+// splitLabelPairs splits k="v",k2="v2" on commas outside quotes.
+func splitLabelPairs(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && inQuote:
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case s[i] == ',' && !inQuote:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if inQuote {
+		t.Fatalf("unterminated quote in label block %q", s)
+	}
+	return append(out, s[start:])
+}
+
+func unescapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// TestWritePromRoundTrip writes a registry covering every metric shape
+// and parses the exposition back, asserting the recovered samples match
+// the registry's ground truth — including histogram bucket cumulativity
+// and the _count invariant.
+func TestWritePromRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_reqs_total", "Requests.", L("route", "/v1/report"), L("code", "2xx")).Add(31)
+	r.Counter("rt_reqs_total", "Requests.", L("route", "/v1/query"), L("code", "4xx")).Add(4)
+	r.Gauge("rt_epoch", "Epoch.").Set(12)
+	r.CounterFunc("rt_fn_total", "Func counter.", func() float64 { return 99 })
+	h := r.Histogram("rt_lat_ns", "Latency.", L("route", "/v1/report"))
+	for _, v := range []int64{0, 1, 3, 900, 7_000_000, 1 << 45} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if _, err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseProm(t, sb.String())
+
+	if types["rt_reqs_total"] != "counter" || types["rt_epoch"] != "gauge" || types["rt_lat_ns"] != "histogram" {
+		t.Fatalf("types = %v", types)
+	}
+
+	find := func(name string, labels map[string]string) promSample {
+		t.Helper()
+	outer:
+		for _, s := range samples {
+			if s.name != name || len(s.labels) != len(labels) {
+				continue
+			}
+			for k, v := range labels {
+				if s.labels[k] != v {
+					continue outer
+				}
+			}
+			return s
+		}
+		t.Fatalf("no sample %s%v in:\n%s", name, labels, sb.String())
+		return promSample{}
+	}
+
+	if v := find("rt_reqs_total", map[string]string{"route": "/v1/report", "code": "2xx"}).value; v != 31 {
+		t.Fatalf("report 2xx = %v", v)
+	}
+	if v := find("rt_reqs_total", map[string]string{"route": "/v1/query", "code": "4xx"}).value; v != 4 {
+		t.Fatalf("query 4xx = %v", v)
+	}
+	if v := find("rt_epoch", nil).value; v != 12 {
+		t.Fatalf("epoch = %v", v)
+	}
+	if v := find("rt_fn_total", nil).value; v != 99 {
+		t.Fatalf("fn = %v", v)
+	}
+
+	// Histogram: every bucket is cumulative, the +Inf bucket equals
+	// _count, and _count equals the number of observations.
+	route := map[string]string{"route": "/v1/report"}
+	if v := find("rt_lat_ns_count", route).value; v != 6 {
+		t.Fatalf("_count = %v", v)
+	}
+	var prev float64 = -1
+	var infSeen bool
+	for _, s := range samples {
+		if s.name != "rt_lat_ns_bucket" {
+			continue
+		}
+		if s.value < prev {
+			t.Fatalf("bucket counts not cumulative at le=%q", s.labels["le"])
+		}
+		prev = s.value
+		if s.labels["le"] == "+Inf" {
+			infSeen = true
+			if s.value != 6 {
+				t.Fatalf("+Inf bucket = %v, want 6", s.value)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket emitted")
+	}
+	if v := find("rt_lat_ns_sum", route).value; v <= 0 {
+		t.Fatalf("_sum = %v, want > 0", v)
+	}
+
+	// A second scrape over the reused buffer is byte-identical.
+	var sb2 strings.Builder
+	if _, err := r.WriteProm(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != sb.String() {
+		t.Fatal("repeated scrape of an unchanged registry differs")
+	}
+}

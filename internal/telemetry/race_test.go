@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHammer interleaves hot-path updates on every metric shape
+// with concurrent WriteProm scrapes and expvar snapshots: under -race
+// this proves the update paths are lock-free-safe against exposition,
+// and the final counts prove no increment was lost.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "c")
+	labeled := r.Counter("hammer_labeled_total", "c", L("k", "v"))
+	g := r.Gauge("hammer_gauge", "g")
+	h := r.Histogram("hammer_ns", "h")
+	r.GaugeFunc("hammer_fn", "fn", func() float64 { return float64(c.Value()) })
+
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				labeled.Add(2)
+				g.Set(int64(i))
+				h.Observe(seed + int64(i))
+			}
+		}(int64(w))
+	}
+	// Scrapers run concurrently with the writers.
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := r.Expvar()
+			for i := 0; i < 200; i++ {
+				if _, err := r.WriteProm(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = ev()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if c.Value() != writers*perG {
+		t.Fatalf("counter = %d, want %d", c.Value(), writers*perG)
+	}
+	if labeled.Value() != 2*writers*perG {
+		t.Fatalf("labeled counter = %d, want %d", labeled.Value(), 2*writers*perG)
+	}
+	if h.Count() != writers*perG {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), writers*perG)
+	}
+}

@@ -1,0 +1,334 @@
+// Package telemetry is the repository's stdlib-only metrics subsystem:
+// a registry of named counters, gauges, and histograms with Prometheus
+// text-format exposition and an expvar bridge, built so the ingest and
+// query hot paths can be instrumented without allocating.
+//
+// The design has two halves with very different cost budgets:
+//
+//   - Updates (Counter.Add, Gauge.Set, Histogram.Observe) run on the hot
+//     paths: each is a single atomic RMW on a cache-line-padded word, with
+//     no locks, no maps, and no allocation. Every metric handle is
+//     nil-safe — methods on a nil *Counter/*Gauge/*Histogram are no-ops —
+//     so instrumented code reads identically whether or not a registry is
+//     wired in, and a registry-disabled build pays only a predictable
+//     nil-check branch per site.
+//   - Registration and exposition (Registry.Counter, WriteProm, Expvar)
+//     run at construction and scrape time: they take the registry lock,
+//     allocate freely, and pre-render each series' exposition prefix so a
+//     scrape is a walk over atomic loads.
+//
+// Registration is expected at construction time (a pipeline or server
+// registers everything it will ever increment before serving traffic);
+// misuse — an invalid metric name, a duplicate (name, labels) series, or
+// re-registering a name under a different type or help string — panics,
+// in the tradition of metrics registries, because it is a programming
+// error no caller can meaningfully handle at runtime.
+//
+// All Registry methods are nil-receiver-safe: registering against a nil
+// *Registry returns nil handles (whose updates are no-ops), which is how
+// instrumentation is disabled wholesale.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric: one atomic word padded
+// out to a cache line so hot counters updated by different cores do not
+// false-share. The zero value is usable; registry-issued counters are
+// preferred so the value is scrapable.
+type Counter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Inc adds 1. A nil receiver is a no-op.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. A nil receiver is a no-op.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable signed metric, padded like Counter.
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores v. A nil receiver is a no-op.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds n (which may be negative). A nil receiver is a no-op.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct{ Key, Value string }
+
+// L is shorthand for Label{Key: k, Value: v}.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// metricType is the exposition TYPE of a family.
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance of a family. Exactly one of c, g, h, fn
+// is set; prefix is the pre-rendered exposition line head
+// ("name" or "name{k=\"v\"}"), so a scrape concatenates bytes.
+type series struct {
+	labels string // rendered {...} part, "" when unlabeled; dedup key
+	prefix string // family name + labels
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family is every series registered under one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	series []*series
+}
+
+// Registry holds an ordered set of metric families. The zero value is
+// ready to use; a nil *Registry accepts every call and returns nil
+// (no-op) metric handles, which is how telemetry is disabled.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+
+	// scratch is the reused exposition buffer (guarded by mu).
+	scratch []byte
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: make(map[string]*family)} }
+
+// Counter registers (or finds) the counter series (name, labels) and
+// returns its handle. Panics on an invalid name or a conflicting
+// registration; see the package comment.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(name, help, typeCounter, labels, &series{c: c})
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the right shape when the count already exists as program
+// state (an aggregate over shard counters, say) and mirroring it on the
+// hot path would cost an extra atomic.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		panic("telemetry: CounterFunc with nil fn")
+	}
+	r.register(name, help, typeCounter, labels, &series{fn: fn})
+}
+
+// Gauge registers (or finds) the gauge series (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(name, help, typeGauge, labels, &series{g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		panic("telemetry: GaugeFunc with nil fn")
+	}
+	r.register(name, help, typeGauge, labels, &series{fn: fn})
+}
+
+// Histogram registers the histogram series (name, labels) and returns
+// its handle. Buckets are fixed powers of two (see Histogram); for
+// latency metrics the convention is a name ending in _duration_ns.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{}
+	r.register(name, help, typeHistogram, labels, &series{h: h})
+	return h
+}
+
+func (r *Registry) register(name, help string, typ metricType, labels []Label, s *series) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	s.labels = renderLabels(labels)
+	s.prefix = name + s.labels
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName == nil {
+		r.byName = make(map[string]*family)
+	}
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+	} else {
+		if f.typ != typ {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s, was %s", name, typ, f.typ))
+		}
+		if f.help != help {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with different help", name))
+		}
+	}
+	for _, prev := range f.series {
+		if prev.labels == s.labels {
+			panic(fmt.Sprintf("telemetry: duplicate series %s", s.prefix))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// validName reports whether name matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels renders a sorted, escaped {k="v",...} block ("" for no
+// labels). Sorting makes the rendering canonical, so two registrations
+// with the same label set in different order collide as duplicates
+// instead of silently producing two series.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-10)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %d, want -3", g.Value())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Nil handles (the registry-disabled build) must absorb every update.
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(123)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Bucket(0) != 0 {
+		t.Fatal("nil metric reported a value")
+	}
+
+	// A nil registry issues nil handles and writes nothing.
+	var r *Registry
+	if r.Counter("x_total", "h") != nil || r.Gauge("x", "h") != nil || r.Histogram("x_ns", "h") != nil {
+		t.Fatal("nil registry issued a live handle")
+	}
+	r.CounterFunc("x_fn_total", "h", func() float64 { return 1 })
+	r.GaugeFunc("x_fn", "h", func() float64 { return 1 })
+	var sb strings.Builder
+	if n, err := r.WriteProm(&sb); n != 0 || err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %d bytes (err %v)", n, err)
+	}
+	if v := r.Expvar()(); len(v.(map[string]any)) != 0 {
+		t.Fatalf("nil registry expvar = %v", v)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("lat_ns", "latency")
+	// Bucket 0: v <= 0. Bucket i: 2^(i-1) <= v <= 2^i - 1.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 38, HistogramBuckets - 1}, {1 << 50, HistogramBuckets - 1},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	counts := map[int]uint64{}
+	for _, c := range cases {
+		counts[c.bucket]++
+	}
+	for i := 0; i < HistogramBuckets; i++ {
+		if got := h.Bucket(i); got != counts[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got, counts[i])
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	if BucketUpperBound(0) != 0 || BucketUpperBound(3) != 7 || BucketUpperBound(HistogramBuckets-1) != ^uint64(0) {
+		t.Fatal("bucket bounds wrong")
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "help", L("a", "1"))
+	mustPanic("invalid name", func() { r.Counter("bad name", "h") })
+	mustPanic("invalid label", func() { r.Counter("ok2_total", "h", L("0bad", "v")) })
+	mustPanic("duplicate series", func() { r.Counter("ok_total", "help", L("a", "1")) })
+	mustPanic("label order is canonical", func() {
+		r2 := NewRegistry()
+		r2.Counter("c_total", "h", L("a", "1"), L("b", "2"))
+		r2.Counter("c_total", "h", L("b", "2"), L("a", "1"))
+	})
+	mustPanic("type conflict", func() { r.Gauge("ok_total", "help") })
+	mustPanic("help conflict", func() { r.Counter("ok_total", "other help", L("a", "2")) })
+	mustPanic("nil func", func() { r.CounterFunc("fn_total", "h", nil) })
+
+	// Same family, distinct labels: allowed.
+	r.Counter("ok_total", "help", L("a", "2"))
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", L("v", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if _, err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("exposition %q missing %q", sb.String(), want)
+	}
+}
+
+func TestExpvarSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ev_total", "h").Add(3)
+	r.Gauge("ev_gauge", "h", L("k", "v")).Set(-2)
+	r.GaugeFunc("ev_fn", "h", func() float64 { return 1.5 })
+	h := r.Histogram("ev_ns", "h")
+	h.Observe(5)
+	h.Observe(100)
+
+	blob := []byte(r.Expvar().String()) // expvar renders vars via String()
+	var got map[string]any
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["ev_total"].(float64) != 3 {
+		t.Fatalf("ev_total = %v", got["ev_total"])
+	}
+	if got[`ev_gauge{k="v"}`].(float64) != -2 {
+		t.Fatalf("ev_gauge = %v", got[`ev_gauge{k="v"}`])
+	}
+	if got["ev_fn"].(float64) != 1.5 {
+		t.Fatalf("ev_fn = %v", got["ev_fn"])
+	}
+	hist := got["ev_ns"].(map[string]any)
+	if hist["count"].(float64) != 2 {
+		t.Fatalf("histogram count = %v", hist["count"])
+	}
+}

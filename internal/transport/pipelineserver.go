@@ -4,15 +4,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ldp/internal/pipeline"
 	"ldp/internal/schema"
+	"ldp/internal/telemetry"
 )
 
 // MaxBatchSize bounds the body of one batched report upload (defensive
@@ -47,8 +50,11 @@ var jsonContentType = []string{"application/json"}
 //	                  ?kind=mean[&attr=name]
 //	                  ?kind=freq&attr=name
 //	                  ?kind=range&attr=name&lo=&hi=[&attr2=&lo2=&hi2=]
+//	GET  /v1/stats    aggregate report counts (same body as ?kind=stats)
 //	GET  /v1/model    federated SGD model state (pipelines built with
 //	                  WithGradient; 404 otherwise)
+//	GET  /metrics     Prometheus text exposition (servers built with
+//	                  WithServerTelemetry; 404 otherwise)
 //
 // Queries are answered from the pipeline's epoch-cached view
 // (Pipeline.View): the JSON encoding of each answered (kind, attr, range)
@@ -56,7 +62,8 @@ var jsonContentType = []string{"application/json"}
 // tagged with an epoch-keyed ETag. Clients that replay the ETag in
 // If-None-Match get 304 Not Modified while the view is unchanged, so a
 // hot dashboard costs one header compare; /v1/model gets the same
-// treatment keyed on the trainer state.
+// treatment keyed on the trainer state, and /v1/stats (with ?kind=stats)
+// keyed on the ingest watermark and trainer acceptance count.
 type PipelineServer struct {
 	p   *pipeline.Pipeline
 	mux *http.ServeMux
@@ -64,14 +71,23 @@ type PipelineServer struct {
 	mu   sync.Mutex
 	sink Sink
 
+	// reg/log/met are the observability hooks (see ServerOption): nil
+	// registry and logger by default, with nil-safe no-op metric handles,
+	// so the uninstrumented server pays nothing.
+	reg *telemetry.Registry
+	log *slog.Logger
+	met serverMetrics
+
 	// qcache holds the current view epoch's pre-encoded query responses
 	// behind an atomic pointer: hits are lock-free map reads of an
 	// immutable state, misses clone-and-swap under qmu (copy-on-write).
 	qmu    sync.Mutex
 	qcache atomic.Pointer[queryCacheState]
 
-	// mcache is the single-entry analogue for /v1/model.
+	// mcache is the single-entry analogue for /v1/model, scache the one
+	// for /v1/stats.
 	mcache atomic.Pointer[modelCacheState]
+	scache atomic.Pointer[statsCacheState]
 }
 
 // queryCacheState is one view epoch's immutable set of pre-encoded query
@@ -98,13 +114,53 @@ type modelCacheState struct {
 	body     []byte
 }
 
+// statsCacheState is the pre-encoded stats response for one exact
+// aggregate state: the ingest watermark plus the trainer's acceptance
+// count (gradient reports never move the watermark but do appear in the
+// stats body). Replaced, never mutated.
+type statsCacheState struct {
+	wm      int64
+	acc     int64
+	etag    string
+	etagHdr []string
+	body    []byte
+}
+
+// ServerOption configures a PipelineServer under construction.
+type ServerOption func(*PipelineServer)
+
+// WithServerTelemetry registers the transport metric families — request
+// counts by route and status class, latency histograms, request/response
+// bytes, 304 short-circuits, and the report decode-error taxonomy — on
+// reg and serves reg's Prometheus exposition on GET /metrics. Pass the
+// same registry the pipeline was built with (pipeline.WithTelemetry) so
+// one scrape covers both layers. A nil registry disables both (the
+// default): /metrics serves 404 and the handlers skip the epilogue.
+func WithServerTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(s *PipelineServer) { s.reg = reg }
+}
+
+// WithRequestLog emits one structured debug-level line per request
+// (method, path, status, bytes, elapsed) on log. The line is built only
+// past the logger's Enabled gate, so running an info-level logger costs
+// the request path one branch.
+func WithRequestLog(log *slog.Logger) ServerOption {
+	return func(s *PipelineServer) { s.log = log }
+}
+
 // NewPipelineServer wraps a pipeline (and optional persistence sink,
 // which receives every accepted raw frame) in an HTTP handler.
-func NewPipelineServer(p *pipeline.Pipeline, sink Sink) *PipelineServer {
+func NewPipelineServer(p *pipeline.Pipeline, sink Sink, opts ...ServerOption) *PipelineServer {
 	s := &PipelineServer{p: p, sink: sink, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.met = newServerMetrics(s.reg)
 	s.mux.HandleFunc("POST /v1/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	s.mux.Handle("GET /metrics", s.reg.Handler()) // nil registry: 404
 	return s
 }
 
@@ -114,14 +170,30 @@ func (s *PipelineServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.m
 // Pipeline exposes the underlying pipeline (for replay after restart).
 func (s *PipelineServer) Pipeline() *pipeline.Pipeline { return s.p }
 
+// fail writes an error response and returns its status code, so error
+// exits read `status = s.fail(...)` and the telemetry epilogue sees the
+// real status.
+func (s *PipelineServer) fail(w http.ResponseWriter, msg string, code int) int {
+	http.Error(w, msg, code)
+	return code
+}
+
 func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
+	status, wrote := 0, 0
+	if s.observing() {
+		start := time.Now()
+		defer func() { s.finish(&s.met.report, r, status, wrote, start) }()
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBatchSize+1))
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		s.met.decRead.Inc()
+		status = s.fail(w, "read body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.met.bytesIn.Add(uint64(len(body)))
 	if len(body) > MaxBatchSize {
-		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+		s.met.decTooLarge.Inc()
+		status = s.fail(w, "batch too large", http.StatusRequestEntityTooLarge)
 		return
 	}
 	// The whole body decodes into one pooled columnar batch and folds in
@@ -130,18 +202,23 @@ func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
 	// any state changes.
 	b := pipeline.GetBatch()
 	defer pipeline.PutBatch(b)
-	if _, err := DecodeBatch(body, b); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	frames, err := DecodeBatch(body, b)
+	if err != nil {
+		s.met.decBadFrame.Inc()
+		status = s.fail(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if b.Len() == 0 {
-		http.Error(w, "empty report body", http.StatusBadRequest)
+		s.met.decEmpty.Inc()
+		status = s.fail(w, "empty report body", http.StatusBadRequest)
 		return
 	}
 	if err := s.p.AddBatch(b); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.met.decReject.Inc()
+		status = s.fail(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.met.frames.Add(uint64(frames))
 	if s.sink != nil {
 		// Persist the accepted raw frames, re-slicing the body by frame
 		// length (DecodeBatch already proved every header well-formed).
@@ -153,7 +230,7 @@ func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
 			}
 			if err := s.sink.Append(body[off : off+n]); err != nil {
 				s.mu.Unlock()
-				http.Error(w, "persist: "+err.Error(), http.StatusInternalServerError)
+				status = s.fail(w, "persist: "+err.Error(), http.StatusInternalServerError)
 				return
 			}
 			off += n
@@ -161,6 +238,7 @@ func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}
 	w.WriteHeader(http.StatusNoContent)
+	status = http.StatusNoContent
 }
 
 // ModelState is the JSON body of GET /v1/model: the published model plus
@@ -179,9 +257,14 @@ type ModelState struct {
 }
 
 func (s *PipelineServer) handleModel(w http.ResponseWriter, r *http.Request) {
+	status, wrote := 0, 0
+	if s.observing() {
+		start := time.Now()
+		defer func() { s.finish(&s.met.model, r, status, wrote, start) }()
+	}
 	tr := s.p.Trainer()
 	if tr == nil {
-		http.Error(w, "no gradient task is registered", http.StatusNotFound)
+		status = s.fail(w, "no gradient task is registered", http.StatusNotFound)
 		return
 	}
 	m := tr.Model()
@@ -201,7 +284,7 @@ func (s *PipelineServer) handleModel(w http.ResponseWriter, r *http.Request) {
 			Stale:     stale,
 		})
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			status = s.fail(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		done := 0
@@ -221,20 +304,29 @@ func (s *PipelineServer) handleModel(w http.ResponseWriter, r *http.Request) {
 	h["Etag"] = st.etagHdr
 	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == st.etag {
 		w.WriteHeader(http.StatusNotModified)
+		status = http.StatusNotModified
 		return
 	}
 	h["Content-Type"] = jsonContentType
 	_, _ = w.Write(st.body)
+	status, wrote = http.StatusOK, len(st.body)
 }
 
 func (s *PipelineServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.RawQuery
 	// Stats read only the shard counters and change with every report
 	// (including gradient reports, which never advance the view epoch),
-	// so they are answered directly, never from the view cache.
+	// so they bypass the view cache and ride the watermark-keyed stats
+	// cache instead, counted under the /v1/stats route.
 	if strings.Contains(raw, "kind=stats") && r.URL.Query().Get("kind") == "stats" {
-		s.handleStats(w)
+		s.handleStats(w, r)
 		return
+	}
+
+	status, wrote := 0, 0
+	if s.observing() {
+		start := time.Now()
+		defer func() { s.finish(&s.met.query, r, status, wrote, start) }()
 	}
 
 	v := s.p.View()
@@ -244,10 +336,12 @@ func (s *PipelineServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 			h["Etag"] = st.etagHdr
 			if inm := r.Header.Get("If-None-Match"); inm != "" && inm == st.etag {
 				w.WriteHeader(http.StatusNotModified)
+				status = http.StatusNotModified
 				return
 			}
 			h["Content-Type"] = jsonContentType
 			_, _ = w.Write(body)
+			status, wrote = http.StatusOK, len(body)
 			return
 		}
 	}
@@ -256,7 +350,7 @@ func (s *PipelineServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// remember the encoded bytes for the rest of this epoch.
 	body, cacheable, err := s.queryJSON(v, r.URL.Query())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		status = s.fail(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	var etagHdr []string
@@ -269,11 +363,65 @@ func (s *PipelineServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	h["Content-Type"] = jsonContentType
 	_, _ = w.Write(body)
+	status, wrote = http.StatusOK, len(body)
 }
 
-// handleStats answers kind=stats from the cheap per-task counters.
-func (s *PipelineServer) handleStats(w http.ResponseWriter) {
-	writeJSON(w, s.statsPayload())
+// handleStats serves GET /v1/stats (and /v1/query?kind=stats) from the
+// cached stats snapshot: while no report of any task has been folded,
+// repeat pollers get the pre-encoded bytes — or a 304 via the
+// watermark-keyed ETag — instead of a per-hit counter sweep and
+// re-encode.
+func (s *PipelineServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	status, wrote := 0, 0
+	if s.observing() {
+		start := time.Now()
+		defer func() { s.finish(&s.met.stats, r, status, wrote, start) }()
+	}
+	st := s.statsState()
+	if st == nil {
+		status = s.fail(w, "encode stats", http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h["Etag"] = st.etagHdr
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == st.etag {
+		w.WriteHeader(http.StatusNotModified)
+		status = http.StatusNotModified
+		return
+	}
+	h["Content-Type"] = jsonContentType
+	_, _ = w.Write(st.body)
+	status, wrote = http.StatusOK, len(st.body)
+}
+
+// statsState returns the pre-encoded stats response for the current
+// aggregate state, rebuilding it only when the ingest watermark or the
+// trainer's acceptance count has moved. The key is read before the body
+// is built, so a racing ingest can pair a fresh body with an older key —
+// the next key change rebuilds, and last-write-wins on the store is fine
+// (the same benign race the model cache runs). Returns nil only if
+// encoding fails, which no reachable payload does.
+func (s *PipelineServer) statsState() *statsCacheState {
+	wm := s.p.Watermark()
+	var acc int64
+	if tr := s.p.Trainer(); tr != nil {
+		acc = tr.Accepted()
+	}
+	st := s.scache.Load()
+	if st != nil && st.wm == wm && st.acc == acc {
+		return st
+	}
+	body, err := json.Marshal(s.statsPayload())
+	if err != nil {
+		return nil
+	}
+	etag := "\"s" + strconv.FormatInt(wm, 10) + "-" + strconv.FormatInt(acc, 10) + "\""
+	st = &statsCacheState{
+		wm: wm, acc: acc,
+		etag: etag, etagHdr: []string{etag}, body: append(body, '\n'),
+	}
+	s.scache.Store(st)
+	return st
 }
 
 // statsPayload is the kind=stats response body, shared by the fast path
@@ -301,12 +449,12 @@ func (s *PipelineServer) queryJSON(v *pipeline.Result, q url.Values) (body []byt
 	switch kind := q.Get("kind"); kind {
 	case "stats":
 		// Reachable only with an encoding of kind=stats the fast path's
-		// substring probe missed; answer uncached like the fast path.
-		body, err := json.Marshal(s.statsPayload())
-		if err != nil {
-			return nil, false, err
+		// substring probe missed; serve the cached stats body without
+		// entering the view-epoch query cache.
+		if st := s.statsState(); st != nil {
+			return st.body, false, nil
 		}
-		return append(body, '\n'), false, nil
+		return nil, false, fmt.Errorf("encode stats")
 	case "mean":
 		if name := q.Get("attr"); name != "" {
 			m, err := v.Mean(name)

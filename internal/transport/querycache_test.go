@@ -111,13 +111,24 @@ func TestQueryETag(t *testing.T) {
 		}
 	}
 
-	// stats is never cached and never tagged.
-	resp, _ := getWithINM(t, c, srv.URL+"/v1/query?kind=stats", "")
+	// stats rides its own watermark-keyed cache, not the view-epoch one:
+	// it is tagged with an "s..." ETag (distinct from the query epoch's
+	// "q..." tag) and honours If-None-Match while ingest is quiet.
+	resp, statsBody := getWithINM(t, c, srv.URL+"/v1/query?kind=stats", "")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats -> %s", resp.Status)
 	}
-	if etag := resp.Header.Get("Etag"); etag != "" {
-		t.Fatalf("stats response carries ETag %q", etag)
+	statsTag := resp.Header.Get("Etag")
+	if !strings.HasPrefix(statsTag, "\"s") {
+		t.Fatalf("stats ETag = %q, want an \"s...\" tag", statsTag)
+	}
+	resp, body2 := getWithINM(t, c, srv.URL+"/v1/stats", "")
+	if resp.Header.Get("Etag") != statsTag || string(body2) != string(statsBody) {
+		t.Fatal("/v1/stats and ?kind=stats disagree")
+	}
+	resp, _ = getWithINM(t, c, srv.URL+"/v1/stats", statsTag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("unchanged stats with If-None-Match -> %s, want 304", resp.Status)
 	}
 
 	// Ingest advances the watermark: new epoch, new ETag, 200 again.

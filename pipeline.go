@@ -1,9 +1,11 @@
 package ldp
 
 import (
+	"log/slog"
 	"time"
 
 	"ldp/internal/pipeline"
+	"ldp/internal/telemetry"
 	"ldp/internal/transport"
 )
 
@@ -126,6 +128,23 @@ func WithQueryStaleness(reports int64, maxAge time.Duration) PipelineOption {
 	return pipeline.WithQueryStaleness(reports, maxAge)
 }
 
+// TelemetryRegistry collects the system's metrics: zero-allocation
+// counters, gauges, and latency histograms with Prometheus text
+// exposition (Handler/WriteProm) and an expvar bridge (Expvar). One
+// registry is shared across the pipeline and its HTTP server.
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry returns an empty metrics registry; pass it to
+// WithTelemetry and WithServerTelemetry to instrument a deployment.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// WithTelemetry registers the pipeline's ingest, view-cache, and trainer
+// metrics on reg. The fold loops gain no atomics: hot counters are
+// per-batch, and aggregate counts are read from existing state at scrape
+// time, so the instrumented ingest path stays allocation-free and within
+// measurement noise of the plain one.
+func WithTelemetry(reg *TelemetryRegistry) PipelineOption { return pipeline.WithTelemetry(reg) }
+
 // WithGradient registers the federated LDP-SGD task: the pipeline grows a
 // Trainer that fills rounds with clipped, randomized gradient reports and
 // advances the published model one SGD step per round. Clients randomize
@@ -181,13 +200,27 @@ type (
 	SGDClient = transport.SGDClient
 	// ModelState is the JSON body of GET /v1/model.
 	ModelState = transport.ModelState
+	// ServerOption configures a PipelineServer under construction.
+	ServerOption = transport.ServerOption
 )
 
 // NewPipelineServer wraps a pipeline (and optional persistence sink; nil
 // disables persistence) in an HTTP handler.
-func NewPipelineServer(p *Pipeline, sink transport.Sink) *PipelineServer {
-	return transport.NewPipelineServer(p, sink)
+func NewPipelineServer(p *Pipeline, sink transport.Sink, opts ...ServerOption) *PipelineServer {
+	return transport.NewPipelineServer(p, sink, opts...)
 }
+
+// WithServerTelemetry registers the server's per-route HTTP metrics
+// (requests by status class, latency, bytes, 304s, decode-error taxonomy)
+// on reg and serves the whole registry on GET /metrics.
+func WithServerTelemetry(reg *TelemetryRegistry) ServerOption {
+	return transport.WithServerTelemetry(reg)
+}
+
+// WithRequestLog emits one structured debug-level log line per request
+// through log; at higher levels the request path pays only an Enabled
+// check.
+func WithRequestLog(log *slog.Logger) ServerOption { return transport.WithRequestLog(log) }
 
 // NewPipelineClient builds an HTTP client for the aggregator at baseURL,
 // randomizing through the given pipeline.

@@ -8,6 +8,17 @@
 //	ldpserver -addr :8080 -dataset br -eps 1 -shards 8 -range -logdir /var/lib/ldp
 //	ldpserver -addr :8080 -dataset br -eps 2 -sgd -sgdrounds 20 -sgdgroup 512
 //	ldpserver -addr :8080 -dataset br -debug-addr 127.0.0.1:6060 -log-format json
+//	ldpserver -addr :8081 -dataset br -mode edge -push-to http://root:8080 -push-interval 5s
+//
+// Clustering: -mode root (the default) additionally accepts cluster
+// fan-in on POST /v1/merge; -mode edge starts a cluster.Forwarder that
+// periodically ships the local pipeline's aggregate delta to the root at
+// -push-to, identified by -edge-id (exactly-once, survives both edge and
+// root restarts; the edge keeps answering its own /v1/query locally).
+// Every server runs the same report/query routes regardless of mode.
+// With -logdir, -log-sync switches the report log to group commit: one
+// fsync per interval (or per -log-sync-bytes buffered bytes) instead of
+// unsynced per-record writes.
 //
 // The schema (and the privacy budget, which fixes the randomizer debiasing
 // parameters) must match what the clients use. On startup, any existing
@@ -40,6 +51,7 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -51,6 +63,7 @@ import (
 	"sync"
 	"time"
 
+	"ldp/internal/cluster"
 	"ldp/internal/dataset"
 	"ldp/internal/pipeline"
 	"ldp/internal/rangequery"
@@ -124,6 +137,12 @@ func run(args []string) error {
 		debugAddr = fs.String("debug-addr", "", "operator debug listener (pprof, expvar, metrics); empty = off")
 		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, or error (debug logs every request)")
 		logFormat = fs.String("log-format", "text", "log format: text or json")
+		mode      = fs.String("mode", "root", "cluster role: root (accepts /v1/merge pushes) or edge (forwards to -push-to)")
+		pushTo    = fs.String("push-to", "", "edge mode: root aggregator base URL (e.g. http://root:8080)")
+		pushIvl   = fs.Duration("push-interval", 5*time.Second, "edge mode: fan-in push cadence")
+		edgeID    = fs.String("edge-id", "", "edge mode: stable edge identifier (default: the listen address)")
+		logSync   = fs.Duration("log-sync", 0, "group-commit the report log: fsync on this interval instead of buffering unsynced (0 = legacy unbuffered writes)")
+		logSyncB  = fs.Int("log-sync-bytes", 256<<10, "group-commit byte threshold: commit early once this many buffered bytes accumulate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,6 +150,21 @@ func run(args []string) error {
 	logger, err := newLogger(*logLevel, *logFormat)
 	if err != nil {
 		return err
+	}
+	switch *mode {
+	case "root":
+		if *pushTo != "" {
+			return fmt.Errorf("-push-to only makes sense with -mode edge")
+		}
+	case "edge":
+		if *pushTo == "" {
+			return fmt.Errorf("-mode edge requires -push-to URL")
+		}
+		if *sgdOn {
+			return fmt.Errorf("-sgd cannot run on an edge: federated training state does not fan in")
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (want root or edge)", *mode)
 	}
 	var c *dataset.Census
 	switch *name {
@@ -166,6 +200,7 @@ func run(args []string) error {
 	}
 
 	var sink transport.Sink
+	var wal *reportlog.Writer
 	if *logdir != "" {
 		stats, err := reportlog.Recover(*logdir)
 		if err != nil {
@@ -181,12 +216,16 @@ func run(args []string) error {
 			}
 			logger.Info("replayed report log", "reports", n, "dir", *logdir)
 		}
-		w, err := reportlog.Open(*logdir, 64<<20)
+		var logOpts []reportlog.Option
+		if *logSync > 0 {
+			logOpts = append(logOpts, reportlog.WithGroupCommit(*logSync, *logSyncB))
+		}
+		w, err := reportlog.Open(*logdir, 64<<20, logOpts...)
 		if err != nil {
 			return err
 		}
 		defer w.Close()
-		sink = w
+		sink, wal = w, w
 	}
 
 	publishExpvar.Do(func() { expvar.Publish("ldp", reg.Expvar()) })
@@ -211,6 +250,33 @@ func run(args []string) error {
 			transport.WithRequestLog(logger)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	if *mode == "edge" {
+		id := *edgeID
+		if id == "" {
+			id = *addr
+		}
+		cfg := cluster.ForwarderConfig{
+			RootURL:  *pushTo,
+			EdgeID:   id,
+			Interval: *pushIvl,
+			Logger:   logger,
+			Registry: reg,
+		}
+		if wal != nil {
+			// Fsync the report log before every push: everything the root
+			// acknowledges is then locally durable, so an edge crash can
+			// only replay a superset of the acked baseline — never less.
+			cfg.Sync = wal.Sync
+		}
+		fw, err := cluster.NewForwarder(p, cfg)
+		if err != nil {
+			return err
+		}
+		go fw.Run(context.Background())
+		logger.Info("fan-in forwarder started", "root", *pushTo, "edge", id, "interval", *pushIvl)
+	}
+
 	tasks := ""
 	for _, t := range p.Tasks() {
 		if tasks != "" {
@@ -219,7 +285,7 @@ func run(args []string) error {
 		tasks += t.Name()
 	}
 	logger.Info("unified aggregator listening",
-		"addr", *addr, "dataset", *name, "dim", c.Schema().Dim(),
+		"addr", *addr, "mode", *mode, "dataset", *name, "dim", c.Schema().Dim(),
 		"eps", *eps, "tasks", tasks, "shards", p.Shards())
 	return srv.ListenAndServe()
 }

@@ -86,6 +86,20 @@
 // internal/transport and the CI slow job that black-box-audits the
 // gradient mechanism's eps-LDP guarantee from samples alone).
 //
+// Beyond one machine, deployments run as an edge→root tier: edge
+// aggregators face users and periodically push versioned, checksummed
+// snapshot deltas of their additive state to a root's POST /v1/merge
+// (internal/cluster; cmd/ldpserver -mode edge|root). The protocol is
+// exactly-once — per-edge monotone sequence numbers scoped by a root
+// boot ID make retries idempotent, and edges resynchronize after a
+// restart — so the root's estimates are bit-identical to a single node
+// that ingested every report itself: fan-in multiplies ingest capacity
+// without touching accuracy or the privacy analysis. Each accepted
+// report can also be WAL-persisted before it folds (internal/reportlog,
+// with group-commit fsync batching), and the forwarder syncs the log
+// before every push, so an edge crash never loses a report the root has
+// counted.
+//
 // Deployments observe themselves through a shared metrics registry
 // (NewTelemetryRegistry): WithTelemetry instruments the pipeline's
 // ingest, view-cache, and trainer state, WithServerTelemetry adds

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// benchSnapshot builds a realistic snapshot: full analytics state from a
+// pipeline with hierarchy + grid range estimators.
+func benchSnapshot(b *testing.B) *Snapshot {
+	b.Helper()
+	p := clusterPipeline(b)
+	ingest(b, 97, 256, p)
+	return &Snapshot{
+		Fingerprint: p.Fingerprint(),
+		Edge:        "bench-edge",
+		Seq:         1,
+		Boot:        "bench-boot",
+		State:       p.StateSnapshot(),
+	}
+}
+
+func BenchmarkAppendSnapshot(b *testing.B) {
+	snap := benchSnapshot(b)
+	buf, err := EncodeSnapshot(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = AppendSnapshot(buf[:0], snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSnapshot(b *testing.B) {
+	snap := benchSnapshot(b)
+	frame, err := EncodeSnapshot(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s Snapshot
+	if err := DecodeSnapshotInto(frame, &s); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeSnapshotInto(frame, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

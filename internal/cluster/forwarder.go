@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"ldp/internal/pipeline"
+	"ldp/internal/telemetry"
+)
+
+// MergeAck is the JSON body a root returns for an accepted or
+// deduplicated POST /v1/merge.
+type MergeAck struct {
+	Edge    string `json:"edge"`
+	Seq     uint64 `json:"seq"`
+	Applied bool   `json:"applied"`
+	Boot    string `json:"boot"`
+}
+
+// BootHeader is the response header carrying the root's boot ID on
+// every /v1/merge response; an edge whose delta was computed against a
+// different boot resynchronizes before pushing again.
+const BootHeader = "Ldp-Boot"
+
+// ForwarderConfig configures the edge side of the fan-in tier.
+type ForwarderConfig struct {
+	// RootURL is the root aggregator's base URL (e.g. http://root:8080).
+	RootURL string
+	// EdgeID identifies this edge to the root; it must be stable across
+	// edge restarts so recovered state deduplicates correctly.
+	EdgeID string
+	// Interval is the push cadence for Run (default 5s).
+	Interval time.Duration
+	// HTTPClient overrides the HTTP client (default: 10s-timeout client).
+	HTTPClient *http.Client
+	// Retry bounds per-push retries (default DefaultRetryPolicy).
+	Retry RetryPolicy
+	// Sync, when set, is called after snapshotting and before pushing —
+	// typically the WAL's fsync — so everything the root acknowledges is
+	// durable locally and a recovered edge's state is always a superset
+	// of its acked baseline.
+	Sync func() error
+	// Logger, when set, logs push outcomes.
+	Logger *slog.Logger
+	// Registry, when set, registers forwarder metrics.
+	Registry *telemetry.Registry
+}
+
+// pendingPush is an encoded delta awaiting acknowledgement. The frame is
+// immutable once built: retries resend the identical bytes under the
+// same sequence number, so the root's dedup makes redelivery harmless.
+type pendingPush struct {
+	seq   uint64
+	cum   *pipeline.AggState // cumulative state the delta extends to
+	frame []byte
+}
+
+type forwarderMetrics struct {
+	pushApplied   *telemetry.Counter
+	pushDuplicate *telemetry.Counter
+	pushFailed    *telemetry.Counter
+	reports       *telemetry.Counter
+	bytes         *telemetry.Counter
+	resyncs       *telemetry.Counter
+}
+
+// Forwarder ships a pipeline's aggregate deltas to a root. One cycle
+// snapshots the pipeline, subtracts the last acknowledged cumulative
+// state, and POSTs the delta to /v1/merge under a fresh sequence number;
+// on acknowledgement the cumulative state advances. Because the delta is
+// derived from acknowledged state and retried byte-identically, every
+// report is folded into the root exactly once regardless of crashes,
+// retries, or root restarts.
+type Forwarder struct {
+	p    *pipeline.Pipeline
+	cfg  ForwarderConfig
+	fp   uint64
+	http *http.Client
+	met  *forwarderMetrics
+
+	mu      sync.Mutex
+	boot    string // root boot ID; empty forces a resync before pushing
+	seq     uint64
+	acked   *pipeline.AggState // cumulative state the root has applied
+	pending *pendingPush
+	buf     []byte // frame encode buffer, recycled across pushes
+}
+
+// NewForwarder validates the configuration and returns a forwarder. The
+// pipeline must not run a federated-gradient task: training state is not
+// additive and cannot fan in.
+func NewForwarder(p *pipeline.Pipeline, cfg ForwarderConfig) (*Forwarder, error) {
+	if p == nil {
+		return nil, fmt.Errorf("cluster: nil pipeline")
+	}
+	if p.GradientTask() != nil {
+		return nil, fmt.Errorf("cluster: cannot forward from a pipeline with a federated-gradient task")
+	}
+	if cfg.RootURL == "" {
+		return nil, fmt.Errorf("cluster: forwarder requires a root URL")
+	}
+	if cfg.EdgeID == "" || len(cfg.EdgeID) > MaxEdgeIDLen {
+		return nil, fmt.Errorf("cluster: edge ID length %d outside [1,%d]", len(cfg.EdgeID), MaxEdgeIDLen)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	f := &Forwarder{p: p, cfg: cfg, fp: p.Fingerprint()}
+	f.http = cfg.HTTPClient
+	if f.http == nil {
+		f.http = &http.Client{Timeout: 10 * time.Second}
+	}
+	if reg := cfg.Registry; reg != nil {
+		f.met = &forwarderMetrics{
+			pushApplied:   reg.Counter("ldp_forwarder_pushes_total", "Push attempts by result.", telemetry.L("result", "applied")),
+			pushDuplicate: reg.Counter("ldp_forwarder_pushes_total", "Push attempts by result.", telemetry.L("result", "duplicate")),
+			pushFailed:    reg.Counter("ldp_forwarder_pushes_total", "Push attempts by result.", telemetry.L("result", "failed")),
+			reports:       reg.Counter("ldp_forwarder_pushed_reports_total", "Reports acknowledged by the root."),
+			bytes:         reg.Counter("ldp_forwarder_pushed_bytes_total", "Snapshot bytes acknowledged by the root."),
+			resyncs:       reg.Counter("ldp_forwarder_resyncs_total", "Resynchronizations against the root."),
+		}
+		reg.GaugeFunc("ldp_forwarder_acked_seq", "Last acknowledged push sequence number.", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(f.seq)
+		})
+		reg.GaugeFunc("ldp_forwarder_acked_reports", "Reports covered by the acknowledged cumulative state.", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			if f.acked == nil {
+				return 0
+			}
+			return float64(f.acked.Total())
+		})
+	}
+	return f, nil
+}
+
+// Run pushes on the configured interval until ctx is cancelled. Push
+// errors are logged and retried on the next tick; they never stop the
+// loop.
+func (f *Forwarder) Run(ctx context.Context) {
+	t := time.NewTicker(f.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := f.Push(ctx); err != nil && f.cfg.Logger != nil {
+				f.cfg.Logger.Warn("fan-in push failed", "edge", f.cfg.EdgeID, "err", err)
+			}
+		}
+	}
+}
+
+// Acked returns the last acknowledged sequence number and the number of
+// reports the root has applied from this edge.
+func (f *Forwarder) Acked() (seq uint64, reports int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.acked != nil {
+		reports = f.acked.Total()
+	}
+	return f.seq, reports
+}
+
+// Push runs one fan-in cycle: resynchronize with the root if needed,
+// build (or reuse) the pending delta frame, and deliver it. A cycle with
+// no new reports is a no-op.
+func (f *Forwarder) Push(ctx context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	if f.boot == "" {
+		if err := f.resyncLocked(ctx); err != nil {
+			f.countFailed()
+			return err
+		}
+	}
+	if f.pending == nil {
+		if err := f.buildPendingLocked(); err != nil {
+			f.countFailed()
+			return err
+		}
+		if f.pending == nil { // nothing new to ship
+			return nil
+		}
+	}
+	if err := f.deliverLocked(ctx); err != nil {
+		f.countFailed()
+		return err
+	}
+	return nil
+}
+
+func (f *Forwarder) countFailed() {
+	if f.met != nil {
+		f.met.pushFailed.Inc()
+	}
+}
+
+// buildPendingLocked snapshots the pipeline and encodes the delta since
+// the acked baseline. The order matters for crash-exactness: snapshot
+// first, then fsync the WAL (cfg.Sync), then expose the frame — so any
+// state the root might acknowledge is already durable on the edge, and a
+// recovered edge replays a superset of its acked baseline.
+func (f *Forwarder) buildPendingLocked() error {
+	cum := f.p.StateSnapshot()
+	cum.Trainer = nil
+	if f.cfg.Sync != nil {
+		if err := f.cfg.Sync(); err != nil {
+			return fmt.Errorf("cluster: pre-push sync: %w", err)
+		}
+	}
+	delta, err := cum.Sub(f.acked)
+	if err != nil {
+		return fmt.Errorf("cluster: delta since acked state: %w", err)
+	}
+	if delta.Total() == 0 {
+		return nil
+	}
+	snap := Snapshot{
+		Fingerprint: f.fp,
+		Edge:        f.cfg.EdgeID,
+		Seq:         f.seq + 1,
+		Boot:        f.boot,
+		State:       delta,
+	}
+	frame, err := AppendSnapshot(f.buf[:0], &snap)
+	if err != nil {
+		return err
+	}
+	f.buf = frame
+	f.seq++
+	f.pending = &pendingPush{seq: f.seq, cum: cum, frame: frame}
+	return nil
+}
+
+// deliverLocked POSTs the pending frame under the retry policy and
+// settles the outcome.
+func (f *Forwarder) deliverLocked(ctx context.Context) error {
+	pend := f.pending
+	var ack MergeAck
+	var permanent error
+	err := f.cfg.Retry.Do(ctx, func() (bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.cfg.RootURL+"/v1/merge", bytes.NewReader(pend.frame))
+		if err != nil {
+			return false, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := f.http.Do(req)
+		if err != nil {
+			return true, err // connection errors are retryable
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return false, json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&ack)
+		case resp.StatusCode == http.StatusPreconditionFailed:
+			// Root restarted: the delta's baseline is gone. Drop the
+			// pending frame and resync on the next cycle.
+			permanent = fmt.Errorf("cluster: root rebooted (boot %q)", resp.Header.Get(BootHeader))
+			return false, permanent
+		case resp.StatusCode >= 500:
+			return true, fmt.Errorf("cluster: root returned %s", resp.Status)
+		default:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			permanent = fmt.Errorf("cluster: root rejected push: %s: %s", resp.Status, body)
+			return false, permanent
+		}
+	})
+	if err != nil {
+		if permanent != nil && err == permanent {
+			// Unwind the unacknowledged sequence so the rebuilt delta
+			// reuses it; on a reboot also force a resync.
+			f.pending = nil
+			f.seq = pend.seq - 1
+			f.boot = ""
+		}
+		return err
+	}
+	if ack.Boot != f.boot || ack.Seq != pend.seq {
+		// The root answered for a different epoch or sequence; treat the
+		// push as unsettled and resync.
+		wantBoot := f.boot
+		f.pending = nil
+		f.seq = pend.seq - 1
+		f.boot = ""
+		return fmt.Errorf("cluster: ack mismatch: got seq %d boot %q, want seq %d boot %q", ack.Seq, ack.Boot, pend.seq, wantBoot)
+	}
+	pushed := pend.cum.Total()
+	if f.acked != nil {
+		pushed -= f.acked.Total()
+	}
+	f.acked = pend.cum
+	f.pending = nil
+	if f.met != nil {
+		if ack.Applied {
+			f.met.pushApplied.Inc()
+		} else {
+			f.met.pushDuplicate.Inc()
+		}
+		if pushed > 0 {
+			f.met.reports.Add(uint64(pushed))
+		}
+		f.met.bytes.Add(uint64(len(pend.frame)))
+	}
+	if f.cfg.Logger != nil {
+		f.cfg.Logger.Debug("fan-in push acked", "edge", f.cfg.EdgeID, "seq", pend.seq, "applied", ack.Applied, "reports", pushed)
+	}
+	return nil
+}
+
+// resyncLocked recovers the acknowledged baseline from the root via
+// GET /v1/merge?edge=ID: a known edge gets back a snapshot of its
+// applied cumulative state (so a restarted edge, or an edge that
+// observed a root reboot, never re-derives deltas from guesswork); an
+// unknown edge starts from zero under the root's current boot ID.
+func (f *Forwarder) resyncLocked(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.RootURL+"/v1/merge?edge="+f.cfg.EdgeID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxSnapshotSize+14))
+		if err != nil {
+			return err
+		}
+		snap, err := DecodeSnapshot(raw)
+		if err != nil {
+			return fmt.Errorf("cluster: resync snapshot: %w", err)
+		}
+		if snap.Fingerprint != f.fp {
+			return fmt.Errorf("cluster: root fingerprint %016x does not match local %016x", snap.Fingerprint, f.fp)
+		}
+		if snap.Boot == "" {
+			return fmt.Errorf("cluster: resync snapshot without a boot ID")
+		}
+		f.boot = snap.Boot
+		f.seq = snap.Seq
+		f.acked = snap.State
+	case http.StatusNotFound:
+		boot := resp.Header.Get(BootHeader)
+		if boot == "" {
+			return fmt.Errorf("cluster: root did not identify its boot epoch")
+		}
+		f.boot = boot
+		f.seq = 0
+		f.acked = nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: resync failed: %s: %s", resp.Status, body)
+	}
+	f.pending = nil
+	if f.met != nil {
+		f.met.resyncs.Inc()
+	}
+	if f.cfg.Logger != nil {
+		f.cfg.Logger.Info("fan-in resynchronized", "edge", f.cfg.EdgeID, "boot", f.boot, "seq", f.seq)
+	}
+	return nil
+}

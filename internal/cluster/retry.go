@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy bounds a retry loop with exponential backoff and full
+// jitter: attempt k (0-based) sleeps a uniform random duration in
+// [0, min(MaxDelay, BaseDelay<<k)] before retrying. Full jitter keeps a
+// fleet of edges that lost the same root from thundering back in phase.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	MaxAttempts int
+	// BaseDelay is the backoff cap before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is shared by the transport client and the edge
+// forwarder: four tries spread over roughly a second.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+// withDefaults fills zero fields so a partially specified policy behaves.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryPolicy.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryPolicy.MaxDelay
+	}
+	return p
+}
+
+// Do runs attempt until it succeeds, reports a non-retryable error, or
+// the policy's attempts are exhausted. attempt returns (retryable, err):
+// err == nil stops with success; retryable == false stops with that
+// error; otherwise Do backs off and tries again, returning the last
+// error when attempts run out. Context cancellation interrupts the
+// backoff sleep and returns ctx.Err().
+func (p RetryPolicy) Do(ctx context.Context, attempt func() (retryable bool, err error)) error {
+	p = p.withDefaults()
+	var lastErr error
+	for i := 0; i < p.MaxAttempts; i++ {
+		if i > 0 {
+			if err := sleepJitter(ctx, p.backoff(i-1)); err != nil {
+				return err
+			}
+		}
+		retryable, err := attempt()
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// backoff returns the cap for retry k (0-based): min(MaxDelay, Base<<k).
+func (p RetryPolicy) backoff(k int) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < k; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if d > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return d
+}
+
+// sleepJitter sleeps a uniform random duration in [0, cap], returning
+// early with ctx.Err() on cancellation.
+func sleepJitter(ctx context.Context, cap time.Duration) error {
+	if cap <= 0 {
+		return ctx.Err()
+	}
+	d := rand.N(cap + 1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,266 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"time"
+
+	"ldp/internal/cluster"
+	"ldp/internal/core"
+	"ldp/internal/dataset"
+	"ldp/internal/pipeline"
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
+	"ldp/internal/transport"
+)
+
+func init() {
+	register(Runner{
+		Name: "fanin",
+		Desc: "cluster fan-in: aggregate ingest rate and end-to-end mean MSE for 1 root x 2/4/8 edges vs a single node, over real HTTP /v1/merge pushes",
+		Run:  runFaninBench,
+	})
+}
+
+// faninEdgeCounts is the fleet-size axis.
+var faninEdgeCounts = []int{2, 4, 8}
+
+const faninBatchSize = 1024
+
+// runFaninBench models an edge->root aggregation tier and compares it
+// with one node ingesting everything. Edges of a real deployment are
+// separate machines, so on a single benchmarking host each edge's ingest
+// is timed in isolation (serially, with nothing else running) and the
+// fleet's aggregate rate is the sum of the isolated rates — the standard
+// scale-out model for shared-nothing ingest, which fan-in makes exact
+// here because edges share no state until the merge. The root's cost of
+// absorbing the fleet — full snapshot encode, HTTP push, decode,
+// validate, fold — is measured separately over real /v1/merge requests,
+// and the end-to-end check is strict: the root's estimates after all
+// pushes must be bit-identical to the single node's (report values are
+// dyadically quantized so float summation is exact under regrouping),
+// hence identical MSE against ground truth.
+func runFaninBench(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	c := dataset.NewBR()
+
+	newPipeline := func() (*pipeline.Pipeline, error) {
+		return pipeline.New(c.Schema(), opts.Eps,
+			pipeline.WithShards(1), // single-core host: shards add nothing here
+			pipeline.WithRange(rangequery.Config{}),
+		)
+	}
+
+	// Randomize the whole population once; every configuration ingests
+	// the same reports. Numeric payloads are snapped to a 2^-10 dyadic
+	// grid so per-edge partial sums recombine bit-exactly at the root.
+	p0, err := newPipeline()
+	if err != nil {
+		return nil, err
+	}
+	sch := c.Schema()
+	numeric := sch.NumericIdx()
+	trueSum := make([]float64, sch.Dim())
+	reports := make([]pipeline.Report, opts.N)
+	for i := range reports {
+		r := rng.NewStream(opts.Seed, uint64(i))
+		tup := c.Tuple(r)
+		for _, j := range numeric {
+			trueSum[j] += tup.Num[j]
+		}
+		rep, err := p0.Randomize(tup, r)
+		if err != nil {
+			return nil, err
+		}
+		for e := range rep.Entries {
+			if rep.Entries[e].Kind == core.EntryNumeric {
+				rep.Entries[e].Value = math.Round(rep.Entries[e].Value*1024) / 1024
+			}
+		}
+		reports[i] = rep
+	}
+
+	// meanMSE scores a result's mean estimates against ground truth.
+	meanMSE := func(res *pipeline.Result) (float64, error) {
+		var sum float64
+		for _, j := range numeric {
+			est, err := res.Mean(sch.Attrs[j].Name)
+			if err != nil {
+				return 0, err
+			}
+			diff := est - trueSum[j]/float64(opts.N)
+			sum += diff * diff
+		}
+		return sum / float64(len(numeric)), nil
+	}
+
+	// batchify splits a report subset into ingest batches.
+	batchify := func(reps []pipeline.Report) []*pipeline.ReportBatch {
+		var batches []*pipeline.ReportBatch
+		b := pipeline.NewReportBatch()
+		for _, rep := range reps {
+			b.Append(rep)
+			if b.Len() == faninBatchSize {
+				batches = append(batches, b)
+				b = pipeline.NewReportBatch()
+			}
+		}
+		if b.Len() > 0 {
+			batches = append(batches, b)
+		}
+		return batches
+	}
+
+	// timeIngest clocks batches into a pipeline, best of opts.Runs
+	// (ingest only; the pipeline keeps the last run's reports folded in,
+	// which later runs' timings are insensitive to — folding is pure
+	// array addition, independent of accumulated totals).
+	timeIngest := func(p *pipeline.Pipeline, batches []*pipeline.ReportBatch, n int) (float64, error) {
+		best := 0.0
+		for run := 0; run < opts.Runs; run++ {
+			start := time.Now()
+			for _, b := range batches {
+				if err := p.AddBatch(b); err != nil {
+					return 0, err
+				}
+			}
+			if rate := float64(n) / time.Since(start).Seconds(); rate > best {
+				best = rate
+			}
+		}
+		return best, nil
+	}
+
+	// Single-node baseline: one pipeline ingests everything.
+	single, err := newPipeline()
+	if err != nil {
+		return nil, err
+	}
+	singleRate, err := timeIngest(single, batchify(reports), opts.N)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild cleanly for the exactness reference (timing runs folded the
+	// population opts.Runs times).
+	single, err = newPipeline()
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range reports {
+		if err := single.Add(rep); err != nil {
+			return nil, err
+		}
+	}
+	singleView := single.Snapshot()
+	singleMSE, err := meanMSE(singleView)
+	if err != nil {
+		return nil, err
+	}
+
+	table := Table{
+		ID: "fanin",
+		Title: fmt.Sprintf("edge->root fan-in over /v1/merge, %d reports split across the fleet (per-edge rates measured in isolation, best of %d; aggregate = sum)",
+			opts.N, opts.Runs),
+		XLabel:  "topology",
+		YLabel:  "see columns",
+		Columns: []string{"aggregate_reports_per_sec", "speedup_vs_single", "merge_wall_ms", "merge_reports_per_sec", "mean_mse", "exact_vs_single"},
+	}
+	table.Rows = append(table.Rows, TableRow{
+		X:      "single",
+		Values: []float64{singleRate, 1, 0, 0, singleMSE, 1},
+	})
+
+	for _, edges := range faninEdgeCounts {
+		// Partition the population round-robin across the fleet.
+		parts := make([][]pipeline.Report, edges)
+		for i, rep := range reports {
+			parts[i%edges] = append(parts[i%edges], rep)
+		}
+
+		// Isolated per-edge ingest rates (the timing pipelines are
+		// throwaways; the fan-in below uses freshly built edges so the
+		// root receives each report exactly once).
+		aggregate := 0.0
+		for e := 0; e < edges; e++ {
+			p, err := newPipeline()
+			if err != nil {
+				return nil, err
+			}
+			rate, err := timeIngest(p, batchify(parts[e]), len(parts[e]))
+			if err != nil {
+				return nil, err
+			}
+			aggregate += rate
+		}
+
+		// Real fan-in: edges push their full state to a root server over
+		// HTTP, timed end to end (snapshot, encode, POST, decode,
+		// validate, fold, ack).
+		root, err := newPipeline()
+		if err != nil {
+			return nil, err
+		}
+		srv := httptest.NewServer(transport.NewPipelineServer(root, nil))
+		mergeStart := time.Now()
+		for e := 0; e < edges; e++ {
+			p, err := newPipeline()
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			for _, rep := range parts[e] {
+				if err := p.Add(rep); err != nil {
+					srv.Close()
+					return nil, err
+				}
+			}
+			fw, err := cluster.NewForwarder(p, cluster.ForwarderConfig{
+				RootURL: srv.URL,
+				EdgeID:  fmt.Sprintf("edge-%d", e),
+			})
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			if err := fw.Push(context.Background()); err != nil {
+				srv.Close()
+				return nil, err
+			}
+		}
+		mergeWall := time.Since(mergeStart)
+		srv.Close()
+
+		// End-to-end exactness: the root must reproduce the single node
+		// bit for bit.
+		rootView := root.Snapshot()
+		exact := 1.0
+		if rootView.N() != singleView.N() {
+			return nil, fmt.Errorf("fanin: root N %d != single %d", rootView.N(), singleView.N())
+		}
+		sm, rm := singleView.Means(), rootView.Means()
+		for k, v := range sm {
+			if rm[k] != v {
+				return nil, fmt.Errorf("fanin: Means[%s] diverged: root %v, single %v", k, rm[k], v)
+			}
+		}
+		rootMSE, err := meanMSE(rootView)
+		if err != nil {
+			return nil, err
+		}
+
+		table.Rows = append(table.Rows, TableRow{
+			X: fmt.Sprintf("%d edges", edges),
+			Values: []float64{
+				aggregate,
+				aggregate / singleRate,
+				float64(mergeWall.Milliseconds()),
+				float64(opts.N) / mergeWall.Seconds(),
+				rootMSE,
+				exact,
+			},
+		})
+	}
+	return []Table{table}, nil
+}

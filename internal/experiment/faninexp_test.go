@@ -1,0 +1,44 @@
+package experiment
+
+import "testing"
+
+func TestFaninRuns(t *testing.T) {
+	o := small()
+	o.N = 2_000
+	tables, err := runFaninBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	tb := tables[0]
+	// single + one row per edge count.
+	if want := 1 + len(faninEdgeCounts); len(tb.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(tb.Rows), want)
+	}
+	mseCol, exactCol := -1, -1
+	for i, c := range tb.Columns {
+		switch c {
+		case "mean_mse":
+			mseCol = i
+		case "exact_vs_single":
+			exactCol = i
+		}
+	}
+	if mseCol < 0 || exactCol < 0 {
+		t.Fatalf("missing columns in %v", tb.Columns)
+	}
+	// The fan-in must not change the estimates: every topology reports
+	// the single node's exact MSE and passes the bitwise check (the run
+	// errors out before returning a row if the root diverges).
+	base := tb.Rows[0].Values[mseCol]
+	for _, row := range tb.Rows {
+		if row.Values[mseCol] != base {
+			t.Errorf("row %q: MSE %v != single-node %v", row.X, row.Values[mseCol], base)
+		}
+		if row.Values[exactCol] != 1 {
+			t.Errorf("row %q: exactness flag %v", row.X, row.Values[exactCol])
+		}
+	}
+}

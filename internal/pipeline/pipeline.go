@@ -687,14 +687,32 @@ func (p *Pipeline) foldReport(sh *shard, rep *Report) {
 // The batch is only read; it can be reused (Reset) or returned to the pool
 // (PutBatch) as soon as AddBatch returns. Safe for concurrent use.
 func (p *Pipeline) AddBatch(b *ReportBatch) error {
-	n := b.Len()
-	if n == 0 {
+	if b.Len() == 0 {
 		return nil
 	}
 	if err := p.validateBatch(b); err != nil {
 		p.met.rejectBatches.Inc()
 		return err
 	}
+	p.foldBatchValidated(b)
+	return nil
+}
+
+// AddBatchValidated folds a batch the caller has already checked with
+// ValidateBatch, skipping revalidation. It exists for callers that must
+// sequence validation before a side effect and the fold after it — the
+// WAL-first serve path validates, persists the raw frames, then folds —
+// without paying for two validation passes. Folding an unvalidated batch
+// corrupts aggregate state; there is no safety net here.
+func (p *Pipeline) AddBatchValidated(b *ReportBatch) {
+	if b.Len() == 0 {
+		return
+	}
+	p.foldBatchValidated(b)
+}
+
+func (p *Pipeline) foldBatchValidated(b *ReportBatch) {
+	n := b.Len()
 	// Gradient reports bypass the shards: round accumulation and the
 	// exactly-once round advance live on the Trainer, which folds every
 	// gradient report of the batch under a single lock acquisition.
@@ -721,7 +739,6 @@ func (p *Pipeline) AddBatch(b *ReportBatch) error {
 	// over the whole batch keep the fold loops uninstrumented.
 	p.met.batches.Inc()
 	p.met.batchSize.Observe(int64(n))
-	return nil
 }
 
 // foldSpan folds the validated reports [lo, hi) of a batch into a shard:

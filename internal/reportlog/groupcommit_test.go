@@ -1,0 +1,212 @@
+package reportlog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func record(i, size int) []byte {
+	b := make([]byte, size)
+	copy(b, fmt.Sprintf("record-%06d", i))
+	return b
+}
+
+func replayCount(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	stats, err := Replay(dir, func([]byte) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated {
+		t.Fatalf("unexpected torn tail in %s", dir)
+	}
+	return n
+}
+
+func TestGroupCommitSyncMakesBufferedRecordsVisible(t *testing.T) {
+	dir := t.TempDir()
+	// Large flushBytes and long interval: nothing commits on its own.
+	w, err := Open(dir, 1<<20, WithGroupCommit(time.Hour, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append(record(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Buffered only: the segment on disk holds nothing yet.
+	if n := replayCount(t, dir); n != 0 {
+		t.Fatalf("records visible before commit: %d", n)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n := replayCount(t, dir); n != 10 {
+		t.Fatalf("after Sync: %d records, want 10", n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCommitFlushesOnByteThreshold(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1<<20, WithGroupCommit(time.Hour, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// 12 records × (8+100) bytes crosses the 1 KiB threshold.
+	for i := 0; i < 12; i++ {
+		if err := w.Append(record(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := replayCount(t, dir); n == 0 {
+		t.Fatal("byte threshold did not trigger a commit")
+	}
+}
+
+func TestGroupCommitIntervalFlush(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1<<20, WithGroupCommit(5*time.Millisecond, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(record(0, 64)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for replayCount(t, dir) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never committed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestGroupCommitRotationKeepsRecordBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1024, WithGroupCommit(time.Hour, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := w.Append(record(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", len(segs))
+	}
+	i := 0
+	stats, err := Replay(dir, func(p []byte) error {
+		want := fmt.Sprintf("record-%06d", i)
+		if string(p[:len(want)]) != want {
+			return fmt.Errorf("record %d out of order: %q", i, p[:len(want)])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != n || stats.Truncated {
+		t.Fatalf("replayed %d records (truncated=%v), want %d", stats.Records, stats.Truncated, n)
+	}
+}
+
+func TestGroupCommitCloseCommitsTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1<<20, WithGroupCommit(time.Hour, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := w.Append(record(i, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := replayCount(t, dir); n != 7 {
+		t.Fatalf("after Close: %d records, want 7", n)
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1<<20, WithGroupCommit(time.Millisecond, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 100; i++ {
+				if err := w.Append(record(g*1000+i, 64)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := replayCount(t, dir); n != 400 {
+		t.Fatalf("replayed %d records, want 400", n)
+	}
+}
+
+// BenchmarkAppend is the before/after pair for the group-commit change.
+// The durability-equivalent baseline for group commit is write+Sync per
+// record ("synced"); the historical default ("unbuffered") never fsynced
+// on the append path at all and is kept for reference.
+func BenchmarkAppend(b *testing.B) {
+	payload := record(0, 512)
+	run := func(name string, opts ...Option) {
+		b.Run(name, func(b *testing.B) {
+			w, err := Open(b.TempDir(), 1<<30, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			sync := name == "synced"
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+				if sync {
+					if err := w.Sync(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+	run("unbuffered")
+	run("synced")
+	run("groupcommit", WithGroupCommit(10*time.Millisecond, 256<<10))
+}

@@ -22,6 +22,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"time"
 )
 
 const (
@@ -39,20 +41,62 @@ var ErrCorruptRecord = errors.New("reportlog: corrupt record")
 const MaxRecordSize = 16 << 20
 
 // Writer appends records to the newest segment of a log directory.
-// Writer is not safe for concurrent use; guard it externally (the transport
-// server does).
+// Appends are internally serialized, so concurrent use is safe; callers
+// that need multi-record atomicity (one HTTP batch = several records)
+// still guard externally, as the transport server does.
 type Writer struct {
+	mu          sync.Mutex
 	dir         string
 	segmentSize int64
 	f           *os.File
 	seq         int
-	size        int64
+	size        int64 // bytes already written to the current segment
+
+	// Group-commit state (zero when disabled): records accumulate in buf
+	// and reach the file — followed by one fsync — when buf crosses
+	// flushBytes, when the interval flusher fires, or on Sync/Close.
+	buf        []byte
+	flushBytes int
+	interval   time.Duration
+	dirty      bool          // file has writes not yet fsynced
+	ferr       error         // sticky background-flush failure
+	stop       chan struct{} // closes the interval flusher
+	done       chan struct{} // flusher exited
+}
+
+// Option configures a Writer.
+type Option func(*Writer)
+
+// WithGroupCommit batches appends in memory and commits them — one
+// write(2) plus one fsync — when flushBytes have accumulated or the
+// interval elapses, whichever comes first. This replaces per-record
+// write(2) calls (and the per-request Sync a durability-conscious caller
+// would otherwise need) with two syscalls per group: the classic WAL
+// group-commit trade of a bounded durability window (at most interval)
+// for an order-of-magnitude cheaper append path. Sync still forces an
+// immediate commit, so callers with a stronger requirement (the cluster
+// forwarder before a push) keep their guarantee.
+//
+// A non-positive flushBytes defaults to 256 KiB; a non-positive interval
+// defaults to 100ms.
+func WithGroupCommit(interval time.Duration, flushBytes int) Option {
+	return func(w *Writer) {
+		if flushBytes <= 0 {
+			flushBytes = 256 << 10
+		}
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		w.flushBytes = flushBytes
+		w.interval = interval
+	}
 }
 
 // Open prepares dir (created if missing) for appending, continuing after
 // the newest existing segment. segmentSize is the rotation threshold in
-// bytes (minimum 1 KiB).
-func Open(dir string, segmentSize int64) (*Writer, error) {
+// bytes (minimum 1 KiB). With no options the Writer behaves as it always
+// has: one write(2) per record, durability only on Sync/Close.
+func Open(dir string, segmentSize int64, opts ...Option) (*Writer, error) {
 	if segmentSize < 1024 {
 		return nil, fmt.Errorf("reportlog: segment size %d below 1KiB minimum", segmentSize)
 	}
@@ -64,25 +108,54 @@ func Open(dir string, segmentSize int64) (*Writer, error) {
 		return nil, err
 	}
 	w := &Writer{dir: dir, segmentSize: segmentSize}
+	for _, opt := range opts {
+		opt(w)
+	}
 	if len(segs) == 0 {
 		if err := w.rotate(); err != nil {
 			return nil, err
 		}
-		return w, nil
+	} else {
+		last := segs[len(segs)-1]
+		w.seq = seqOf(last)
+		f, err := os.OpenFile(filepath.Join(dir, last), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("reportlog: open segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("reportlog: stat segment: %w", err)
+		}
+		w.f, w.size = f, st.Size()
 	}
-	last := segs[len(segs)-1]
-	w.seq = seqOf(last)
-	f, err := os.OpenFile(filepath.Join(dir, last), os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("reportlog: open segment: %w", err)
+	if w.interval > 0 {
+		w.stop, w.done = make(chan struct{}), make(chan struct{})
+		go w.flusher()
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("reportlog: stat segment: %w", err)
-	}
-	w.f, w.size = f, st.Size()
 	return w, nil
+}
+
+// flusher is the interval half of group commit: it bounds how long a
+// buffered (or written-but-unsynced) record can stay volatile.
+func (w *Writer) flusher() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if err := w.commitLocked(); err != nil && w.ferr == nil {
+				// Surface the failure on the next Append/Sync instead of
+				// losing records silently.
+				w.ferr = err
+			}
+			w.mu.Unlock()
+		}
+	}
 }
 
 func segName(seq int) string { return fmt.Sprintf("%s%06d%s", segPrefix, seq, segSuffix) }
@@ -130,16 +203,45 @@ func (w *Writer) rotate() error {
 }
 
 // Append writes one record. The payload is copied into the record frame;
-// it may be reused by the caller afterwards.
+// it may be reused by the caller afterwards. Under group commit the
+// record lands in the in-memory buffer (no syscall) and becomes durable
+// at the next commit point; otherwise it is written through immediately.
 func (w *Writer) Append(payload []byte) error {
 	if len(payload) > MaxRecordSize {
 		return fmt.Errorf("reportlog: record of %d bytes exceeds limit %d", len(payload), MaxRecordSize)
 	}
-	if w.size >= w.segmentSize {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ferr != nil {
+		return w.ferr
+	}
+	if w.size+int64(len(w.buf)) >= w.segmentSize {
+		// Commit buffered records into the old segment before rotating so
+		// file boundaries stay record boundaries.
+		if err := w.commitLocked(); err != nil {
+			return err
+		}
 		if err := w.rotate(); err != nil {
 			return err
 		}
 	}
+	if w.flushBytes > 0 {
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		w.buf = append(w.buf, hdr[:]...)
+		w.buf = append(w.buf, payload...)
+		if len(w.buf) >= w.flushBytes {
+			return w.commitLocked()
+		}
+		return nil
+	}
+	return w.writeLocked(payload)
+}
+
+// writeLocked is the unbuffered append path: header + payload straight
+// to the file.
+func (w *Writer) writeLocked(payload []byte) error {
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
@@ -153,21 +255,65 @@ func (w *Writer) Append(payload []byte) error {
 	return nil
 }
 
-// Sync flushes the current segment to stable storage.
-func (w *Writer) Sync() error {
+// commitLocked makes every buffered record durable: one write(2) for the
+// whole buffer, one fsync. Without group commit it is a plain fsync (and
+// skipped entirely while nothing new has been written).
+func (w *Writer) commitLocked() error {
+	if len(w.buf) > 0 {
+		n, err := w.f.Write(w.buf)
+		if err != nil {
+			// A short write leaves a torn record at the tail — exactly the
+			// state Recover handles. Drop the unwritten suffix and stop
+			// accepting appends via the sticky error.
+			w.size += int64(n)
+			w.ferr = fmt.Errorf("reportlog: flush: %w", err)
+			return w.ferr
+		}
+		w.size += int64(n)
+		w.buf = w.buf[:0]
+		w.dirty = true
+	}
+	if !w.dirty && w.flushBytes > 0 {
+		return nil
+	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("reportlog: sync: %w", err)
 	}
+	w.dirty = false
 	return nil
 }
 
-// Close syncs and closes the current segment.
-func (w *Writer) Close() error {
-	if err := w.f.Sync(); err != nil {
-		w.f.Close()
-		return fmt.Errorf("reportlog: sync on close: %w", err)
+// Sync commits buffered records and flushes the current segment to
+// stable storage.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ferr != nil {
+		return w.ferr
 	}
-	return w.f.Close()
+	return w.commitLocked()
+}
+
+// Close commits, syncs, and closes the current segment, stopping the
+// interval flusher if one is running.
+func (w *Writer) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+		w.stop = nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cerr := w.ferr
+	if cerr == nil {
+		cerr = w.commitLocked()
+	}
+	if err := w.f.Close(); cerr == nil {
+		cerr = err
+	} else {
+		w.f.Close()
+	}
+	return cerr
 }
 
 // ReplayStats summarizes a replay.

@@ -1,0 +1,465 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ldp/internal/cluster"
+	"ldp/internal/core"
+	"ldp/internal/pipeline"
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+	"ldp/internal/telemetry"
+)
+
+// quantizedReports randomizes n reports seeded from stream, snapping
+// numeric payloads onto a 2^-10 dyadic grid so distributed sums are
+// bit-exact under any regrouping of the additions.
+func quantizedReports(t testing.TB, p *pipeline.Pipeline, stream uint64, n int) []pipeline.Report {
+	t.Helper()
+	s := p.Schema()
+	reps := make([]pipeline.Report, n)
+	for i := range reps {
+		r := rng.NewStream(stream, uint64(i))
+		rep, err := p.Randomize(randomTuple(s, r), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := range rep.Entries {
+			if rep.Entries[e].Kind == core.EntryNumeric {
+				rep.Entries[e].Value = math.Round(rep.Entries[e].Value*1024) / 1024
+			}
+		}
+		reps[i] = rep
+	}
+	return reps
+}
+
+func addAll(t testing.TB, p *pipeline.Pipeline, reps []pipeline.Report) {
+	t.Helper()
+	for _, rep := range reps {
+		if err := p.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func assertSameEstimates(t *testing.T, got, want *pipeline.Pipeline) {
+	t.Helper()
+	gv, wv := got.Snapshot(), want.Snapshot()
+	if gv.N() != wv.N() {
+		t.Fatalf("N: got %d, want %d", gv.N(), wv.N())
+	}
+	gm, wm := gv.Means(), wv.Means()
+	for k, v := range wm {
+		if gm[k] != v {
+			t.Errorf("Means[%s]: got %v, want %v", k, gm[k], v)
+		}
+	}
+	gf, err1 := gv.FreqView("gender")
+	wf, err2 := wv.FreqView("gender")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range wf {
+		if gf[i] != wf[i] {
+			t.Errorf("FreqView(gender)[%d]: got %v, want %v", i, gf[i], wf[i])
+		}
+	}
+	for _, q := range []pipeline.RangeQuery{
+		{Attr: "age", Lo: -0.5, Hi: 0.5},
+		{Attr: "age", Lo: -0.25, Hi: 0.75, Attr2: "income", Lo2: -0.5, Hi2: 0.5},
+	} {
+		gr, err1 := gv.Range(q)
+		wr, err2 := wv.Range(q)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if gr != wr {
+			t.Errorf("Range(%+v): got %v, want %v", q, gr, wr)
+		}
+	}
+}
+
+// TestMergeFanInExactness is the distributed-exactness acceptance test:
+// two edges ingest disjoint report sets and push through real Forwarders
+// to a real root server; the root's estimates must be bit-identical to a
+// single pipeline that ingested every report directly.
+func TestMergeFanInExactness(t *testing.T) {
+	root := newTestPipeline(t)
+	single := newTestPipeline(t)
+	srv := httptest.NewServer(NewPipelineServer(root, nil))
+	defer srv.Close()
+
+	ctx := context.Background()
+	for i, stream := range []uint64{101, 102} {
+		edge := newTestPipeline(t)
+		reps := quantizedReports(t, edge, stream, 800)
+		addAll(t, edge, reps)
+		addAll(t, single, reps)
+
+		fw, err := cluster.NewForwarder(edge, cluster.ForwarderConfig{
+			RootURL: srv.URL,
+			EdgeID:  []string{"edge-a", "edge-b"}[i],
+			Retry:   cluster.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Push in two installments to exercise the delta path.
+		if err := fw.Push(ctx); err != nil {
+			t.Fatal(err)
+		}
+		more := quantizedReports(t, edge, stream+1000, 200)
+		addAll(t, edge, more)
+		addAll(t, single, more)
+		if err := fw.Push(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if root.Watermark() != 2000 {
+		t.Fatalf("root watermark %d, want 2000", root.Watermark())
+	}
+	assertSameEstimates(t, root, single)
+}
+
+// TestMergeIdempotent replays the same snapshot frame and checks the
+// dedup: the second delivery acks applied=false and folds nothing.
+func TestMergeIdempotent(t *testing.T) {
+	root := newTestPipeline(t)
+	s := NewPipelineServer(root, nil)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	edge := newTestPipeline(t)
+	addAll(t, edge, quantizedReports(t, edge, 111, 300))
+	st := edge.StateSnapshot()
+	frame, err := cluster.EncodeSnapshot(&cluster.Snapshot{
+		Fingerprint: edge.Fingerprint(), Edge: "edge-a", Seq: 1, Boot: s.Boot(), State: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() *http.Response {
+		resp, err := http.Post(srv.URL+"/v1/merge", "application/octet-stream", bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first push: %s", resp.Status)
+	}
+	if resp := post(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed push: %s", resp.Status)
+	}
+	if root.Watermark() != 300 {
+		t.Fatalf("replay double-counted: watermark %d, want 300", root.Watermark())
+	}
+}
+
+// TestMergeRejections drives every error response of POST /v1/merge and
+// checks the merge metric family counts each outcome.
+func TestMergeRejections(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	root := newTestPipeline(t)
+	s := NewPipelineServer(root, nil, WithServerTelemetry(reg))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	edge := newTestPipeline(t)
+	addAll(t, edge, quantizedReports(t, edge, 121, 50))
+	st := edge.StateSnapshot()
+
+	post := func(frame []byte) *http.Response {
+		resp, err := http.Post(srv.URL+"/v1/merge", "application/octet-stream", bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	enc := func(snap *cluster.Snapshot) []byte {
+		frame, err := cluster.EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame
+	}
+
+	// Garbage body.
+	if resp := post([]byte("not a snapshot")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: %s", resp.Status)
+	}
+	// Fingerprint mismatch.
+	if resp := post(enc(&cluster.Snapshot{Fingerprint: 1, Edge: "e", Seq: 1, Boot: s.Boot(), State: st})); resp.StatusCode != http.StatusConflict {
+		t.Errorf("fingerprint mismatch: %s", resp.Status)
+	}
+	// Boot mismatch.
+	resp := post(enc(&cluster.Snapshot{Fingerprint: edge.Fingerprint(), Edge: "e", Seq: 1, Boot: "stale-boot", State: st}))
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Errorf("boot mismatch: %s", resp.Status)
+	}
+	if got := resp.Header.Get(cluster.BootHeader); got != s.Boot() {
+		t.Errorf("Ldp-Boot header %q, want %q", got, s.Boot())
+	}
+	// Invalid state (trainer-bearing snapshots cannot merge).
+	bad := st.Clone()
+	bad.Trainer = &pipeline.TrainerState{}
+	if resp := post(enc(&cluster.Snapshot{Fingerprint: edge.Fingerprint(), Edge: "e", Seq: 1, Boot: s.Boot(), State: bad})); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("trainer state: %s", resp.Status)
+	}
+	if root.Watermark() != 0 {
+		t.Fatalf("rejected merges mutated the pipeline: watermark %d", root.Watermark())
+	}
+
+	// One good push, so "applied" appears too.
+	if resp := post(enc(&cluster.Snapshot{Fingerprint: edge.Fingerprint(), Edge: "e", Seq: 1, Boot: s.Boot(), State: st})); resp.StatusCode != http.StatusOK {
+		t.Errorf("valid push: %s", resp.Status)
+	}
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`ldp_cluster_merges_total{result="applied"} 1`,
+		`ldp_cluster_merges_total{result="boot_mismatch"} 1`,
+		`ldp_cluster_merges_total{result="fingerprint_mismatch"} 1`,
+		`ldp_cluster_merges_total{result="rejected"} 2`,
+		`ldp_cluster_merged_reports_total 50`,
+		`route="/v1/merge"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestMergeResyncRoundTrip covers GET /v1/merge: unknown edges get 404
+// plus the boot header; known edges get back exactly the cumulative
+// state the root applied for them.
+func TestMergeResyncRoundTrip(t *testing.T) {
+	root := newTestPipeline(t)
+	s := NewPipelineServer(root, nil)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/merge?edge=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get(cluster.BootHeader) != s.Boot() {
+		t.Fatalf("unknown edge: %s, boot %q", resp.Status, resp.Header.Get(cluster.BootHeader))
+	}
+	if resp, err = http.Get(srv.URL + "/v1/merge"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing edge param: %s", resp.Status)
+	}
+
+	edge := newTestPipeline(t)
+	addAll(t, edge, quantizedReports(t, edge, 131, 400))
+	fw, err := cluster.NewForwarder(edge, cluster.ForwarderConfig{RootURL: srv.URL, EdgeID: "edge-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Push(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/merge?edge=edge-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("known edge: %s", resp.Status)
+	}
+	raw := make([]byte, 0, 1<<16)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		raw = append(raw, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	snap, err := cluster.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Edge != "edge-a" || snap.Seq != 1 || snap.Boot != s.Boot() || snap.State.Total() != 400 {
+		t.Fatalf("resync snapshot: edge=%q seq=%d boot=%q total=%d", snap.Edge, snap.Seq, snap.Boot, snap.State.Total())
+	}
+}
+
+// TestMergeConcurrentWithIngest interleaves /v1/merge pushes with local
+// AddBatch ingest and View() reads; run under -race this is the
+// concurrency acceptance test, and in any mode the final totals must be
+// exact.
+func TestMergeConcurrentWithIngest(t *testing.T) {
+	root := newTestPipeline(t)
+	s := NewPipelineServer(root, nil)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	const (
+		edges     = 3
+		pushes    = 5
+		perPush   = 40
+		localReps = 200
+	)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, edges+2)
+	for e := 0; e < edges; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			edge := newTestPipeline(t)
+			fw, err := cluster.NewForwarder(edge, cluster.ForwarderConfig{
+				RootURL: srv.URL,
+				EdgeID:  string(rune('a' + e)),
+				Retry:   cluster.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+			})
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i := 0; i < pushes; i++ {
+				addAll(t, edge, quantizedReports(t, edge, uint64(1000*e+i), perPush))
+				if err := fw.Push(context.Background()); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(e)
+	}
+	// Local ingest through AddBatch, racing the merges.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reps := quantizedReports(t, root, 777, localReps)
+		for i := 0; i < localReps; i += 10 {
+			b := pipeline.GetBatch()
+			for _, rep := range reps[i : i+10] {
+				b.Append(rep)
+			}
+			if err := root.AddBatch(b); err != nil {
+				errc <- err
+				pipeline.PutBatch(b)
+				return
+			}
+			pipeline.PutBatch(b)
+		}
+	}()
+	// Concurrent view reads.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			v := root.View()
+			_ = v.N()
+			_, _ = v.FreqView("gender")
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	want := int64(edges*pushes*perPush + localReps)
+	if root.Watermark() != want {
+		t.Fatalf("watermark %d, want %d", root.Watermark(), want)
+	}
+}
+
+// TestClientRetry covers PipelineClient WithRetry: transient 5xx then
+// success, no retry on 4xx, exhaustion on persistent failure.
+func TestClientRetry(t *testing.T) {
+	p := newTestPipeline(t)
+	var mu sync.Mutex
+	fail5xx, posts := 2, 0
+	backend := NewPipelineServer(p, nil)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		posts++
+		if fail5xx > 0 {
+			fail5xx--
+			mu.Unlock()
+			http.Error(w, "unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		mu.Unlock()
+		backend.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	fast := cluster.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	c := NewPipelineClient(srv.URL, p, WithRetry(fast))
+	r := rng.New(42)
+	tuples := []schema.Tuple{randomTuple(p.Schema(), r), randomTuple(p.Schema(), r)}
+	if err := c.SendBatch(context.Background(), tuples, r); err != nil {
+		t.Fatalf("retried batch failed: %v", err)
+	}
+	if posts != 3 {
+		t.Fatalf("expected 3 attempts (2 failures + success), got %d", posts)
+	}
+	if p.N() != 2 {
+		t.Fatalf("pipeline N %d, want 2", p.N())
+	}
+
+	// Persistent 5xx exhausts the policy.
+	mu.Lock()
+	fail5xx, posts = 100, 0
+	mu.Unlock()
+	if err := c.SendBatch(context.Background(), tuples, r); err == nil {
+		t.Fatal("persistent 5xx did not fail")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if posts != fast.MaxAttempts {
+		t.Fatalf("persistent 5xx tried %d times, want %d", posts, fast.MaxAttempts)
+	}
+}
+
+// TestClientRetryNo4xx asserts a 400 response is returned immediately,
+// without burning retry attempts.
+func TestClientRetryNo4xx(t *testing.T) {
+	var mu sync.Mutex
+	posts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		posts++
+		mu.Unlock()
+		http.Error(w, "bad report", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	p := newTestPipeline(t)
+	c := NewPipelineClient(srv.URL, p, WithRetry(cluster.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	r := rng.New(7)
+	err := c.SendBatch(context.Background(), []schema.Tuple{randomTuple(p.Schema(), r)}, r)
+	if err == nil {
+		t.Fatal("400 did not surface")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if posts != 1 {
+		t.Fatalf("400 was retried: %d attempts", posts)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"ldp/internal/cluster"
 	"ldp/internal/pipeline"
 	"ldp/internal/rng"
 	"ldp/internal/schema"
@@ -19,6 +20,19 @@ type ClientOption func(*clientConfig)
 type clientConfig struct {
 	http    *http.Client
 	timeout time.Duration
+	retry   cluster.RetryPolicy
+	retryOn bool
+}
+
+// WithRetry retries failed report uploads under the given policy:
+// connection errors and 5xx responses back off exponentially with full
+// jitter and try again (the server folds nothing on those responses, so
+// redelivery cannot double-count); 4xx responses never retry. The zero
+// policy's fields fall back to cluster.DefaultRetryPolicy, so
+// WithRetry(cluster.RetryPolicy{}) asks for default bounded retries.
+// Without this option requests are single-shot, as before.
+func WithRetry(p cluster.RetryPolicy) ClientOption {
+	return func(c *clientConfig) { c.retry = p; c.retryOn = true }
 }
 
 // WithHTTPClient uses the given http.Client instead of
@@ -42,6 +56,10 @@ func ResolveClientOptions(opts []ClientOption) *http.Client {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	return resolveHTTP(cfg)
+}
+
+func resolveHTTP(cfg clientConfig) *http.Client {
 	h := cfg.http
 	if h == nil {
 		h = http.DefaultClient
@@ -63,6 +81,8 @@ type PipelineClient struct {
 	baseURL string
 	p       *pipeline.Pipeline
 	http    *http.Client
+	retry   cluster.RetryPolicy
+	retryOn bool
 }
 
 // NewPipelineClient builds a client for the aggregator at baseURL (no
@@ -71,7 +91,15 @@ func NewPipelineClient(baseURL string, p *pipeline.Pipeline, opts ...ClientOptio
 	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
 		baseURL = baseURL[:len(baseURL)-1]
 	}
-	return &PipelineClient{baseURL: baseURL, p: p, http: ResolveClientOptions(opts)}
+	var cfg clientConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &PipelineClient{
+		baseURL: baseURL, p: p,
+		http:  resolveHTTP(cfg),
+		retry: cfg.retry, retryOn: cfg.retryOn,
+	}
 }
 
 // Send randomizes one tuple and posts the resulting frame.
@@ -84,10 +112,11 @@ func (c *PipelineClient) Send(ctx context.Context, t schema.Tuple, r *rng.Rand) 
 }
 
 // SendBatch randomizes a batch of tuples and posts all resulting frames
-// in one request. The server validates the whole batch before folding any
-// of it in, so a rejected batch (400) has ingested nothing and is safe to
-// retry after fixing the cause. (A persistence failure — 500 — can still
-// leave accepted reports unpersisted; see PipelineServer.)
+// in one request. The server validates — and, when persistence is on,
+// journals — the whole batch before folding any of it in, so a rejected
+// batch (400) or a persistence failure (500) has ingested nothing;
+// clients built WithRetry redeliver on 5xx and connection errors without
+// risk of double-counting.
 func (c *PipelineClient) SendBatch(ctx context.Context, tuples []schema.Tuple, r *rng.Rand) error {
 	if len(tuples) == 0 {
 		return nil
@@ -124,19 +153,30 @@ func (c *PipelineClient) SendReports(ctx context.Context, reps []pipeline.Report
 	if len(body) > MaxBatchSize {
 		return fmt.Errorf("transport: batch of %d bytes exceeds limit %d", len(body), MaxBatchSize)
 	}
+	if !c.retryOn {
+		_, err := c.post(ctx, body)
+		return err
+	}
+	return c.retry.Do(ctx, func() (bool, error) { return c.post(ctx, body) })
+}
+
+// post delivers one encoded batch, reporting whether a failure is worth
+// retrying: connection errors and 5xx responses are (the server folds
+// nothing on those), 4xx responses are not.
+func (c *PipelineClient) post(ctx context.Context, body []byte) (retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/report", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("transport: build request: %w", err)
+		return false, fmt.Errorf("transport: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("transport: post reports: %w", err)
+		return true, fmt.Errorf("transport: post reports: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("transport: aggregator rejected batch: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return resp.StatusCode >= 500, fmt.Errorf("transport: aggregator rejected batch: %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
-	return nil
+	return false, nil
 }

@@ -55,6 +55,9 @@ var jsonContentType = []string{"application/json"}
 //	                  WithGradient; 404 otherwise)
 //	GET  /metrics     Prometheus text exposition (servers built with
 //	                  WithServerTelemetry; 404 otherwise)
+//	POST /v1/merge    cluster fan-in: fold an edge's snapshot delta into
+//	                  this pipeline (see merge.go for the protocol)
+//	GET  /v1/merge    ?edge=ID resynchronization snapshot for that edge
 //
 // Queries are answered from the pipeline's epoch-cached view
 // (Pipeline.View): the JSON encoding of each answered (kind, attr, range)
@@ -88,6 +91,9 @@ type PipelineServer struct {
 	// for /v1/stats.
 	mcache atomic.Pointer[modelCacheState]
 	scache atomic.Pointer[statsCacheState]
+
+	// merge is the root side of the cluster fan-in protocol (see merge.go).
+	merge mergeState
 }
 
 // queryCacheState is one view epoch's immutable set of pre-encoded query
@@ -161,6 +167,7 @@ func NewPipelineServer(p *pipeline.Pipeline, sink Sink, opts ...ServerOption) *P
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/model", s.handleModel)
 	s.mux.Handle("GET /metrics", s.reg.Handler()) // nil registry: 404
+	s.initMerge()
 	return s
 }
 
@@ -196,10 +203,13 @@ func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
 		status = s.fail(w, "batch too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	// The whole body decodes into one pooled columnar batch and folds in
-	// through AddBatch: no per-frame allocation, and a bad frame (or a
-	// report that fails validation) rejects the batch atomically before
-	// any state changes.
+	// The whole body decodes into one pooled columnar batch, is validated
+	// up front (a bad frame or invalid report rejects the batch atomically
+	// before any side effect), then persists and folds — WAL first. If the
+	// sink fails, the pipeline has not changed and the 500 tells the
+	// client the batch was not accepted, so a retry cannot double-count;
+	// folding before persisting would leave the 500'd-but-folded batch
+	// counted twice after a client retry.
 	b := pipeline.GetBatch()
 	defer pipeline.PutBatch(b)
 	frames, err := DecodeBatch(body, b)
@@ -213,14 +223,13 @@ func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
 		status = s.fail(w, "empty report body", http.StatusBadRequest)
 		return
 	}
-	if err := s.p.AddBatch(b); err != nil {
+	if err := s.p.ValidateBatch(b); err != nil {
 		s.met.decReject.Inc()
 		status = s.fail(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.met.frames.Add(uint64(frames))
 	if s.sink != nil {
-		// Persist the accepted raw frames, re-slicing the body by frame
+		// Persist the validated raw frames, re-slicing the body by frame
 		// length (DecodeBatch already proved every header well-formed).
 		s.mu.Lock()
 		for off := 0; off < len(body); {
@@ -237,6 +246,8 @@ func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Unlock()
 	}
+	s.p.AddBatchValidated(b)
+	s.met.frames.Add(uint64(frames))
 	w.WriteHeader(http.StatusNoContent)
 	status = http.StatusNoContent
 }

@@ -44,6 +44,7 @@ type serverMetrics struct {
 	query  routeMetrics
 	model  routeMetrics
 	stats  routeMetrics
+	merge  routeMetrics
 
 	bytesIn *telemetry.Counter // request body bytes read on /v1/report
 	frames  *telemetry.Counter // report frames accepted into the pipeline
@@ -55,6 +56,15 @@ type serverMetrics struct {
 	decBadFrame *telemetry.Counter // frame decode failed
 	decEmpty    *telemetry.Counter // well-formed but empty body
 	decReject   *telemetry.Counter // batch rejected by pipeline validation
+
+	// Cluster fan-in outcome taxonomy of POST /v1/merge, plus the number
+	// of edge reports folded in through it.
+	mergeApplied      *telemetry.Counter // snapshot folded into the pipeline
+	mergeDuplicate    *telemetry.Counter // replayed sequence number, deduplicated
+	mergeBootMismatch *telemetry.Counter // push against a previous boot epoch
+	mergeFpMismatch   *telemetry.Counter // mismatched pipeline configuration
+	mergeRejected     *telemetry.Counter // malformed or invalid snapshot
+	mergeReports      *telemetry.Counter // reports merged from edges
 }
 
 // newServerMetrics registers the transport metric families on reg. A nil
@@ -80,6 +90,16 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 	m.decBadFrame = reg.Counter("ldp_report_decode_errors_total", decodeHelp, telemetry.L("reason", "bad_frame"))
 	m.decEmpty = reg.Counter("ldp_report_decode_errors_total", decodeHelp, telemetry.L("reason", "empty"))
 	m.decReject = reg.Counter("ldp_report_decode_errors_total", decodeHelp, telemetry.L("reason", "reject"))
+
+	m.merge = newRouteMetrics(reg, "/v1/merge")
+	const mergeHelp = "Cluster fan-in merge attempts, by outcome."
+	m.mergeApplied = reg.Counter("ldp_cluster_merges_total", mergeHelp, telemetry.L("result", "applied"))
+	m.mergeDuplicate = reg.Counter("ldp_cluster_merges_total", mergeHelp, telemetry.L("result", "duplicate"))
+	m.mergeBootMismatch = reg.Counter("ldp_cluster_merges_total", mergeHelp, telemetry.L("result", "boot_mismatch"))
+	m.mergeFpMismatch = reg.Counter("ldp_cluster_merges_total", mergeHelp, telemetry.L("result", "fingerprint_mismatch"))
+	m.mergeRejected = reg.Counter("ldp_cluster_merges_total", mergeHelp, telemetry.L("result", "rejected"))
+	m.mergeReports = reg.Counter("ldp_cluster_merged_reports_total",
+		"Edge reports folded into this pipeline via /v1/merge.")
 	return m
 }
 

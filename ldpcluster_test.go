@@ -1,0 +1,71 @@
+package ldp
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestFacadeFanIn drives the clustering surface end to end through the
+// public API: an edge pipeline forwards its state to a root pipeline's
+// /v1/merge, and the root answers queries over the merged reports.
+func TestFacadeFanIn(t *testing.T) {
+	sch, err := NewSchema(
+		Attribute{Name: "x", Kind: Numeric},
+		Attribute{Name: "c", Kind: Categorical, Cardinality: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newP := func() *Pipeline {
+		p, err := New(sch, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	root := newP()
+	srv := httptest.NewServer(NewPipelineServer(root, nil))
+	defer srv.Close()
+
+	edge := newP()
+	r := NewRand(7)
+	const n = 500
+	for i := 0; i < n; i++ {
+		tup := NewTuple(sch)
+		tup.Num[0] = 0.25
+		tup.Cat[1] = i % 3
+		rep, err := edge.Randomize(tup, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := edge.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fw, err := NewForwarder(edge, ForwarderConfig{
+		RootURL: srv.URL,
+		EdgeID:  "facade-edge",
+		Retry:   DefaultRetryPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Push(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, reports := fw.Acked(); reports != n {
+		t.Fatalf("acked %d reports, want %d", reports, n)
+	}
+
+	res := root.View()
+	if res.N() != n {
+		t.Fatalf("root N = %d, want %d", res.N(), n)
+	}
+	want := edge.View()
+	if got, exp := res.Means()["x"], want.Means()["x"]; got != exp {
+		t.Fatalf("merged Means[x] = %v, edge has %v", got, exp)
+	}
+}

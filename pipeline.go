@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"time"
 
+	"ldp/internal/cluster"
 	"ldp/internal/pipeline"
 	"ldp/internal/telemetry"
 	"ldp/internal/transport"
@@ -242,6 +243,31 @@ var WithHTTPClient = transport.WithHTTPClient
 
 // WithTimeout bounds each transport-client request.
 var WithTimeout = transport.WithTimeout
+
+// RetryPolicy bounds retries of transient transport failures with
+// exponential backoff and full jitter.
+type RetryPolicy = cluster.RetryPolicy
+
+// DefaultRetryPolicy is the policy WithRetry and the cluster forwarder
+// use when fields are left zero.
+var DefaultRetryPolicy = cluster.DefaultRetryPolicy
+
+// WithRetry makes a transport client retry batch uploads on connection
+// errors and 5xx responses. Safe because the server persists and folds
+// a batch only after fully validating it: a failed request ingested
+// nothing, so a retry cannot double-count.
+var WithRetry = transport.WithRetry
+
+// Forwarder pushes an edge pipeline's aggregate state to a root
+// aggregator's POST /v1/merge as exactly-once snapshot deltas; run one
+// per edge process (see cmd/ldpserver -mode edge).
+type Forwarder = cluster.Forwarder
+
+// ForwarderConfig configures a Forwarder.
+type ForwarderConfig = cluster.ForwarderConfig
+
+// NewForwarder builds a fan-in forwarder for an edge pipeline.
+var NewForwarder = cluster.NewForwarder
 
 // ReplayPipeline rebuilds pipeline state from persisted frames (any
 // format DecodeReport accepts), e.g. at startup with reportlog.Replay.

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Fan-in smoke test against the real binaries: 1 root + 2 edges, with two
+# disjoint simulated populations reporting to the two edges, which push
+# their state to the root over /v1/merge (group-committed WALs on both
+# edges). A single node ingests both populations directly. The root's
+# merged view must agree with the single node: report counts exactly,
+# mean and frequency estimates to float tolerance (the merge regroups
+# floating-point sums, so the last bits may differ across topologies —
+# bit-exactness under a fixed quantization grid is asserted by the unit
+# tests; this exercises the shipped binaries and flags).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+	for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/ldpserver" ./cmd/ldpserver
+go build -o "$tmp/ldpclient" ./cmd/ldpclient
+
+ROOT=127.0.0.1:9461
+EDGE1=127.0.0.1:9462
+EDGE2=127.0.0.1:9463
+SINGLE=127.0.0.1:9464
+N=4000
+COMMON=(-dataset br -eps 1 -range -shards 1)
+
+"$tmp/ldpserver" -addr "$ROOT" -mode root "${COMMON[@]}" &
+pids+=($!)
+"$tmp/ldpserver" -addr "$EDGE1" -mode edge -edge-id edge-1 -push-to "http://$ROOT" \
+	-push-interval 300ms -logdir "$tmp/wal1" -log-sync 50ms "${COMMON[@]}" &
+pids+=($!)
+"$tmp/ldpserver" -addr "$EDGE2" -mode edge -edge-id edge-2 -push-to "http://$ROOT" \
+	-push-interval 300ms -logdir "$tmp/wal2" -log-sync 50ms "${COMMON[@]}" &
+pids+=($!)
+"$tmp/ldpserver" -addr "$SINGLE" "${COMMON[@]}" &
+pids+=($!)
+
+wait_ready() {
+	for _ in $(seq 1 100); do
+		if curl -sf "http://$1/v1/stats" >/dev/null 2>&1; then return 0; fi
+		sleep 0.1
+	done
+	echo "server $1 never became ready" >&2
+	return 1
+}
+for addr in "$ROOT" "$EDGE1" "$EDGE2" "$SINGLE"; do wait_ready "$addr"; done
+
+# Disjoint populations: seed 1 to edge 1, seed 2 to edge 2; the single
+# node ingests both. ldpclient derives every user's record and noise
+# deterministically from the seed, so each server sees identical reports.
+"$tmp/ldpclient" -addr "http://$EDGE1" -n "$N" -seed 1 -workers 2 -dataset br -eps 1 -range
+"$tmp/ldpclient" -addr "http://$EDGE2" -n "$N" -seed 2 -workers 2 -dataset br -eps 1 -range
+"$tmp/ldpclient" -addr "http://$SINGLE" -n "$N" -seed 1 -workers 2 -dataset br -eps 1 -range
+"$tmp/ldpclient" -addr "http://$SINGLE" -n "$N" -seed 2 -workers 2 -dataset br -eps 1 -range
+
+# Wait for both edges' pushes to land.
+want=$((2 * N))
+for _ in $(seq 1 100); do
+	n=$(curl -s "http://$ROOT/v1/stats" | jq .n)
+	if [ "$n" = "$want" ]; then break; fi
+	sleep 0.2
+done
+if [ "$n" != "$want" ]; then
+	echo "root merged n=$n, want $want (edge pushes never landed?)" >&2
+	exit 1
+fi
+single_n=$(curl -s "http://$SINGLE/v1/stats" | jq .n)
+if [ "$single_n" != "$want" ]; then
+	echo "single-node n=$single_n, want $want" >&2
+	exit 1
+fi
+
+# Merged estimates match the single node's.
+close() { # $1=query-path $2=description
+	a=$(curl -sf "http://$ROOT/v1/query?$1")
+	b=$(curl -sf "http://$SINGLE/v1/query?$1")
+	ok=$(jq -n --argjson a "$a" --argjson b "$b" '
+		def absv: if . < 0 then -. else . end;
+		def flat: [.. | numbers];
+		($a | flat) as $x | ($b | flat) as $y
+		| ($x | length) > 0 and ($x | length) == ($y | length)
+		  and all(range($x | length); (($x[.] - $y[.]) | absv) < 1e-9)')
+	if [ "$ok" != "true" ]; then
+		echo "merged $2 diverged from single node:" >&2
+		echo "  root:   $a" >&2
+		echo "  single: $b" >&2
+		exit 1
+	fi
+	echo "fanin smoke: $2 match"
+}
+close "kind=mean" "means"
+close "kind=freq&attr=gender" "gender frequencies"
+close "kind=range&attr=age&lo=-0.5&hi=0.5" "range mass"
+
+# The root exposes the merge counters.
+if ! curl -s "http://$ROOT/metrics" | grep -q '^ldp_cluster_merges_total{result="applied"} [1-9]'; then
+	echo "root /metrics missing applied ldp_cluster_merges_total samples" >&2
+	exit 1
+fi
+
+echo "fanin smoke: OK (root merged $want reports from 2 edges; estimates match single node)"

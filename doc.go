@@ -48,7 +48,19 @@
 // stays within the staleness bound (WithQueryStaleness; the default bound
 // of 0 reports keeps queries exact). A cached hit is lock-free and
 // allocation-free; a stale view is rebuilt single-flight, so a query
-// stampede triggers at most one snapshot. Inside a Result, frequency
+// stampede triggers at most one snapshot — and the rebuild itself is
+// incremental by default: every fold marks the components it touched
+// dirty under its shard lock (per-attribute count columns, hierarchy
+// levels, grids), and the builder folds only the dirty shards' count
+// deltas into the previous view's immutable state, re-debiasing only
+// changed attributes and re-running Norm-Sub only on changed grids and
+// levels, skipping clean shards without taking their locks. When the
+// delta since the previous view exceeds a crossover fraction of the
+// watermark (WithIncrementalView, default 0.25) the rebuild falls back
+// to a full snapshot parallelized across shards. Either way the result
+// is bit-identical to Snapshot at the same watermark — incremental
+// maintenance changes the cost of a rebuild (delta-proportional instead
+// of domain-proportional), never its answers. Inside a Result, frequency
 // estimates debias lazily per queried attribute from raw pooled support
 // counts and the range state is precomputed once (interval-tree estimates
 // plus Norm-Sub-consistent grids), so Mean/FreqView/Range are pure

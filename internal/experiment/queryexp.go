@@ -16,7 +16,7 @@ import (
 func init() {
 	register(Runner{
 		Name: "query",
-		Desc: "query-path throughput: cold Snapshot-per-query vs the epoch-cached View, with ingest idle vs running at full batch rate, at 1/4/8 shards",
+		Desc: "query-path throughput: cold Snapshot-per-query vs the epoch-cached View (ingest idle vs full batch rate), plus incremental refresh at 1/64/4096-report deltas, at 1/4/8 shards",
 		Run:  runQueryBench,
 	})
 }
@@ -35,6 +35,19 @@ const (
 	// query, small enough to be statistically invisible at bench scale.
 	queryStaleness = 10_000
 )
+
+// queryDeltaSizes is the delta axis of the incremental-refresh rows: each
+// op folds this many reports and then queries the view at the default
+// exact staleness bound, so every op pays one delta-proportional rebuild.
+// Op counts shrink with the delta to keep wall time comparable.
+var queryDeltaSizes = []struct {
+	delta   int
+	queries int
+}{
+	{1, 100_000},
+	{64, 20_000},
+	{4096, 1_000},
+}
 
 // runQueryBench measures read-path throughput (dashboard query mixes per
 // second): the pre-PR cost model (a full Pipeline.Snapshot rebuild per
@@ -82,6 +95,33 @@ func runQueryBench(opts Options) ([]Table, error) {
 	}
 	if b.Len() > 0 {
 		batches = append(batches, b)
+	}
+
+	// Pre-randomize the incremental-refresh deltas: a pool of single
+	// reports for the delta-1 rows and pre-built batches for the larger
+	// deltas, drawn from streams disjoint with the bulk ingest above.
+	const deltaPool = 8192
+	deltaReps := make([]pipeline.Report, deltaPool)
+	for i := range deltaReps {
+		r := rng.NewStream(opts.Seed+1, uint64(i))
+		rep, err := p0.Randomize(c.Tuple(r), r)
+		if err != nil {
+			return nil, err
+		}
+		deltaReps[i] = rep
+	}
+	deltaBatches := map[int][]*pipeline.ReportBatch{}
+	for _, ds := range queryDeltaSizes {
+		if ds.delta == 1 {
+			continue
+		}
+		for off := 0; off+ds.delta <= deltaPool; off += ds.delta {
+			db := pipeline.NewReportBatch()
+			for _, rep := range deltaReps[off : off+ds.delta] {
+				db.Append(rep)
+			}
+			deltaBatches[ds.delta] = append(deltaBatches[ds.delta], db)
+		}
 	}
 
 	// queryOnce is the dashboard mix; res may be a cached view or a fresh
@@ -143,7 +183,7 @@ func runQueryBench(opts Options) ([]Table, error) {
 
 	table := Table{
 		ID: "query",
-		Title: fmt.Sprintf("query throughput after %d reports, %d query workers (best of %d runs); one query = mean+freq+1D range+2D range",
+		Title: fmt.Sprintf("query throughput after %d reports, %d query workers (best of %d runs); one query = mean+freq+1D range+2D range; inc-deltaN rows fold N reports per query at exact staleness",
 			opts.N, workers, opts.Runs),
 		XLabel:  "configuration",
 		YLabel:  "queries/sec",
@@ -214,6 +254,61 @@ func runQueryBench(opts Options) ([]Table, error) {
 			}
 			table.Rows = append(table.Rows, TableRow{
 				X:      fmt.Sprintf("%s-%dshards", m.name, shards),
+				Values: []float64{bestRate},
+			})
+		}
+
+		// Incremental-refresh rows: a fresh pipeline at the default exact
+		// staleness bound (any ingest invalidates the view), so every op —
+		// fold a delta, query the view — pays one rebuild proportional to
+		// that delta. Contrast with cold-idle above, where each query paid
+		// a full domain-proportional Snapshot.
+		for _, ds := range queryDeltaSizes {
+			bestRate := 0.0
+			for run := 0; run < opts.Runs; run++ {
+				ip, err := pipeline.New(c.Schema(), opts.Eps,
+					pipeline.WithShards(shards),
+					pipeline.WithRange(rangequery.Config{}),
+				)
+				if err != nil {
+					return nil, err
+				}
+				for _, bb := range batches {
+					if err := ip.AddBatch(bb); err != nil {
+						return nil, err
+					}
+				}
+				ip.View() // warm: the first rebuild is the one full build
+				var idx atomic.Int64
+				var query func() error
+				if ds.delta == 1 {
+					query = func() error {
+						rep := deltaReps[int(idx.Add(1))%deltaPool]
+						if err := ip.Add(rep); err != nil {
+							return err
+						}
+						return queryOnce(ip.View())
+					}
+				} else {
+					dbs := deltaBatches[ds.delta]
+					query = func() error {
+						db := dbs[int(idx.Add(1))%len(dbs)]
+						if err := ip.AddBatch(db); err != nil {
+							return err
+						}
+						return queryOnce(ip.View())
+					}
+				}
+				rate, err := timeQueries(ds.queries, query)
+				if err != nil {
+					return nil, err
+				}
+				if rate > bestRate {
+					bestRate = rate
+				}
+			}
+			table.Rows = append(table.Rows, TableRow{
+				X:      fmt.Sprintf("inc-delta%d-%dshards", ds.delta, shards),
 				Values: []float64{bestRate},
 			})
 		}

@@ -1,0 +1,78 @@
+package freq
+
+import (
+	"testing"
+
+	"ldp/internal/rng"
+)
+
+// TestSyncDelta pins the incremental-maintenance primitive: repeated
+// baseline-delta syncs from multiple independently growing estimators
+// must leave the aggregate bit-identical to a direct merge of the
+// sources, advance each baseline to its source, and be a no-op when
+// nothing changed.
+func TestSyncDelta(t *testing.T) {
+	for _, o := range oracles(t, 1.2, 8) {
+		t.Run(o.Name(), func(t *testing.T) {
+			shards := []*Estimator{NewEstimator(o), NewEstimator(o)}
+			bases := []*Estimator{NewEstimator(o), NewEstimator(o)}
+			agg := NewEstimator(o)
+			r := rng.New(41)
+
+			for round := 0; round < 3; round++ {
+				// Shard 1 sits out odd rounds, so its sync must move nothing.
+				for si, sh := range shards {
+					if si == 1 && round%2 == 1 {
+						continue
+					}
+					for i := 0; i < 200; i++ {
+						sh.Add(o.Perturb(r.IntN(8), r))
+					}
+				}
+				for si, sh := range shards {
+					SyncDelta(sh, bases[si], agg)
+				}
+
+				ref := NewEstimator(o)
+				for _, sh := range shards {
+					ref.Merge(sh)
+				}
+				if agg.N() != ref.N() {
+					t.Fatalf("round %d: agg n %d != ref n %d", round, agg.N(), ref.N())
+				}
+				ac, rc := agg.Counts(), ref.Counts()
+				for i := range rc {
+					if ac[i] != rc[i] {
+						t.Fatalf("round %d count[%d]: agg %v != ref %v", round, i, ac[i], rc[i])
+					}
+				}
+				for si, b := range bases {
+					if b.N() != shards[si].N() {
+						t.Fatalf("round %d: base %d n %d != shard n %d", round, si, b.N(), shards[si].N())
+					}
+					bc, sc := b.Counts(), shards[si].Counts()
+					for i := range sc {
+						if bc[i] != sc[i] {
+							t.Fatalf("round %d base %d count[%d]: %v != %v", round, si, i, bc[i], sc[i])
+						}
+					}
+				}
+			}
+
+			// Quiescent shards: a sync is a pure no-op.
+			before, n := agg.Counts(), agg.N()
+			for si, sh := range shards {
+				SyncDelta(sh, bases[si], agg)
+			}
+			if agg.N() != n {
+				t.Fatal("no-op sync moved the reporter count")
+			}
+			after := agg.Counts()
+			for i := range before {
+				if after[i] != before[i] {
+					t.Fatalf("no-op sync moved count[%d]", i)
+				}
+			}
+		})
+	}
+}

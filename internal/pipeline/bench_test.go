@@ -187,6 +187,29 @@ func BenchmarkQuerySnapshot(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkViewRefreshIncremental measures the sustained view-refresh
+// path under ingest: every iteration folds one report and rebuilds the
+// view, so each View() call is an incremental rebuild over a delta of
+// exactly one report. This is the cold-query cliff the delta-proportional
+// builder removes — the per-refresh cost must track the delta, not the
+// domain, and the CI allocation guard bounds it to a small constant
+// number of allocations (the fresh Result shell plus the handful of
+// re-derived slices), independent of domain size.
+func BenchmarkViewRefreshIncremental(b *testing.B) {
+	p := benchQueryPipeline(b)
+	reps := benchReports(b, p, 256)
+	sink := queryOnce(b, p.View()) // cold full build outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Add(reps[i%len(reps)]); err != nil {
+			b.Fatal(err)
+		}
+		sink += queryOnce(b, p.View())
+	}
+	_ = sink
+}
+
 // BenchmarkAddBatchInstrumented is BenchmarkPipelineAddBatch/size1024
 // with a live telemetry registry wired in: the CI allocation guard holds
 // it to 0 allocs/op, proving instrumentation does not reintroduce

@@ -29,6 +29,11 @@ type pipelineMetrics struct {
 	viewMisses *telemetry.Counter   // view rebuilds (snapshots)
 	viewLosers *telemetry.Counter   // stale serves while a rebuild was in flight
 	rebuild    *telemetry.Histogram // rebuild latency, ns
+
+	rebuildInc  *telemetry.Counter   // delta-proportional (incremental) rebuilds
+	rebuildFull *telemetry.Counter   // full-snapshot rebuilds (cold or past crossover)
+	dirtyShards *telemetry.Histogram // shards with any dirty component per incremental rebuild
+	dirtyComps  *telemetry.Histogram // dirty components (attrs + levels + grids) per incremental rebuild
 }
 
 // initTelemetry registers the pipeline's metric families on reg and
@@ -87,6 +92,13 @@ func (p *Pipeline) initTelemetry(reg *telemetry.Registry) {
 		"Queries that served the previous view while a rebuild was in flight.")
 	m.rebuild = reg.Histogram("ldp_view_rebuild_duration_ns",
 		"Latency of cached-view rebuilds in nanoseconds (power-of-two buckets).")
+	const rebuildKindHelp = "Cached-view rebuilds by kind: incremental (delta-proportional) or full (cold start or past the crossover fraction)."
+	m.rebuildInc = reg.Counter("ldp_view_rebuilds_total", rebuildKindHelp, telemetry.L("kind", "incremental"))
+	m.rebuildFull = reg.Counter("ldp_view_rebuilds_total", rebuildKindHelp, telemetry.L("kind", "full"))
+	m.dirtyShards = reg.Histogram("ldp_view_dirty_shards",
+		"Shards carrying any dirty component per incremental rebuild (power-of-two buckets).")
+	m.dirtyComps = reg.Histogram("ldp_view_dirty_components",
+		"Dirty components (attributes, hierarchy levels, grids) synced per incremental rebuild (power-of-two buckets).")
 	reg.GaugeFunc("ldp_view_epoch",
 		"Build counter of the cached query view.",
 		func() float64 { return float64(p.view.seq.Load()) })

@@ -42,6 +42,7 @@ package pipeline
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,6 +119,8 @@ type config struct {
 	weights       map[TaskKind]float64
 	staleReports  int64
 	staleAge      time.Duration
+	incFrac       float64
+	incSet        bool
 	telemetry     *telemetry.Registry
 }
 
@@ -242,6 +245,20 @@ type shard struct {
 	jointN      []int64
 
 	rangeAcc *rangequery.Accumulator // nil when the range task is absent
+
+	// Dirty bits for incremental view maintenance, written by the fold
+	// paths under mu on every event that touches a component and drained
+	// (synced into the cached view's aggregate, then cleared) by the view
+	// builder under the same lock. A clear bit is a guarantee: the
+	// builder's per-shard baseline for that component equals the shard's
+	// live counts. Bits are event-driven, not diff-driven — a report can
+	// change only a reporter count (an all-zero OUE bitset) and the
+	// component's debiased estimate still moves, so every fold marks the
+	// components it touched regardless of what the counts did.
+	dFreq  bitset // freq-task count columns, by schema attribute
+	dJoint bitset // legacy-joint count columns, by schema attribute
+	dLevel bitset // hierarchy level slots (see rangequery.Collector.LevelIndex)
+	dGrid  bitset // 2-D grid slots, by pair index
 }
 
 // Pipeline is the unified collector/aggregator. The randomization side
@@ -262,12 +279,21 @@ type Pipeline struct {
 	joint   jointCompat
 	shards  []*shard
 	cursor  atomic.Uint64
+	sticky  atomic.Uint64
 	view    viewCache
 	met     pipelineMetrics // nil handles (no-ops) without WithTelemetry
 
 	// rangeCheck validates range reports against the immutable collector
 	// configuration without touching any shard state.
 	rangeCheck *rangequery.Accumulator
+
+	// lvlBase maps a schema attribute to the base of its hierarchy level
+	// slots (lvlBase[attr]+depth-1 is the slot of one level; -1 for
+	// non-numeric attributes); lvlSlots/gridSlots size the dirty bitsets.
+	// All zero/nil when the range task is absent.
+	lvlBase   []int
+	lvlSlots  int
+	gridSlots int
 
 	// attrMeta caches per-attribute validation facts (kind, cardinality,
 	// bitset width) so the batch validator is a table-driven columnar loop
@@ -409,12 +435,25 @@ func New(s *schema.Schema, eps float64, opts ...Option) (*Pipeline, error) {
 		p.attrMeta[i] = m
 	}
 
+	if p.rangeT != nil {
+		col := p.rangeT.col
+		p.lvlSlots = col.LevelSlots()
+		p.gridSlots = col.GridSlots()
+		p.lvlBase = make([]int, s.Dim())
+		for i := range p.lvlBase {
+			p.lvlBase[i] = col.LevelIndex(i, 1)
+		}
+	}
 	p.shards = make([]*shard, cfg.shards)
 	for i := range p.shards {
 		p.shards[i] = p.newShard()
 	}
 	p.view.maxStale = cfg.staleReports
 	p.view.maxAge = cfg.staleAge
+	p.view.incFrac = defaultIncFrac
+	if cfg.incSet {
+		p.view.incFrac = cfg.incFrac
+	}
 	p.initTelemetry(cfg.telemetry)
 	return p, nil
 }
@@ -443,6 +482,14 @@ func (p *Pipeline) newShard() *shard {
 	}
 	if p.rangeT != nil {
 		sh.rangeAcc = rangequery.NewAccumulator(p.rangeT.col)
+		sh.dLevel = newBits(p.lvlSlots)
+		sh.dGrid = newBits(p.gridSlots)
+	}
+	if p.freq != nil {
+		sh.dFreq = newBits(d)
+	}
+	if p.joint.oracles != nil {
+		sh.dJoint = newBits(d)
 	}
 	return sh
 }
@@ -544,17 +591,31 @@ func (p *Pipeline) Add(rep Report) error {
 		p.trainer.foldOne(rep)
 		return nil
 	}
-	// Shard selection: the single-shard pipeline (the common CLI and test
-	// configuration) skips the atomic round-robin cursor and its 64-bit
-	// modulo entirely; power-of-two shard counts mask instead of divide.
+	// Shard selection is sticky: keep folding into the shard the previous
+	// Add used — an uncontended writer then works one cache-hot shard
+	// instead of spraying single reports across the whole set (which also
+	// keeps incremental view rebuilds to one dirty shard) — and move to
+	// the round-robin cursor's next shard only when the sticky shard's
+	// lock is actually contended, which is what spreads concurrent
+	// writers onto distinct shards. The single-shard pipeline (the common
+	// CLI and test configuration) skips all of it.
 	var idx uint64
 	if n := uint64(len(p.shards)); n > 1 {
+		idx = p.sticky.Load()
+		sh := p.shards[idx]
+		if sh.mu.TryLock() {
+			p.foldReport(sh, &rep)
+			sh.epoch.Add(1)
+			sh.mu.Unlock()
+			return nil
+		}
 		c := p.cursor.Add(1)
 		if n&(n-1) == 0 {
 			idx = c & (n - 1)
 		} else {
 			idx = c % n
 		}
+		p.sticky.Store(idx)
 	}
 	sh := p.shards[idx]
 	sh.mu.Lock()
@@ -651,6 +712,7 @@ func (p *Pipeline) foldReport(sh *shard, rep *Report) {
 				sh.freqCounts[e.Attr][e.Resp.Value]++
 			}
 			sh.freqN[e.Attr]++
+			sh.dFreq.set(int(e.Attr))
 		}
 		sh.nFreq++
 	case TaskJoint:
@@ -662,15 +724,28 @@ func (p *Pipeline) foldReport(sh *shard, rep *Report) {
 			case core.EntryCategoricalBits:
 				freq.FoldBits(sh.jointCounts[e.Attr], e.Resp.Bits)
 				sh.jointN[e.Attr]++
+				sh.dJoint.set(int(e.Attr))
 			default:
 				sh.jointCounts[e.Attr][e.Resp.Value]++
 				sh.jointN[e.Attr]++
+				sh.dJoint.set(int(e.Attr))
 			}
 		}
 		sh.nJoint++
 	case TaskRange:
 		sh.rangeAcc.FoldValidated(rep.Range)
+		sh.markRange(p, &rep.Range)
 		sh.nRange++
+	}
+}
+
+// markRange sets the dirty bit of the one component a validated range
+// report touched. The caller holds the shard lock.
+func (sh *shard) markRange(p *Pipeline, rr *rangequery.Report) {
+	if rr.Kind == rangequery.KindHier {
+		sh.dLevel.set(p.lvlBase[rr.Attr] + rr.Depth - 1)
+	} else {
+		sh.dGrid.set(rr.Pair)
 	}
 }
 
@@ -711,6 +786,10 @@ func (p *Pipeline) AddBatchValidated(b *ReportBatch) {
 	p.foldBatchValidated(b)
 }
 
+// minBatchSpan is the smallest per-shard chunk foldBatchValidated will
+// split a batch into (see the splitting comment there).
+const minBatchSpan = 64
+
 func (p *Pipeline) foldBatchValidated(b *ReportBatch) {
 	n := b.Len()
 	// Gradient reports bypass the shards: round accumulation and the
@@ -721,14 +800,24 @@ func (p *Pipeline) foldBatchValidated(b *ReportBatch) {
 	if p.trainer != nil && b.nGrad > 0 {
 		p.trainer.foldBatch(b)
 	}
-	s := len(p.shards)
-	start := int(p.cursor.Add(1) % uint64(s))
+	// Split the batch across at most enough shards to keep every chunk at
+	// least minBatchSpan reports: below that, a chunk costs more in lock
+	// and cache-line traffic (and in dirty shards for the incremental view
+	// builder) than its parallelism buys, so a small batch folds whole
+	// into one shard. The rotating start keeps concurrent small batches —
+	// and successive ones — landing on different shards.
+	total := len(p.shards)
+	s := total
+	if maxChunks := (n + minBatchSpan - 1) / minBatchSpan; maxChunks < s {
+		s = maxChunks
+	}
+	start := int(p.cursor.Add(1) % uint64(total))
 	for k := 0; k < s; k++ {
 		lo, hi := k*n/s, (k+1)*n/s
 		if lo == hi {
 			continue
 		}
-		sh := p.shards[(start+k)%s]
+		sh := p.shards[(start+k)%total]
 		sh.mu.Lock()
 		if folded := p.foldSpan(sh, b, lo, hi); folded > 0 {
 			sh.epoch.Add(int64(folded))
@@ -766,6 +855,7 @@ func (p *Pipeline) foldSpan(sh *shard, b *ReportBatch, lo, hi int) int {
 					sh.freqCounts[attr][b.entCat[e]]++
 				}
 				sh.freqN[attr]++
+				sh.dFreq.set(int(attr))
 			}
 			sh.nFreq++
 			folded++
@@ -779,15 +869,19 @@ func (p *Pipeline) foldSpan(sh *shard, b *ReportBatch, lo, hi int) int {
 					off := b.entBitOff[e]
 					freq.FoldBits(sh.jointCounts[attr], b.bits[off:off+b.entBitLen[e]])
 					sh.jointN[attr]++
+					sh.dJoint.set(int(attr))
 				default:
 					sh.jointCounts[attr][b.entCat[e]]++
 					sh.jointN[attr]++
+					sh.dJoint.set(int(attr))
 				}
 			}
 			sh.nJoint++
 			folded++
 		case TaskRange:
-			sh.rangeAcc.FoldValidated(b.rangeAlias(i))
+			rr := b.rangeAlias(i)
+			sh.rangeAcc.FoldValidated(rr)
+			sh.markRange(p, &rr)
 			sh.nRange++
 			folded++
 		}
@@ -1132,69 +1226,26 @@ func (p *Pipeline) Watermark() int64 {
 // behind an atomic pointer and rebuilds only when the ingest watermark
 // moves past the configured staleness bound.
 func (p *Pipeline) Snapshot() *Result {
-	d := p.sch.Dim()
-	res := &Result{
-		sch:      p.sch,
-		meanSum:  make([]float64, d),
-		jointSum: make([]float64, d),
-	}
-	if p.freq != nil {
-		res.freqOracles = p.freq.oracles
-		res.freqCounts = make([][]float64, d)
-		res.freqN = make([]int64, d)
-		for _, j := range p.freq.catIdx {
-			res.freqCounts[j] = make([]float64, p.sch.Attrs[j].Cardinality)
-		}
-	}
-	if p.joint.oracles != nil {
-		res.jointOracles = p.joint.oracles
-		res.jointCounts = make([][]float64, d)
-		res.jointN = make([]int64, d)
-		for j, o := range p.joint.oracles {
-			if o != nil {
-				res.jointCounts[j] = make([]float64, o.Cardinality())
-			}
-		}
-	}
-	if res.freqCounts != nil || res.jointCounts != nil {
-		res.freqCache = make([]atomic.Pointer[[]float64], d)
-	}
+	res := p.newResultShell()
+	p.allocCountCols(res)
 	var rangeAcc *rangequery.Accumulator
 	if p.rangeT != nil {
 		rangeAcc = rangequery.NewAccumulator(p.rangeT.col)
 	}
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		res.nMean += sh.nMean
-		res.nFreq += sh.nFreq
-		res.nJoint += sh.nJoint
-		res.nRange += sh.nRange
-		for i, v := range sh.meanSum {
-			res.meanSum[i] += v
-		}
-		for i, v := range sh.jointSum {
-			res.jointSum[i] += v
-		}
-		for i := range res.freqCounts {
-			if dst := res.freqCounts[i]; dst != nil {
-				for v, c := range sh.freqCounts[i] {
-					dst[v] += c
-				}
-				res.freqN[i] += sh.freqN[i]
+	if workers := p.snapWorkers(); workers > 1 {
+		p.snapshotParallel(res, rangeAcc, workers)
+	} else {
+		for _, sh := range p.shards {
+			sh.mu.Lock()
+			p.sumShardCounts(res, sh, rangeAcc)
+			for i, v := range sh.meanSum {
+				res.meanSum[i] += v
 			}
-		}
-		for i := range res.jointCounts {
-			if dst := res.jointCounts[i]; dst != nil {
-				for v, c := range sh.jointCounts[i] {
-					dst[v] += c
-				}
-				res.jointN[i] += sh.jointN[i]
+			for i, v := range sh.jointSum {
+				res.jointSum[i] += v
 			}
+			sh.mu.Unlock()
 		}
-		if rangeAcc != nil {
-			rangeAcc.Merge(sh.rangeAcc)
-		}
-		sh.mu.Unlock()
 	}
 	// The shard epochs equal the per-task counters under each shard lock,
 	// so the snapshot's watermark is exactly the reports it contains.
@@ -1202,9 +1253,220 @@ func (p *Pipeline) Snapshot() *Result {
 	if rangeAcc != nil {
 		// Debias every depth and run Norm-Sub once, outside all locks:
 		// Range answers on the result are pure lookups.
-		res.rangeView = rangeAcc.View()
+		res.rangeView = rangeAcc.ViewWith(derivWorkers())
 	}
 	return res
+}
+
+// newResultShell allocates a Result with the pipeline's shapes: fresh
+// scalar and float-sum storage, per-family column tables with nil count
+// columns (allocCountCols zero-fills them; the incremental builder seeds
+// them from the previous view instead and copies on first change), and
+// the lazy debias cache.
+func (p *Pipeline) newResultShell() *Result {
+	d, fams := p.shellShape()
+	// One backing array per element type: the shell is allocated on every
+	// rebuild, so its fixed-size slices are carved from shared blocks
+	// (capacity-capped so an append could never bleed across) to keep the
+	// rebuild's allocation count flat. The view builder goes further and
+	// carves whole slabs of shells at once (see newResultShellSlab).
+	res := &Result{}
+	p.fillResultShell(res,
+		make([]float64, 2*d),
+		make([][]float64, fams*d),
+		make([]int64, fams*d),
+		make([]atomic.Pointer[[]float64], d))
+	return res
+}
+
+// shellShape returns the two dimensions every shell block is sized by: the
+// schema dimension and the number of registered count-column families.
+func (p *Pipeline) shellShape() (d, fams int) {
+	d = p.sch.Dim()
+	if p.freq != nil {
+		fams++
+	}
+	if p.joint.oracles != nil {
+		fams++
+	}
+	return d, fams
+}
+
+// fillResultShell wires a zeroed Result and zeroed backing blocks (sized
+// per shellShape) into a ready shell: sub-slices are capacity-capped so an
+// append could never bleed into a neighbour's region.
+func (p *Pipeline) fillResultShell(res *Result, sums []float64, cols [][]float64, ns []int64, cache []atomic.Pointer[[]float64]) {
+	d := p.sch.Dim()
+	res.sch = p.sch
+	res.meanSum = sums[:d:d]
+	res.jointSum = sums[d : 2*d : 2*d]
+	hasFreq, hasJoint := p.freq != nil, p.joint.oracles != nil
+	if !hasFreq && !hasJoint {
+		return
+	}
+	if hasFreq {
+		res.freqOracles = p.freq.oracles
+		res.freqCounts = cols[:d:d]
+		res.freqN = ns[:d:d]
+		cols, ns = cols[d:], ns[d:]
+	}
+	if hasJoint {
+		res.jointOracles = p.joint.oracles
+		res.jointCounts = cols[:d:d]
+		res.jointN = ns[:d:d]
+	}
+	res.freqCache = cache[:d:d]
+}
+
+// allocCountCols zero-fills a result shell's count columns.
+func (p *Pipeline) allocCountCols(res *Result) {
+	if res.freqCounts != nil {
+		for _, j := range p.freq.catIdx {
+			res.freqCounts[j] = make([]float64, p.sch.Attrs[j].Cardinality)
+		}
+	}
+	if res.jointCounts != nil {
+		for j, o := range p.joint.oracles {
+			if o != nil {
+				res.jointCounts[j] = make([]float64, o.Cardinality())
+			}
+		}
+	}
+}
+
+// sumShardCounts folds one shard's integer-valued state — scalar counters,
+// oracle support counts, reporter counts, and the range accumulator — into
+// a result (and range accumulator). The float sums are left to the caller:
+// integer-valued counts are exact under any fold grouping, float sums are
+// not, and every snapshot path must fold them in shard order so results
+// are bit-identical regardless of how the summation was parallelized. The
+// caller holds the shard lock.
+func (p *Pipeline) sumShardCounts(res *Result, sh *shard, acc *rangequery.Accumulator) {
+	res.nMean += sh.nMean
+	res.nFreq += sh.nFreq
+	res.nJoint += sh.nJoint
+	res.nRange += sh.nRange
+	for i := range res.freqCounts {
+		if dst := res.freqCounts[i]; dst != nil {
+			for v, c := range sh.freqCounts[i] {
+				dst[v] += c
+			}
+			res.freqN[i] += sh.freqN[i]
+		}
+	}
+	for i := range res.jointCounts {
+		if dst := res.jointCounts[i]; dst != nil {
+			for v, c := range sh.jointCounts[i] {
+				dst[v] += c
+			}
+			res.jointN[i] += sh.jointN[i]
+		}
+	}
+	if acc != nil {
+		acc.Merge(sh.rangeAcc)
+	}
+}
+
+// snapshotParallel sums the shards into res on workers goroutines, each
+// owning a contiguous shard range with its own partial accumulator. The
+// integer-valued partials reduce in any grouping without changing a bit;
+// the float mean/joint sums come back as per-shard copies and reduce
+// serially in shard order, so the parallel snapshot is bit-identical to
+// the serial one (and to the incremental builder's running sums).
+func (p *Pipeline) snapshotParallel(res *Result, rangeAcc *rangequery.Accumulator, workers int) {
+	nsh := len(p.shards)
+	parts := make([]*Result, workers)
+	partAccs := make([]*rangequery.Accumulator, workers)
+	meanCopies := make([][]float64, nsh)
+	jointCopies := make([][]float64, nsh)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			part := p.newResultShell()
+			p.allocCountCols(part)
+			var acc *rangequery.Accumulator
+			if rangeAcc != nil {
+				acc = rangequery.NewAccumulator(p.rangeT.col)
+			}
+			for si := w * nsh / workers; si < (w+1)*nsh/workers; si++ {
+				sh := p.shards[si]
+				sh.mu.Lock()
+				meanCopies[si] = append([]float64(nil), sh.meanSum...)
+				jointCopies[si] = append([]float64(nil), sh.jointSum...)
+				p.sumShardCounts(part, sh, acc)
+				sh.mu.Unlock()
+			}
+			parts[w], partAccs[w] = part, acc
+		}(w)
+	}
+	wg.Wait()
+	for w, part := range parts {
+		res.nMean += part.nMean
+		res.nFreq += part.nFreq
+		res.nJoint += part.nJoint
+		res.nRange += part.nRange
+		for i := range res.freqCounts {
+			if dst := res.freqCounts[i]; dst != nil {
+				for v, c := range part.freqCounts[i] {
+					dst[v] += c
+				}
+				res.freqN[i] += part.freqN[i]
+			}
+		}
+		for i := range res.jointCounts {
+			if dst := res.jointCounts[i]; dst != nil {
+				for v, c := range part.jointCounts[i] {
+					dst[v] += c
+				}
+				res.jointN[i] += part.jointN[i]
+			}
+		}
+		if rangeAcc != nil {
+			rangeAcc.Merge(partAccs[w])
+		}
+	}
+	for si := range p.shards {
+		for i, v := range meanCopies[si] {
+			res.meanSum[i] += v
+		}
+		for i, v := range jointCopies[si] {
+			res.jointSum[i] += v
+		}
+	}
+}
+
+// snapWorkers is the shard-summation fan-out of a full snapshot, bounded
+// by the shard count, the CPU count, and a small cap (the reduction is
+// memory-bound; wider fan-out just shuffles cache lines).
+func (p *Pipeline) snapWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > len(p.shards) {
+		w = len(p.shards)
+	}
+	if w > 4 {
+		w = 4
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// derivWorkers is the view-derivation fan-out (per-attribute debias and
+// per-grid Norm-Sub), bounded by the CPU count and the same small cap; it
+// is independent of the shard count because derivation cost scales with
+// the schema, not the shards.
+func derivWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Merge folds another pipeline's aggregate state into this one. Both
@@ -1226,9 +1488,29 @@ func (p *Pipeline) Merge(o *Pipeline) error {
 		dst := p.shards[i%len(p.shards)]
 		dst.mu.Lock()
 		dst.addShard(tmp)
+		// Bulk state arrivals carry no per-component provenance; mark
+		// everything dirty so the next incremental rebuild re-syncs it all.
+		p.markAllDirty(dst)
 		dst.mu.Unlock()
 	}
 	return nil
+}
+
+// markAllDirty conservatively marks every registered component of a shard
+// dirty. The caller holds the shard lock.
+func (p *Pipeline) markAllDirty(sh *shard) {
+	for j, m := range p.attrMeta {
+		if !m.numeric {
+			sh.dFreq.set(j)
+			sh.dJoint.set(j)
+		}
+	}
+	for li := 0; li < p.lvlSlots; li++ {
+		sh.dLevel.set(li)
+	}
+	for g := 0; g < p.gridSlots; g++ {
+		sh.dGrid.set(g)
+	}
 }
 
 // addShard folds another shard's state into this one. Both shards must be

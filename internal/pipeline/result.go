@@ -95,8 +95,11 @@ func (r *Result) Watermark() int64 { return r.watermark }
 // usable as HTTP ETags: equal epoch implies byte-identical answers.
 func (r *Result) Epoch() uint64 { return r.epoch }
 
-// BuiltAt returns when the view cache materialized this result (the zero
-// time for a result built by a direct Snapshot call).
+// BuiltAt returns when the view cache materialized this result. It is
+// the zero time for a result built by a direct Snapshot call, and for
+// cached views on pipelines without a wall-clock staleness bound (the
+// timestamp exists to serve that bound, so it is only taken when
+// WithQueryStaleness configures a nonzero maxAge).
 func (r *Result) BuiltAt() time.Time { return r.built }
 
 // Schema returns the snapshot's schema.

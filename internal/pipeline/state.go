@@ -303,8 +303,48 @@ func (p *Pipeline) MergeState(st *AggState) error {
 			return err
 		}
 	}
+	// Mark the components the state actually touched so the next
+	// incremental view rebuild re-syncs exactly those. Activity is judged
+	// by reporter count OR support counts: a merged state can move one
+	// without the other, and either moves the debiased estimate.
+	for i := range st.FreqCounts {
+		if colActive(st.FreqCounts[i], st.FreqN[i]) {
+			sh.dFreq.set(i)
+		}
+	}
+	for i := range st.JointCounts {
+		if colActive(st.JointCounts[i], st.JointN[i]) {
+			sh.dJoint.set(i)
+		}
+	}
+	if st.Range != nil {
+		for li := range st.Range.Levels {
+			if colActive(st.Range.Levels[li].Counts, st.Range.Levels[li].N) {
+				sh.dLevel.set(li)
+			}
+		}
+		for g := range st.Range.Grids {
+			if colActive(st.Range.Grids[g].Counts, st.Range.Grids[g].N) {
+				sh.dGrid.set(g)
+			}
+		}
+	}
 	sh.epoch.Add(st.Total())
 	return nil
+}
+
+// colActive reports whether a merged count column carries any activity: a
+// nonzero reporter count or any nonzero support count.
+func colActive(counts []float64, n int64) bool {
+	if n != 0 {
+		return true
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Sub returns the elementwise difference cur - prev: the delta to ship

@@ -2,10 +2,18 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ldp/internal/rangequery"
 )
+
+// defaultIncFrac is the default crossover threshold of WithIncrementalView:
+// a rebuild whose delta exceeds this fraction of the watermark falls back
+// to a full sync.
+const defaultIncFrac = 0.25
 
 // viewCache memoizes one immutable Result behind an atomic pointer: the
 // read half of the pipeline's epoch machinery. A query loads the pointer,
@@ -28,6 +36,72 @@ type viewCache struct {
 	// maxAge is the wall-clock analogue (0 = no age bound).
 	maxStale int64
 	maxAge   time.Duration
+
+	// Incremental-rebuild state, all touched only by the builder under mu.
+	// incFrac is the WithIncrementalView crossover (<= 0 disables); base
+	// holds one sync point per shard; aggRange carries the cross-shard
+	// range support counts every published view derives from. The bitsets
+	// are per-build scratch: the unions of the shards' dirty bits
+	// (uFreq/uJoint by attribute, uLevel/uGrid by slot) and the
+	// copy-on-write markers of the two count-column families.
+	incFrac  float64
+	slab     shellSlab
+	base     []shardBaseline
+	aggRange *rangequery.Accumulator
+	uFreq    bitset
+	uJoint   bitset
+	uLevel   bitset
+	uGrid    bitset
+	cpF      bitset
+	cpJ      bitset
+}
+
+// shellSlabSize is how many Result shells one slab refill allocates: large
+// enough to amortize the five block mallocs across many rebuilds, small
+// enough that a caller retaining one Result pins only a few kilobytes of
+// neighbouring shells (never their count columns, which are not slabbed).
+const shellSlabSize = 32
+
+// shellSlab hands out Result shells carved from blocks allocated a slab at
+// a time — the view builder's amortized replacement for newResultShell.
+// Only the single-flight builder touches it (under view.mu), so it needs
+// no lock; make() zeroes the blocks, and each shell region is handed out
+// exactly once, so popped shells are always pristine.
+type shellSlab struct {
+	res   []Result
+	sums  []float64
+	cols  [][]float64
+	ns    []int64
+	cache []atomic.Pointer[[]float64]
+}
+
+// shardBaseline is the incremental builder's per-shard sync point: a copy
+// of exactly the state of that shard the cached aggregate already folded
+// in. The invariant the dirty bits encode — bit clear implies baseline
+// equals the shard's live counts for that component — is maintained by
+// setting bits on every fold event and clearing them only after a sync
+// under the same shard lock.
+type shardBaseline struct {
+	freq  [][]float64
+	joint [][]float64
+	rng   *rangequery.Accumulator
+
+	// epoch is the shard's epoch counter at the last sync. Every fold
+	// path bumps the shard epoch under the shard lock together with
+	// setting dirty bits, and every sync captures it under the same lock
+	// while clearing them — so an unchanged epoch proves the shard saw no
+	// fold since the last sync and the whole visit (lock included) can be
+	// skipped: the scalar baselines below are still exact.
+	epoch int64
+
+	// Scalar baselines: verbatim copies of the shard's counters and float
+	// sums at the last sync. The builder re-sums these in shard order for
+	// every rebuild, which is bit-identical to Snapshot's serial fold
+	// over the live shards (a skipped shard's copies equal its live
+	// state), while costing clean shards no lock acquisition.
+	nMean, nFreq, nJoint, nRange int64
+	meanSum, jointSum            []float64
+	freqN, jointN                []int64
 }
 
 // WithQueryStaleness bounds how stale the cached query view (Pipeline.View)
@@ -57,6 +131,28 @@ func WithQueryStaleness(reports int64, maxAge time.Duration) Option {
 		}
 		c.staleReports = reports
 		c.staleAge = maxAge
+		return nil
+	}
+}
+
+// WithIncrementalView tunes the crossover of incremental view rebuilds:
+// when a cached view exists and the ingest delta since it is at most
+// maxDeltaFrac of the total watermark, the rebuild folds only the dirty
+// shards' count deltas into the previous view's immutable state —
+// re-debiasing only the attributes and re-running Norm-Sub only on the
+// hierarchy levels and grids that actually changed — instead of
+// re-summing the whole domain. Estimates are unaffected: an incremental
+// view is bit-identical to the full snapshot at the same watermark.
+// maxDeltaFrac must be in [0, 1]; 0 disables incremental maintenance
+// entirely (every rebuild is a full snapshot). The default without this
+// option is 0.25.
+func WithIncrementalView(maxDeltaFrac float64) Option {
+	return func(c *config) error {
+		if math.IsNaN(maxDeltaFrac) || maxDeltaFrac < 0 || maxDeltaFrac > 1 {
+			return fmt.Errorf("pipeline: incremental view fraction must be in [0,1], got %v", maxDeltaFrac)
+		}
+		c.incFrac = maxDeltaFrac
+		c.incSet = true
 		return nil
 	}
 }
@@ -114,11 +210,349 @@ func (p *Pipeline) refreshView() *Result {
 	if p.met.rebuild != nil {
 		start = time.Now()
 	}
-	res := p.Snapshot()
+	res := p.buildView()
 	res.epoch = p.view.seq.Add(1)
-	res.built = time.Now()
+	// The build timestamp only feeds the wall-clock staleness bound, so
+	// pipelines without one (the default) skip the clock read per rebuild.
+	if p.view.maxAge > 0 {
+		res.built = time.Now()
+	}
 	p.view.cur.Store(res)
 	p.met.viewMisses.Inc()
 	p.met.rebuild.ObserveSince(start)
 	return res
+}
+
+// buildView materializes the next cached view. With incremental
+// maintenance disabled it is a plain full snapshot; otherwise it routes
+// through buildSync, choosing the incremental path when a previous view
+// exists and the ingest delta since it is within the crossover fraction.
+// The caller holds view.mu (rebuilds are single-flight).
+func (p *Pipeline) buildView() *Result {
+	vc := &p.view
+	if vc.incFrac <= 0 {
+		p.met.rebuildFull.Inc()
+		return p.Snapshot()
+	}
+	p.ensureBuilderState()
+	prev := vc.cur.Load()
+	full := prev == nil
+	if !full {
+		wm := p.Watermark()
+		if delta := wm - prev.watermark; float64(delta) > vc.incFrac*float64(wm) {
+			full = true
+		}
+	}
+	return p.buildSync(prev, full)
+}
+
+// ensureBuilderState lazily allocates the incremental builder's per-shard
+// baselines, running aggregate, and scratch bitsets. The caller holds
+// view.mu; the state lives for the pipeline's lifetime once created.
+func (p *Pipeline) ensureBuilderState() {
+	vc := &p.view
+	if vc.base != nil {
+		return
+	}
+	d := p.sch.Dim()
+	// The baselines live in one value slice, with the scalar float sums and
+	// reporter counts carved out of two shared backing arrays: the per-build
+	// scalar re-sum walks them front to back, so keeping every shard's
+	// scalars contiguous turns that walk into a linear scan instead of a
+	// pointer chase across per-shard allocations.
+	vc.base = make([]shardBaseline, len(p.shards))
+	sums := make([]float64, len(p.shards)*2*d)
+	nInts := 0
+	if p.freq != nil {
+		nInts += d
+	}
+	if p.joint.oracles != nil {
+		nInts += d
+	}
+	ns := make([]int64, len(p.shards)*nInts)
+	for i := range vc.base {
+		b := &vc.base[i]
+		b.meanSum = sums[2*i*d : (2*i+1)*d : (2*i+1)*d]
+		b.jointSum = sums[(2*i+1)*d : (2*i+2)*d : (2*i+2)*d]
+		ints := ns[i*nInts : (i+1)*nInts : (i+1)*nInts]
+		if p.freq != nil {
+			b.freqN = ints[:d:d]
+			ints = ints[d:]
+		}
+		if p.joint.oracles != nil {
+			b.jointN = ints
+		}
+		p.initBaseline(b)
+	}
+	if p.rangeT != nil {
+		vc.aggRange = rangequery.NewAccumulator(p.rangeT.col)
+		vc.uLevel = newBits(p.lvlSlots)
+		vc.uGrid = newBits(p.gridSlots)
+	}
+	if p.freq != nil {
+		vc.uFreq = newBits(d)
+		vc.cpF = newBits(d)
+	}
+	if p.joint.oracles != nil {
+		vc.uJoint = newBits(d)
+		vc.cpJ = newBits(d)
+	}
+}
+
+// initBaseline allocates the per-value state of one zeroed per-shard sync
+// point with the pipeline's shapes; the scalar baseline slices were carved
+// out of the shared backing arrays by ensureBuilderState.
+func (p *Pipeline) initBaseline(b *shardBaseline) {
+	d := p.sch.Dim()
+	if p.freq != nil {
+		b.freq = make([][]float64, d)
+		for _, j := range p.freq.catIdx {
+			b.freq[j] = make([]float64, p.sch.Attrs[j].Cardinality)
+		}
+	}
+	if p.joint.oracles != nil {
+		b.joint = make([][]float64, d)
+		for j, o := range p.joint.oracles {
+			if o != nil {
+				b.joint[j] = make([]float64, o.Cardinality())
+			}
+		}
+	}
+	if p.rangeT != nil {
+		b.rng = rangequery.NewAccumulator(p.rangeT.col)
+	}
+}
+
+// newResultShellSlab pops one Result shell off the builder's slab,
+// refilling it (shellSlabSize shells per refill) when empty: the same
+// shell newResultShell builds, at a fraction of the per-rebuild allocation
+// cost. The caller holds view.mu.
+func (p *Pipeline) newResultShellSlab() *Result {
+	s := &p.view.slab
+	if len(s.res) == 0 {
+		d, fams := p.shellShape()
+		s.res = make([]Result, shellSlabSize)
+		s.sums = make([]float64, shellSlabSize*2*d)
+		s.cols = make([][]float64, shellSlabSize*fams*d)
+		s.ns = make([]int64, shellSlabSize*fams*d)
+		s.cache = make([]atomic.Pointer[[]float64], shellSlabSize*d)
+	}
+	d, fams := p.shellShape()
+	res := &s.res[0]
+	s.res = s.res[1:]
+	sums := s.sums[: 2*d : 2*d]
+	s.sums = s.sums[2*d:]
+	cols := s.cols[: fams*d : fams*d]
+	s.cols = s.cols[fams*d:]
+	ns := s.ns[: fams*d : fams*d]
+	s.ns = s.ns[fams*d:]
+	cache := s.cache[:d:d]
+	s.cache = s.cache[d:]
+	p.fillResultShell(res, sums, cols, ns, cache)
+	return res
+}
+
+// buildSync builds the next view by folding each shard's delta against the
+// builder's per-shard baselines, in one shard-lock hold per shard: the
+// scalar counters, float sums, and reporter counts are re-summed in shard
+// order (cheap — O(shards x attrs) — and bit-identical to the serial and
+// parallel Snapshot fold order), while the expensive per-value support
+// counts move by baseline delta only where dirty bits say something
+// changed. In full mode every registered component syncs regardless of
+// bits — the same machinery, so the baselines stay current and incremental
+// rebuilds re-arm after any fallback. Support counts are integer-valued
+// float64 sums of indicators, so baseline-delta arithmetic is exact and an
+// incremental view is bit-identical to a full snapshot at the same
+// watermark. The caller holds view.mu.
+func (p *Pipeline) buildSync(prev *Result, full bool) *Result {
+	vc := &p.view
+	res := p.newResultShellSlab()
+	fresh := prev == nil
+	if fresh {
+		full = true
+		p.allocCountCols(res)
+	} else {
+		// Seed the count columns aliasing the previous view's; syncFamily
+		// copies a column the moment its first delta lands (published
+		// views are immutable), and clean columns stay shared.
+		if res.freqCounts != nil {
+			copy(res.freqCounts, prev.freqCounts)
+		}
+		if res.jointCounts != nil {
+			copy(res.jointCounts, prev.jointCounts)
+		}
+		vc.cpF.zero()
+		vc.cpJ.zero()
+	}
+	vc.uFreq.zero()
+	vc.uJoint.zero()
+	vc.uLevel.zero()
+	vc.uGrid.zero()
+	var rangeNBefore int64
+	if vc.aggRange != nil {
+		rangeNBefore = vc.aggRange.N()
+	}
+	dirtyShards := 0
+	for si, sh := range p.shards {
+		base := &vc.base[si]
+		// Unchanged epoch ⇒ no fold since the last sync (bump and sync
+		// both happen under the shard lock): the baselines are exact and
+		// the shard needs no lock at all. A fold racing this lock-free
+		// read lands in the next rebuild, exactly as it would have had it
+		// arrived just after this shard's lock was released.
+		if epoch := sh.epoch.Load(); epoch == base.epoch {
+			continue
+		}
+		sh.mu.Lock()
+		base.epoch = sh.epoch.Load()
+		base.nMean, base.nFreq = sh.nMean, sh.nFreq
+		base.nJoint, base.nRange = sh.nJoint, sh.nRange
+		copy(base.meanSum, sh.meanSum)
+		copy(base.jointSum, sh.jointSum)
+		if base.freqN != nil {
+			copy(base.freqN, sh.freqN)
+		}
+		if base.jointN != nil {
+			copy(base.jointN, sh.jointN)
+		}
+		if sh.dFreq.any() || sh.dJoint.any() || sh.dLevel.any() || sh.dGrid.any() {
+			dirtyShards++
+		}
+		if res.freqCounts != nil {
+			syncFamily(full, fresh, sh.dFreq, vc.uFreq, vc.cpF, res.freqCounts, sh.freqCounts, base.freq)
+		}
+		if res.jointCounts != nil {
+			syncFamily(full, fresh, sh.dJoint, vc.uJoint, vc.cpJ, res.jointCounts, sh.jointCounts, base.joint)
+		}
+		if sh.rangeAcc != nil {
+			if full {
+				for li := 0; li < p.lvlSlots; li++ {
+					sh.rangeAcc.SyncDeltaLevel(li, base.rng, vc.aggRange)
+				}
+				for g := 0; g < p.gridSlots; g++ {
+					sh.rangeAcc.SyncDeltaGrid(g, base.rng, vc.aggRange)
+				}
+			} else {
+				acc := sh.rangeAcc
+				sh.dLevel.forEach(func(li int) {
+					vc.uLevel.set(li)
+					acc.SyncDeltaLevel(li, base.rng, vc.aggRange)
+				})
+				sh.dGrid.forEach(func(g int) {
+					vc.uGrid.set(g)
+					acc.SyncDeltaGrid(g, base.rng, vc.aggRange)
+				})
+			}
+			// Unconditional: a report can move a reporter count without
+			// moving any support count.
+			sh.rangeAcc.SyncDeltaN(base.rng, vc.aggRange)
+		}
+		sh.dFreq.zero()
+		sh.dJoint.zero()
+		sh.dLevel.zero()
+		sh.dGrid.zero()
+		sh.mu.Unlock()
+	}
+	// Scalars re-sum from the baselines serially in shard order — the
+	// same values in the same order as Snapshot's serial fold over the
+	// live shards, so the float sums are bit-identical.
+	for bi := range vc.base {
+		base := &vc.base[bi]
+		res.nMean += base.nMean
+		res.nFreq += base.nFreq
+		res.nJoint += base.nJoint
+		res.nRange += base.nRange
+		for i, v := range base.meanSum {
+			res.meanSum[i] += v
+		}
+		for i, v := range base.jointSum {
+			res.jointSum[i] += v
+		}
+		if res.freqN != nil {
+			for i, n := range base.freqN {
+				res.freqN[i] += n
+			}
+		}
+		if res.jointN != nil {
+			for i, n := range base.jointN {
+				res.jointN[i] += n
+			}
+		}
+	}
+	res.watermark = res.nMean + res.nFreq + res.nJoint + res.nRange
+	if vc.aggRange != nil {
+		switch {
+		case full || prev.rangeView == nil:
+			res.rangeView = vc.aggRange.ViewWith(derivWorkers())
+		case !vc.uLevel.any() && !vc.uGrid.any() && vc.aggRange.N() == rangeNBefore:
+			// Not a single range report arrived since the previous view
+			// (every range fold bumps the reporter count), so the previous
+			// range view is exact as-is — no per-slot walk, no allocation.
+			res.rangeView = prev.rangeView
+		default:
+			res.rangeView = vc.aggRange.RebuildView(prev.rangeView, vc.uLevel.get, vc.uGrid.get)
+		}
+	}
+	if !full && res.freqCache != nil && prev.freqCache != nil {
+		// Forward the memoized debias results of untouched attributes:
+		// their inputs are unchanged, so the cached combined estimates are
+		// still exact and the first query per attribute stays a lookup.
+		for j := range p.attrMeta {
+			if p.attrMeta[j].numeric || vc.uFreq.get(j) || vc.uJoint.get(j) {
+				continue
+			}
+			if ptr := prev.freqCache[j].Load(); ptr != nil {
+				res.freqCache[j].Store(ptr)
+			}
+		}
+	}
+	if full {
+		p.met.rebuildFull.Inc()
+	} else {
+		p.met.rebuildInc.Inc()
+		p.met.dirtyShards.Observe(int64(dirtyShards))
+		p.met.dirtyComps.Observe(int64(vc.uFreq.count() + vc.uJoint.count() +
+			vc.uLevel.count() + vc.uGrid.count()))
+	}
+	return res
+}
+
+// syncFamily folds one shard's count-column deltas for one oracle family
+// into the result and advances the shard's baselines to match. In full
+// mode every registered column syncs regardless of dirty bits; otherwise
+// only the shard's dirty columns do, and their attributes accumulate into
+// the build's union set (union bits gate debias-cache forwarding, so they
+// are set for every event-dirty column even when its count delta turns
+// out to be zero — the reporter count still moved). A result column still
+// aliasing the previous view is copied before its first change. The
+// caller holds the shard lock.
+func syncFamily(full, fresh bool, dirty, union, copied bitset, resCols, shCols, baseCols [][]float64) {
+	sync := func(j int) {
+		cur := shCols[j]
+		if cur == nil {
+			return
+		}
+		base, dst := baseCols[j], resCols[j]
+		for v, c := range cur {
+			if delta := c - base[v]; delta != 0 {
+				if !fresh && !copied.get(j) {
+					dst = append([]float64(nil), dst...)
+					resCols[j] = dst
+					copied.set(j)
+				}
+				dst[v] += delta
+				base[v] = c
+			}
+		}
+	}
+	if full {
+		for j := range shCols {
+			sync(j)
+		}
+		return
+	}
+	dirty.forEach(func(j int) {
+		union.set(j)
+		sync(j)
+	})
 }

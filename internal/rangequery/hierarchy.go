@@ -279,6 +279,22 @@ func (e *HierEstimator) View() *HierView {
 	return &HierView{buckets: e.col.buckets, levels: levels}
 }
 
+// viewPartial snapshots like View but re-debiases only the depths the
+// dirty predicate flags (0-based), aliasing the clean depths' estimate
+// slices from prev — safe because HierView levels are immutable once
+// built. prev must come from an estimator of the same collector.
+func (e *HierEstimator) viewPartial(prev *HierView, dirty func(d int) bool) *HierView {
+	levels := make([][]float64, len(e.levels))
+	for d, l := range e.levels {
+		if dirty(d) {
+			levels[d] = l.Estimates()
+		} else {
+			levels[d] = prev.levels[d]
+		}
+	}
+	return &HierView{buckets: e.col.buckets, levels: levels}
+}
+
 // HierView is an immutable snapshot of a HierEstimator's per-depth
 // estimates. It is safe for concurrent use.
 type HierView struct {

@@ -75,6 +75,7 @@ type Collector struct {
 	disc    *Discretizer
 	eps     float64
 	numeric []int    // schema indices of numeric attributes
+	numPos  []int    // schema attr -> position in numeric (-1 for others)
 	pairs   [][2]int // numeric attribute pairs (i < j), schema indices
 	hier    *HierCollector
 	grid    *GridCollector // nil when grids are disabled
@@ -117,7 +118,14 @@ func NewCollector(s *schema.Schema, eps float64, cfg Config) (*Collector, error)
 	if err != nil {
 		return nil, err
 	}
-	c := &Collector{disc: disc, eps: eps, numeric: numeric, pairs: pairs, hier: hier, pGrid: pGrid}
+	numPos := make([]int, s.Dim())
+	for i := range numPos {
+		numPos[i] = -1
+	}
+	for pos, attr := range numeric {
+		numPos[attr] = pos
+	}
+	c := &Collector{disc: disc, eps: eps, numeric: numeric, numPos: numPos, pairs: pairs, hier: hier, pGrid: pGrid}
 	if pGrid > 0 {
 		c.grid, err = NewGridCollector(eps, cfg.GridCells, cfg.Oracle)
 		if err != nil {

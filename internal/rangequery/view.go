@@ -1,6 +1,10 @@
 package rangequery
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // View is an immutable query-optimized snapshot of one aggregation
 // domain's range-query state: every attribute's per-depth interval
@@ -31,6 +35,50 @@ func (a *Accumulator) View() *View {
 			v.grids[i] = g.View()
 		}
 	}
+	return v
+}
+
+// ViewWith snapshots like View but spreads the per-attribute hierarchy
+// debiasing and per-grid Norm-Sub derivations over up to workers
+// goroutines. Each component view is computed by the same deterministic
+// code on the same inputs as the serial path and lands in its own slot,
+// so the result is bit-identical to View(); workers <= 1 (or fewer jobs
+// than workers would split usefully) just runs View. The same exclusion
+// rules as View apply.
+func (a *Accumulator) ViewWith(workers int) *View {
+	jobs := len(a.col.numeric) + len(a.grids)
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		return a.View()
+	}
+	v := &View{col: a.col, n: a.n, hier: make([]*HierView, a.col.disc.src.Dim())}
+	if a.grids != nil {
+		v.grids = make([]*GridView, len(a.grids))
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= jobs {
+					return
+				}
+				if j < len(a.col.numeric) {
+					attr := a.col.numeric[j]
+					v.hier[attr] = a.hier[attr].View()
+				} else {
+					p := j - len(a.col.numeric)
+					v.grids[p] = a.grids[p].View()
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return v
 }
 

@@ -26,8 +26,12 @@ const MaxBatchSize = 16 << 20
 // responses kept per view epoch, maxCachedQueryKey bounds the raw query
 // string an entry may be keyed by, and maxCachedQueryBytes bounds the
 // total keys+bodies retained — together they keep an adversarial sweep
-// of distinct (or padded) query strings from pinning memory; uncached
-// queries are still answered, just not remembered.
+// of distinct (or padded) query strings from pinning memory. When a new
+// fitting entry would push the cache past the count or byte bound, the
+// oldest entries are evicted (insertion-order FIFO — hits are lock-free
+// reads of an immutable state, so there is no recency to track) rather
+// than the newcomer dropped, so a long-lived epoch keeps serving its
+// current working set instead of freezing the first thousand queries.
 const (
 	maxCachedQueries    = 1024
 	maxCachedQueryKey   = 1 << 10
@@ -99,12 +103,14 @@ type PipelineServer struct {
 // queryCacheState is one view epoch's immutable set of pre-encoded query
 // responses, keyed by the request's raw query string. States are
 // replaced, never mutated, so readers need no lock. bytes tracks the
-// retained keys+bodies against maxCachedQueryBytes.
+// retained keys+bodies against maxCachedQueryBytes, and order remembers
+// the keys oldest-first so the bound evicts FIFO.
 type queryCacheState struct {
 	epoch   uint64
 	etag    string
 	etagHdr []string
 	body    map[string][]byte
+	order   []string
 	bytes   int
 }
 
@@ -508,9 +514,11 @@ func (s *PipelineServer) queryJSON(v *pipeline.Result, q url.Values) (body []byt
 
 // storeQuery remembers a pre-encoded response for the rest of its view
 // epoch (copy-on-write, so the lock-free readers never observe a map
-// write) and returns the epoch's preallocated ETag header value. Entries
-// past the count, key-size, or total-byte bounds are served but not
-// retained.
+// write) and returns the epoch's preallocated ETag header value. An
+// entry whose key or cost exceeds its individual bound is served but not
+// retained; one that fits is always inserted, evicting the epoch's
+// oldest entries (FIFO) as needed to stay inside the count and
+// total-byte bounds.
 func (s *PipelineServer) storeQuery(epoch uint64, raw string, body []byte) []string {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
@@ -528,21 +536,34 @@ func (s *PipelineServer) storeQuery(epoch uint64, raw string, body []byte) []str
 		}
 		if fits {
 			next.body[raw] = body
+			next.order = []string{raw}
 			next.bytes = cost
 		}
 		s.qcache.Store(next)
 		return next.etagHdr
 	case st.epoch == epoch:
-		if _, ok := st.body[raw]; !ok && fits &&
-			len(st.body) < maxCachedQueries && st.bytes+cost <= maxCachedQueryBytes {
+		if _, ok := st.body[raw]; !ok && fits {
 			nb := make(map[string][]byte, len(st.body)+1)
 			for k, b := range st.body {
 				nb[k] = b
 			}
+			no := make([]string, len(st.order), len(st.order)+1)
+			copy(no, st.order)
 			nb[raw] = body
+			no = append(no, raw)
+			nbytes := st.bytes + cost
+			evicted := 0
+			for len(nb) > maxCachedQueries || nbytes > maxCachedQueryBytes {
+				old := no[0]
+				nbytes -= len(old) + len(nb[old])
+				delete(nb, old)
+				no = no[1:]
+				evicted++
+			}
+			s.met.queryEvict.Add(uint64(evicted))
 			s.qcache.Store(&queryCacheState{
 				epoch: st.epoch, etag: st.etag, etagHdr: st.etagHdr,
-				body: nb, bytes: st.bytes + cost,
+				body: nb, order: no, bytes: nbytes,
 			})
 		}
 		return st.etagHdr

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 
 	"ldp/internal/pipeline"
 	"ldp/internal/rng"
+	"ldp/internal/telemetry"
 )
 
 // ingestPipelineReports folds n randomized reports straight into the
@@ -191,6 +193,88 @@ func TestQueryCacheKeyBound(t *testing.T) {
 	st := s.qcache.Load()
 	if st == nil || len(st.body) != 1 {
 		t.Fatalf("expected exactly the unpadded query cached, got %+v", st)
+	}
+}
+
+// TestQueryCacheFIFOEviction checks the per-epoch retention bound: once
+// an epoch accumulates maxCachedQueries distinct responses, each further
+// fitting entry is still inserted and the oldest entries are evicted
+// (insertion-order FIFO), with the byte bound enforced the same way. The
+// recent working set survives a sweep of distinct query strings, and the
+// eviction counter accounts for every dropped entry.
+func TestQueryCacheFIFOEviction(t *testing.T) {
+	p := newTestPipeline(t)
+	reg := telemetry.NewRegistry()
+	s := NewPipelineServer(p, nil, WithServerTelemetry(reg))
+
+	const epoch = 7
+	body := []byte(`{"v":1}` + "\n")
+	key := func(i int) string { return fmt.Sprintf("kind=freq&attr=gender&i=%d", i) }
+
+	const extra = 5
+	for i := 0; i < maxCachedQueries+extra; i++ {
+		s.storeQuery(epoch, key(i), body)
+	}
+	st := s.qcache.Load()
+	if st == nil || st.epoch != epoch {
+		t.Fatalf("cache state = %+v, want epoch %d", st, epoch)
+	}
+	if len(st.body) != maxCachedQueries || len(st.order) != maxCachedQueries {
+		t.Fatalf("retained %d entries (order %d), want %d", len(st.body), len(st.order), maxCachedQueries)
+	}
+	for i := 0; i < extra; i++ {
+		if _, ok := st.body[key(i)]; ok {
+			t.Fatalf("oldest entry %d survived past the count bound", i)
+		}
+	}
+	for _, i := range []int{extra, maxCachedQueries/2 + extra, maxCachedQueries + extra - 1} {
+		if got, ok := st.body[key(i)]; !ok || string(got) != string(body) {
+			t.Fatalf("recent entry %d missing or corrupted (ok=%v)", i, ok)
+		}
+	}
+	if st.order[0] != key(extra) || st.order[len(st.order)-1] != key(maxCachedQueries+extra-1) {
+		t.Fatalf("order bounds = %q..%q, want %q..%q",
+			st.order[0], st.order[len(st.order)-1], key(extra), key(maxCachedQueries+extra-1))
+	}
+	wantBytes := 0
+	for k, b := range st.body {
+		wantBytes += len(k) + len(b)
+	}
+	if st.bytes != wantBytes {
+		t.Fatalf("bytes accounting drifted: %d, want %d", st.bytes, wantBytes)
+	}
+	if got := s.met.queryEvict.Value(); got != extra {
+		t.Fatalf("eviction counter = %d, want %d", got, extra)
+	}
+
+	// Re-storing an existing key is a no-op: no duplicate order entry, no
+	// byte growth, no eviction.
+	s.storeQuery(epoch, key(extra), body)
+	if st2 := s.qcache.Load(); st2 != st {
+		t.Fatal("re-storing a cached key replaced the state")
+	}
+
+	// The byte bound evicts the same way: bodies of ~1 MiB overflow the
+	// 8 MiB budget after eight entries, so the ninth displaces the oldest.
+	s.storeQuery(epoch+1, "reset", body) // fresh epoch
+	big := make([]byte, 1<<20)
+	before := s.met.queryEvict.Value()
+	const n = 12
+	for i := 0; i < n; i++ {
+		s.storeQuery(epoch+1, key(i), big)
+	}
+	st = s.qcache.Load()
+	if st.bytes > maxCachedQueryBytes {
+		t.Fatalf("cache bytes %d exceed bound %d", st.bytes, maxCachedQueryBytes)
+	}
+	if _, ok := st.body[key(0)]; ok {
+		t.Fatal("oldest big entry survived past the byte bound")
+	}
+	if _, ok := st.body[key(n-1)]; !ok {
+		t.Fatal("newest big entry was not retained")
+	}
+	if got := s.met.queryEvict.Value(); got <= before {
+		t.Fatalf("byte-bound evictions not counted (counter still %d)", got)
 	}
 }
 

@@ -65,6 +65,8 @@ type serverMetrics struct {
 	mergeFpMismatch   *telemetry.Counter // mismatched pipeline configuration
 	mergeRejected     *telemetry.Counter // malformed or invalid snapshot
 	mergeReports      *telemetry.Counter // reports merged from edges
+
+	queryEvict *telemetry.Counter // cached query responses evicted by the per-epoch bound
 }
 
 // newServerMetrics registers the transport metric families on reg. A nil
@@ -100,6 +102,9 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 	m.mergeRejected = reg.Counter("ldp_cluster_merges_total", mergeHelp, telemetry.L("result", "rejected"))
 	m.mergeReports = reg.Counter("ldp_cluster_merged_reports_total",
 		"Edge reports folded into this pipeline via /v1/merge.")
+
+	m.queryEvict = reg.Counter("ldp_query_cache_evictions_total",
+		"Pre-encoded query responses evicted (oldest-first) to stay inside the per-epoch cache bounds.")
 	return m
 }
 

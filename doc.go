@@ -95,8 +95,20 @@
 // variances must match the paper's closed forms within a stated factor,
 // and the federated path must reach within a fixed accuracy margin of
 // the non-private SGD baseline (see the acceptance tests in
-// internal/transport and the CI slow job that black-box-audits the
-// gradient mechanism's eps-LDP guarantee from samples alone).
+// internal/transport).
+//
+// The privacy claims themselves are audited black-box: internal/audit
+// samples each randomizer on pairs of inputs, bins the outputs, and
+// bounds every binned likelihood ratio with exact one-sided
+// Clopper-Pearson confidence intervals — an empirical lower bound on
+// the true eps that refutes an overclaimed budget without reading any
+// mechanism internals. Auditors cover the mean mechanisms, frequency
+// oracles, both range-report encodings, the gradient mechanism, and
+// the full client wire path (Randomize -> envelope -> DecodeBatch),
+// and the CI slow job pairs each with a deliberately broken variant
+// that must be caught. Audit (the facade entry point) checks one
+// numeric mechanism; `ldpbench -exp audit` plots eps_emp against the
+// claimed eps across the sweep.
 //
 // Beyond one machine, deployments run as an edge→root tier: edge
 // aggregators face users and periodically push versioned, checksummed

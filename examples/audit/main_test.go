@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSmoke runs the demo end to end at a reduced sample count so the
+// example cannot rot silently. run is self-checking: it errors if an
+// honest mechanism is flagged or a broken one slips through.
+func TestSmoke(t *testing.T) {
+	if err := run(6_000, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -75,7 +75,10 @@ func run(users int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res := ldp.Audit(pm, ldp.AuditConfig{Samples: 100000})
+	res, err := ldp.Audit(pm, ldp.AuditConfig{Samples: 100000})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(out, res)
 	return nil
 }

@@ -46,8 +46,12 @@ type (
 
 // Audit empirically checks a mechanism's eps-LDP guarantee from samples
 // alone: it discretizes outputs for a grid of input pairs and bounds the
-// binned likelihood ratios. A Violated result is statistical evidence the
-// mechanism leaks more than its claimed Epsilon.
-func Audit(m Mechanism, cfg AuditConfig) AuditResult {
+// binned likelihood ratios with exact one-sided Clopper-Pearson
+// confidence bounds. A Violated result is statistical evidence the
+// mechanism leaks more than its claimed Epsilon; the returned
+// EmpiricalEps is the audit's lower confidence bound on the true leakage.
+// The internal/audit package additionally audits frequency oracles, range
+// encoders, and whole pipelines end to end over the wire format.
+func Audit(m Mechanism, cfg AuditConfig) (AuditResult, error) {
 	return audit.Mechanism(mech.Mechanism(m), cfg)
 }

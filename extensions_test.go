@@ -62,12 +62,21 @@ func TestAuditFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Audit(pm, AuditConfig{Samples: 30000, Bins: 16, Seed: 3})
+	res, err := Audit(pm, AuditConfig{Samples: 30000, Bins: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Violated {
 		t.Errorf("PM flagged by audit: %s", res)
 	}
 	if res.Epsilon != 1 {
 		t.Errorf("audit epsilon = %v", res.Epsilon)
+	}
+	if res.EmpiricalEps < 0 || res.EmpiricalEps > 1 {
+		t.Errorf("empirical eps %v outside [0, eps]", res.EmpiricalEps)
+	}
+	if _, err := Audit(pm, AuditConfig{Samples: 10, Bins: 40}); err == nil {
+		t.Error("Samples < Bins must be rejected")
 	}
 }
 

@@ -1,16 +1,33 @@
-// Package audit empirically verifies the eps-LDP guarantee of a mechanism
-// from samples alone — no access to its internals. It is the black-box
-// counterpart of the closed-form pdf-ratio checks in the mechanism test
-// suites, and catches implementation bugs (wrong piece boundaries, biased
-// samplers) that closed-form reasoning cannot.
+// Package audit empirically verifies the eps-LDP guarantee of the
+// module's randomizers from samples alone — no access to their internals.
+// It is the black-box counterpart of the closed-form pdf-ratio checks in
+// the mechanism test suites, and catches implementation bugs (wrong piece
+// boundaries, biased samplers, leaky encoders) that closed-form reasoning
+// cannot.
 //
-// Method: for a pair of inputs (t, t'), draw many samples of f(t) and
-// f(t'), discretize the common output range into bins, and compare binned
-// frequencies. eps-LDP implies P[f(t) in B] <= e^eps P[f(t') in B] for
-// every bin B, so an empirical ratio significantly above e^eps (beyond
-// binomial sampling error) is a violation witness. The auditor reports the
-// largest lower confidence bound on ln(ratio) over all bins and input
-// pairs.
+// The engine audits every task kind of the pipeline:
+//
+//   - Mechanism — 1-D numeric mechanisms (PM, HM, Duchi, the noise
+//     family, the gradient task's per-coordinate mechanism);
+//   - Oracle — frequency oracles (GRR, OUE, SUE) over exact per-symbol
+//     bins (GRR) or bitset projections (unary encodings);
+//   - Hierarchy, Grid — the range-query report encoders, including the
+//     data-independent depth/cell routing they are supposed to have;
+//   - WirePath — a whole Pipeline end to end: Randomize, the production
+//     wire encoder, and the columnar batch decoder, auditing exactly the
+//     bytes that leave the client.
+//
+// Method: for a pair of probe inputs (a, b), draw many samples of f(a)
+// and f(b), map each output to a finite bin (exact symbols for discrete
+// outputs, a common quantile-clipped equal-width grid for continuous
+// ones), and compare binned frequencies. eps-LDP implies
+// P[f(a) in B] <= e^eps * P[f(b) in B] for every bin B, and any
+// measurable post-processing of the output preserves that inequality, so
+// an empirical ratio significantly above e^eps is a violation witness.
+// Per bin the auditor forms the exact one-sided Clopper-Pearson bounds
+// (see BinomLower/BinomUpper) and reports the largest resulting lower
+// confidence bound on ln(P_a(B)/P_b(B)) over all bins and ordered input
+// pairs as EmpiricalEps, the empirical-eps lower bound.
 //
 // The audit is one-sided: it can expose violations but can only ever
 // certify "consistent with eps-LDP at this sample size".
@@ -27,20 +44,26 @@ import (
 
 // Result summarizes an audit.
 type Result struct {
-	// Epsilon is the privacy budget the mechanism claims.
+	// Epsilon is the privacy budget the randomizer claims.
 	Epsilon float64
-	// WorstLowerBound is the largest lower confidence bound on
-	// ln(P[t in B]/P[t' in B]) observed over all bins and input pairs.
-	WorstLowerBound float64
-	// WorstPointEstimate is the raw (unpenalized) maximum log-ratio.
+	// EmpiricalEps is the audit's empirical-eps lower bound: the largest
+	// Clopper-Pearson lower confidence bound on ln(P_a(B)/P_b(B))
+	// observed over all bins B and ordered probe pairs (a, b), floored
+	// at 0. With probability >= 1-2*Alpha per comparison, the randomizer
+	// cannot satisfy eps'-LDP for any eps' < EmpiricalEps.
+	EmpiricalEps float64
+	// WorstPointEstimate is the largest raw binned log-ratio, with a
+	// half-count correction so empty bins stay finite. It is
+	// informational; the verdict uses EmpiricalEps.
 	WorstPointEstimate float64
-	// Violated reports whether WorstLowerBound exceeds Epsilon: the
-	// mechanism demonstrably leaks more than it claims (at the audit's
+	// Violated reports whether EmpiricalEps exceeds Epsilon: the
+	// randomizer demonstrably leaks more than it claims (at the audit's
 	// confidence level).
 	Violated bool
-	// Pair and Bin locate the worst witness.
-	PairT, PairTPrime float64
-	BinLo, BinHi      float64
+	// PairA and PairB label the probe inputs of the worst witness, and
+	// Bin the output bin it was observed in.
+	PairA, PairB string
+	Bin          string
 	// Samples is the per-input sample count used.
 	Samples int
 }
@@ -51,140 +74,345 @@ func (r Result) String() string {
 	if r.Violated {
 		verdict = "VIOLATES"
 	}
-	return fmt.Sprintf("audit: %s eps=%.3f (worst lower bound %.4f, point estimate %.4f, witness t=%g vs t'=%g on [%.3f,%.3f), n=%d)",
-		verdict, r.Epsilon, r.WorstLowerBound, r.WorstPointEstimate,
-		r.PairT, r.PairTPrime, r.BinLo, r.BinHi, r.Samples)
+	return fmt.Sprintf("audit: %s eps=%.3f (eps_emp >= %.4f, point estimate %.4f, witness %s vs %s on %s, n=%d)",
+		verdict, r.Epsilon, r.EmpiricalEps, r.WorstPointEstimate,
+		r.PairA, r.PairB, r.Bin, r.Samples)
 }
 
-// Config tunes the audit.
+// Config tunes an audit. The zero value selects the documented defaults.
 type Config struct {
-	// Samples per input value (default 200000).
+	// Samples per probe input (default 200000). More samples tighten the
+	// Clopper-Pearson bounds and raise detection power.
 	Samples int
-	// Bins for output discretization (default 40).
+	// Bins per continuous output family (default 40). Discrete outputs
+	// (categorical symbols, bitset projections, hierarchy depths) get
+	// exact per-symbol bins and ignore Bins. Audits that bin continuous
+	// outputs require Samples >= Bins.
 	Bins int
-	// Inputs are the probe values; all ordered pairs are audited
-	// (default {-1, -0.5, 0, 0.5, 1}).
+	// Inputs are the numeric probe values for Mechanism audits; all
+	// ordered pairs are compared (default {-1, -0.5, 0, 0.5, 1}). At
+	// least two distinct values are required. The discrete auditors
+	// (Oracle, Hierarchy, Grid, WirePath) take their probe inputs as an
+	// explicit argument instead and ignore this field.
 	Inputs []float64
-	// Z is the one-sided confidence penalty in standard errors applied
-	// to the log-ratio lower bound (default 4, i.e. ~3e-5 per-bin false
-	// positive rate).
-	Z float64
-	// Seed drives the audit's randomness.
+	// Alpha is the per-comparison significance of the one-sided
+	// Clopper-Pearson bounds (default 1e-6): each per-bin lower bound on
+	// the log-ratio holds with probability >= 1-2*Alpha. It must lie in
+	// (0, 0.05]; keep it small — an audit scans hundreds of
+	// (pair, bin) comparisons and a violation verdict should never be
+	// sampling noise.
+	Alpha float64
+	// Seed drives the audit's randomness and is used verbatim: seed 0 is
+	// a valid seed like any other, and identical Configs produce
+	// bit-identical Results.
 	Seed uint64
 }
 
-func (c Config) normalized() Config {
-	if c.Samples <= 0 {
-		c.Samples = 200_000
-	}
-	if c.Bins <= 0 {
-		c.Bins = 40
-	}
-	if len(c.Inputs) == 0 {
-		c.Inputs = []float64{-1, -0.5, 0, 0.5, 1}
-	}
-	if c.Z <= 0 {
-		c.Z = 4
-	}
-	if c.Seed == 0 {
-		c.Seed = 0xA0D17
-	}
-	return c
+// errConfig annotates Config validation failures.
+func errConfig(format string, args ...any) error {
+	return fmt.Errorf("audit: invalid config: "+format, args...)
 }
 
-// Mechanism audits a 1-D numeric mechanism.
-func Mechanism(m mech.Mechanism, cfg Config) Result {
-	cfg = cfg.normalized()
-	// Draw all samples first to fix a common binning range. Unbounded
-	// mechanisms (Laplace & co) are clipped to a high quantile so tail
-	// bins keep enough mass to be statistically meaningful.
-	samples := make(map[float64][]float64, len(cfg.Inputs))
-	var all []float64
-	for i, t := range cfg.Inputs {
+// normalized applies defaults and validates. needBins says whether the
+// audit bins continuous outputs (and therefore needs Samples >= Bins so
+// the quantile clip and the per-bin counts are meaningful).
+func (c Config) normalized(needBins bool) (Config, error) {
+	if c.Samples == 0 {
+		c.Samples = 200_000
+	}
+	if c.Bins == 0 {
+		c.Bins = 40
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1e-6
+	}
+	if c.Samples < 1 {
+		return c, errConfig("Samples must be >= 1, got %d", c.Samples)
+	}
+	if c.Bins < 2 {
+		return c, errConfig("Bins must be >= 2, got %d", c.Bins)
+	}
+	if needBins && c.Samples < c.Bins {
+		return c, errConfig("Samples (%d) < Bins (%d): every continuous bin would be near-empty", c.Samples, c.Bins)
+	}
+	if !(c.Alpha > 0) || c.Alpha > 0.05 {
+		return c, errConfig("Alpha must lie in (0, 0.05], got %v", c.Alpha)
+	}
+	return c, nil
+}
+
+// outcome is one drawn output: either a discrete bin (Fam < 0) or a value
+// in a continuous family.
+type outcome struct {
+	fam int // continuous family index, or -1 for discrete
+	bin int // discrete bin index when fam < 0
+	val float64
+}
+
+// source describes a black-box randomizer under audit: a claimed budget,
+// labeled probe inputs, a finite discrete bin space, zero or more
+// continuous output families, and a sampler. draw is called sequentially
+// from a single goroutine.
+type source struct {
+	eps      float64
+	inputs   []string
+	discrete int // discrete bin count (may be 0)
+	families int // continuous family count (may be 0)
+	famLabel func(f int) string
+	binLabel func(b int) string
+	draw     func(input int, r *rng.Rand) outcome
+}
+
+// run executes the audit: draw, bin, compare.
+func (s *source) run(cfg Config) (Result, error) {
+	cfg, err := cfg.normalized(s.families > 0)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(s.inputs) < 2 {
+		return Result{}, errConfig("need at least two distinct probe inputs, got %d", len(s.inputs))
+	}
+	counts, labels, err := s.tally(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.compare(cfg, counts, labels), nil
+}
+
+// tally draws cfg.Samples outputs per probe input and bins them. The
+// returned matrix is counts[input][bin] over the unified bin space
+// (discrete bins first, then Bins bins per continuous family); labels
+// names each bin for witness reporting.
+func (s *source) tally(cfg Config) ([][]float64, []string, error) {
+	nIn := len(s.inputs)
+	disc := make([][]float64, nIn)
+	vals := make([][][]float64, nIn)
+	for i := 0; i < nIn; i++ {
 		r := rng.NewStream(cfg.Seed, uint64(i))
-		xs := make([]float64, cfg.Samples)
-		for j := range xs {
-			xs[j] = m.Perturb(t, r)
-		}
-		samples[t] = xs
-		all = append(all, xs...)
-	}
-	sort.Float64s(all)
-	lo := all[int(0.001*float64(len(all)))]
-	hi := all[int(0.999*float64(len(all)))-1]
-	if hi <= lo {
-		hi = lo + 1
-	}
-	width := (hi - lo) / float64(cfg.Bins)
-
-	// Bin counts per input. Outputs outside [lo, hi] accumulate in the
-	// extreme bins so every draw is counted.
-	counts := make(map[float64][]float64, len(cfg.Inputs))
-	for t, xs := range samples {
-		c := make([]float64, cfg.Bins)
-		for _, x := range xs {
-			b := int((x - lo) / width)
-			if b < 0 {
-				b = 0
+		disc[i] = make([]float64, s.discrete)
+		vals[i] = make([][]float64, s.families)
+		for j := 0; j < cfg.Samples; j++ {
+			o := s.draw(i, r)
+			switch {
+			case o.fam >= 0 && o.fam < s.families:
+				vals[i][o.fam] = append(vals[i][o.fam], o.val)
+			case o.fam < 0 && o.bin >= 0 && o.bin < s.discrete:
+				disc[i][o.bin]++
+			default:
+				return nil, nil, fmt.Errorf("audit: source produced outcome outside its declared bin space (fam %d, bin %d)", o.fam, o.bin)
 			}
-			if b >= cfg.Bins {
-				b = cfg.Bins - 1
-			}
-			c[b]++
 		}
-		counts[t] = c
 	}
 
+	// Fix a common clipped range per continuous family. Unbounded
+	// mechanisms (Laplace & co) are clipped to a high quantile so tail
+	// bins keep enough mass to be statistically meaningful; outputs
+	// outside the range accumulate in the extreme bins so every draw is
+	// counted.
+	type famRange struct {
+		lo, width float64
+		ok        bool
+	}
+	ranges := make([]famRange, s.families)
+	for f := 0; f < s.families; f++ {
+		var all []float64
+		for i := 0; i < nIn; i++ {
+			all = append(all, vals[i][f]...)
+		}
+		if len(all) == 0 {
+			continue // family never sampled; its bins stay empty
+		}
+		sort.Float64s(all)
+		lo := all[clampIndex(int(0.001*float64(len(all))), len(all))]
+		hi := all[clampIndex(int(0.999*float64(len(all)))-1, len(all))]
+		if hi <= lo {
+			hi = lo + 1
+		}
+		ranges[f] = famRange{lo: lo, width: (hi - lo) / float64(cfg.Bins), ok: true}
+	}
+
+	total := s.discrete + s.families*cfg.Bins
+	counts := make([][]float64, nIn)
+	for i := 0; i < nIn; i++ {
+		counts[i] = make([]float64, total)
+		copy(counts[i], disc[i])
+		for f := 0; f < s.families; f++ {
+			if !ranges[f].ok {
+				continue
+			}
+			base := s.discrete + f*cfg.Bins
+			for _, x := range vals[i][f] {
+				b := int((x - ranges[f].lo) / ranges[f].width)
+				if b < 0 {
+					b = 0
+				}
+				if b >= cfg.Bins {
+					b = cfg.Bins - 1
+				}
+				counts[i][base+b]++
+			}
+		}
+	}
+
+	labels := make([]string, total)
+	for b := 0; b < s.discrete; b++ {
+		if s.binLabel != nil {
+			labels[b] = s.binLabel(b)
+		} else {
+			labels[b] = fmt.Sprintf("bin %d", b)
+		}
+	}
+	for f := 0; f < s.families; f++ {
+		name := "out"
+		if s.famLabel != nil {
+			name = s.famLabel(f)
+		}
+		for b := 0; b < cfg.Bins; b++ {
+			idx := s.discrete + f*cfg.Bins + b
+			if ranges[f].ok {
+				lo := ranges[f].lo + float64(b)*ranges[f].width
+				labels[idx] = fmt.Sprintf("%s[%.3f,%.3f)", name, lo, lo+ranges[f].width)
+			} else {
+				labels[idx] = fmt.Sprintf("%s[bin %d]", name, b)
+			}
+		}
+	}
+	return counts, labels, nil
+}
+
+// compare scans all ordered probe pairs and bins for the largest exact
+// lower confidence bound on the binned log-probability ratio.
+func (s *source) compare(cfg Config, counts [][]float64, labels []string) Result {
 	res := Result{
-		Epsilon:            m.Epsilon(),
-		WorstLowerBound:    math.Inf(-1),
+		Epsilon:            s.eps,
 		WorstPointEstimate: math.Inf(-1),
 		Samples:            cfg.Samples,
 	}
-	n := float64(cfg.Samples)
-	for _, t := range cfg.Inputs {
-		for _, tp := range cfg.Inputs {
-			if t == tp {
+	nIn := len(s.inputs)
+	total := len(labels)
+	n := int64(cfg.Samples)
+
+	// Exact one-sided bounds per (input, bin), shared by every pair the
+	// input participates in.
+	lower := make([][]float64, nIn)
+	upper := make([][]float64, nIn)
+	for i := 0; i < nIn; i++ {
+		lower[i] = make([]float64, total)
+		upper[i] = make([]float64, total)
+		for b := 0; b < total; b++ {
+			k := int64(counts[i][b])
+			lower[i][b] = BinomLower(k, n, cfg.Alpha)
+			upper[i][b] = BinomUpper(k, n, cfg.Alpha)
+		}
+	}
+
+	best := math.Inf(-1)
+	for a := 0; a < nIn; a++ {
+		for b := 0; b < nIn; b++ {
+			if a == b {
 				continue
 			}
-			ct, cp := counts[t], counts[tp]
-			for b := 0; b < cfg.Bins; b++ {
-				// Add-one smoothing keeps empty bins finite and is
-				// conservative for the violation test.
-				pt := (ct[b] + 1) / (n + 1)
-				pp := (cp[b] + 1) / (n + 1)
-				logRatio := math.Log(pt / pp)
-				// Delta-method standard error of a log count ratio.
-				se := math.Sqrt(1/(ct[b]+1) + 1/(cp[b]+1))
-				lower := logRatio - cfg.Z*se
-				if logRatio > res.WorstPointEstimate {
-					res.WorstPointEstimate = logRatio
+			for bin := 0; bin < total; bin++ {
+				ka, kb := counts[a][bin], counts[b][bin]
+				if ka == 0 && kb == 0 {
+					continue
 				}
-				if lower > res.WorstLowerBound {
-					res.WorstLowerBound = lower
-					res.PairT, res.PairTPrime = t, tp
-					res.BinLo, res.BinHi = lo+float64(b)*width, lo+float64(b+1)*width
+				// Half-count correction keeps the point estimate
+				// finite on empty bins; it is informational only.
+				if pe := math.Log((ka + 0.5) / (kb + 0.5)); pe > res.WorstPointEstimate {
+					res.WorstPointEstimate = pe
+				}
+				if ka == 0 {
+					continue // lower bound is 0; log-ratio bound is -inf
+				}
+				bound := math.Log(lower[a][bin] / upper[b][bin])
+				if bound > best {
+					best = bound
+					res.PairA, res.PairB = s.inputs[a], s.inputs[b]
+					res.Bin = labels[bin]
 				}
 			}
 		}
 	}
-	res.Violated = res.WorstLowerBound > m.Epsilon()
+	if best > 0 {
+		res.EmpiricalEps = best
+	}
+	res.Violated = best > s.eps
 	return res
 }
 
-// broken wraps a mechanism and reduces its randomness, for self-tests of
-// the auditor: it reports the inner epsilon but actually spends more.
-type broken struct {
-	mech.Mechanism
-	claim float64
+// clampIndex confines a quantile index to [0, n). The previous quantile
+// arithmetic underflowed for tiny Samples*Inputs products
+// (int(0.999*len)-1 goes negative for a single sample).
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
 }
 
-// Epsilon returns the (false) claimed budget.
-func (b broken) Epsilon() float64 { return b.claim }
+// Mechanism audits a 1-D numeric mechanism: probe inputs are
+// cfg.Inputs, outputs are binned on a common quantile-clipped equal-width
+// grid of cfg.Bins bins.
+func Mechanism(m mech.Mechanism, cfg Config) (Result, error) {
+	inputs := cfg.Inputs
+	if len(inputs) == 0 {
+		inputs = []float64{-1, -0.5, 0, 0.5, 1}
+	}
+	inputs = dedupeFloats(inputs)
+	if len(inputs) < 2 {
+		return Result{}, errConfig("Inputs must contain at least two distinct probe values")
+	}
+	labels := make([]string, len(inputs))
+	for i, t := range inputs {
+		labels[i] = fmt.Sprintf("t=%g", t)
+	}
+	src := &source{
+		eps:      m.Epsilon(),
+		inputs:   labels,
+		families: 1,
+		draw: func(i int, r *rng.Rand) outcome {
+			return outcome{fam: 0, val: m.Perturb(inputs[i], r)}
+		},
+	}
+	return src.run(cfg)
+}
 
-// Overclaim wraps a mechanism built at trueEps so that it claims claimEps
-// instead. Auditing the wrapper with claimEps < trueEps must flag a
-// violation; it exists for tests and the audit example.
-func Overclaim(m mech.Mechanism, claimEps float64) mech.Mechanism {
-	return broken{Mechanism: m, claim: claimEps}
+// dedupeFloats drops exact duplicates, preserving first-seen order.
+func dedupeFloats(in []float64) []float64 {
+	out := make([]float64, 0, len(in))
+	for _, v := range in {
+		dup := false
+		for _, u := range out {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dedupeInts drops duplicates, preserving first-seen order.
+func dedupeInts(in []int) []int {
+	out := make([]int, 0, len(in))
+	for _, v := range in {
+		dup := false
+		for _, u := range out {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
 }

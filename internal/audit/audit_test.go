@@ -6,8 +6,12 @@ import (
 
 	"ldp/internal/core"
 	"ldp/internal/duchi"
+	"ldp/internal/freq"
 	"ldp/internal/mech"
 	"ldp/internal/noise"
+	"ldp/internal/pipeline"
+	"ldp/internal/rangequery"
+	"ldp/internal/schema"
 )
 
 func quickCfg() Config {
@@ -45,12 +49,24 @@ func auditTargets(t *testing.T, eps float64) map[string]mech.Mechanism {
 	}
 }
 
+func mustMechanism(t *testing.T, m mech.Mechanism, cfg Config) Result {
+	t.Helper()
+	res, err := Mechanism(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestAllMechanismsPassAudit(t *testing.T) {
 	for _, eps := range []float64{0.5, 2} {
 		for name, m := range auditTargets(t, eps) {
-			res := Mechanism(m, quickCfg())
+			res := mustMechanism(t, m, quickCfg())
 			if res.Violated {
 				t.Errorf("eps=%v %s: audit flagged a violation: %s", eps, name, res)
+			}
+			if res.EmpiricalEps > m.Epsilon() {
+				t.Errorf("eps=%v %s: eps_emp %v above claimed eps", eps, name, res.EmpiricalEps)
 			}
 		}
 	}
@@ -63,9 +79,12 @@ func TestAuditDetectsOverclaim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Mechanism(Overclaim(real, 0.5), quickCfg())
+	res := mustMechanism(t, Overclaim(real, 0.5), quickCfg())
 	if !res.Violated {
 		t.Errorf("audit failed to flag an eps=3 mechanism claiming eps=0.5: %s", res)
+	}
+	if res.EmpiricalEps <= 0.5 {
+		t.Errorf("empirical eps %v should exceed the claimed 0.5", res.EmpiricalEps)
 	}
 }
 
@@ -76,7 +95,7 @@ func TestAuditDetectsOverclaimTwoPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Mechanism(Overclaim(real, 1), quickCfg())
+	res := mustMechanism(t, Overclaim(real, 1), quickCfg())
 	if !res.Violated {
 		t.Errorf("audit failed to flag an eps=4 Duchi claiming eps=1: %s", res)
 	}
@@ -90,20 +109,52 @@ func TestAuditNearTightForDuchi(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Mechanism(du, Config{Samples: 200_000, Bins: 16, Seed: 5})
+	res := mustMechanism(t, du, Config{Samples: 200_000, Bins: 16, Seed: 5})
 	if res.WorstPointEstimate < 0.8*eps {
 		t.Errorf("point estimate %v should be close to eps=%v for Duchi", res.WorstPointEstimate, eps)
+	}
+	if res.EmpiricalEps < 0.5*eps {
+		t.Errorf("empirical eps lower bound %v should be near eps=%v for Duchi at 200k samples", res.EmpiricalEps, eps)
 	}
 	if res.Violated {
 		t.Errorf("tightness must not be flagged as violation: %s", res)
 	}
 }
 
+// TestSmallSamplesNoFalseViolation is the regression test for the old
+// auditor's statistics: its add-one smoothing added one pseudo-count per
+// bin while dividing by n+1 (probabilities summing past 1) and paired
+// that with a delta-method SE that is anti-conservative on near-empty
+// bins, so small-sample audits of honest mechanisms could cross the
+// violation threshold. The exact Clopper-Pearson bounds cannot: an honest
+// PM must pass at tiny sample counts for every seed tried, while a strong
+// overclaimer is still caught at the same size.
+func TestSmallSamplesNoFalseViolation(t *testing.T) {
+	pm, err := core.NewPiecewise(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		res := mustMechanism(t, pm, Config{Samples: 500, Bins: 8, Seed: seed})
+		if res.Violated {
+			t.Errorf("seed %d: honest PM flagged at 500 samples: %s", seed, res)
+		}
+	}
+	spend8, err := core.NewPiecewise(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustMechanism(t, Overclaim(spend8, 0.5), Config{Samples: 2_000, Bins: 8, Seed: 1})
+	if !res.Violated {
+		t.Errorf("overclaim (spend 8, claim 0.5) not flagged at 2000 samples: %s", res)
+	}
+}
+
 func TestResultString(t *testing.T) {
 	pm, _ := core.NewPiecewise(1)
-	res := Mechanism(pm, quickCfg())
+	res := mustMechanism(t, pm, quickCfg())
 	s := res.String()
-	if !strings.Contains(s, "consistent with") {
+	if !strings.Contains(s, "consistent with") || !strings.Contains(s, "eps_emp") {
 		t.Errorf("unexpected verdict string: %s", s)
 	}
 	res.Violated = true
@@ -112,18 +163,279 @@ func TestResultString(t *testing.T) {
 	}
 }
 
+func TestConfigValidation(t *testing.T) {
+	pm, _ := core.NewPiecewise(1)
+	for name, cfg := range map[string]Config{
+		"negative samples":   {Samples: -5},
+		"one bin":            {Bins: 1},
+		"samples < bins":     {Samples: 10, Bins: 40},
+		"alpha too large":    {Alpha: 0.2},
+		"alpha negative":     {Alpha: -1e-6},
+		"one distinct input": {Inputs: []float64{0.5, 0.5}},
+	} {
+		if _, err := Mechanism(pm, cfg); err == nil {
+			t.Errorf("%s: expected a config error", name)
+		}
+	}
+	// The engine-level guard: fewer than two probe inputs is an error,
+	// never a panic.
+	if _, err := (&source{eps: 1, inputs: []string{"only"}}).run(Config{}); err == nil {
+		t.Error("single-input source must be rejected")
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
-	c := Config{}.normalized()
-	if c.Samples <= 0 || c.Bins <= 0 || len(c.Inputs) == 0 || c.Z <= 0 || c.Seed == 0 {
-		t.Errorf("normalized config incomplete: %+v", c)
+	c, err := Config{}.normalized(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Samples != 200_000 || c.Bins != 40 || c.Alpha != 1e-6 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if c.Seed != 0 {
+		t.Errorf("Seed must be used verbatim; zero stays zero, got %#x", c.Seed)
 	}
 }
 
 func TestAuditDeterministic(t *testing.T) {
 	pm, _ := core.NewPiecewise(1)
-	a := Mechanism(pm, quickCfg())
-	b := Mechanism(pm, quickCfg())
-	if a.WorstLowerBound != b.WorstLowerBound || a.WorstPointEstimate != b.WorstPointEstimate {
-		t.Error("audit must be deterministic for a fixed seed")
+	// Identical Config => bit-identical Result, including Seed 0 (the old
+	// auditor silently remapped 0 to a magic constant, making seed 0
+	// unrequestable).
+	for _, seed := range []uint64{0, 99} {
+		cfg := Config{Samples: 20_000, Bins: 16, Seed: seed}
+		a := mustMechanism(t, pm, cfg)
+		b := mustMechanism(t, pm, cfg)
+		if a != b {
+			t.Errorf("seed %d: audit not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+	}
+	// Distinct seeds genuinely change the draw (seed 0 is its own stream,
+	// not an alias of some default).
+	a := mustMechanism(t, pm, Config{Samples: 20_000, Bins: 16, Seed: 0})
+	c := mustMechanism(t, pm, Config{Samples: 20_000, Bins: 16, Seed: 1})
+	if a.WorstPointEstimate == c.WorstPointEstimate {
+		t.Error("seeds 0 and 1 produced identical point estimates; seed 0 looks remapped")
+	}
+}
+
+// --- categorical binning path ---
+
+func TestGRRCategoricalBinning(t *testing.T) {
+	// The GRR audit path must bin exactly: one bin per output symbol (plus
+	// the invalid sink), and the per-input histogram must sum to Samples —
+	// no draw may be dropped or double-counted.
+	const k = 5
+	o, err := freq.NewGRR(1, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []int{0, 2, 4}
+	src, err := oracleSource(o, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.discrete != k+1 {
+		t.Fatalf("GRR over k=%d symbols must get %d bins (symbols + invalid), got %d", k, k+1, src.discrete)
+	}
+	cfg, err := Config{Samples: 4_000, Seed: 7}.normalized(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, labels, err := src.tally(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != k+1 || labels[0] != "out=0" || labels[k] != "invalid" {
+		t.Fatalf("unexpected bin labels: %v", labels)
+	}
+	for i := range probes {
+		sum := 0.0
+		for _, c := range counts[i] {
+			sum += c
+		}
+		if sum != float64(cfg.Samples) {
+			t.Errorf("probe %d: histogram sums to %v, want %d", i, sum, cfg.Samples)
+		}
+		if counts[i][k] != 0 {
+			t.Errorf("probe %d: honest GRR put %v draws in the invalid bin", i, counts[i][k])
+		}
+		// Every symbol must be reachable: honest GRR at eps=1, k=5 emits
+		// each symbol with probability >= q ~ 0.15.
+		for v := 0; v < k; v++ {
+			if counts[i][v] == 0 {
+				t.Errorf("probe %d: symbol %d never observed in %d draws", i, v, cfg.Samples)
+			}
+		}
+	}
+}
+
+func TestOracleAuditQuick(t *testing.T) {
+	grr, err := freq.NewGRR(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oue, err := freq.NewOUE(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, o := range map[string]freq.Oracle{"grr": grr, "oue": oue} {
+		res, err := Oracle(o, nil, Config{Samples: 30_000, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violated {
+			t.Errorf("honest %s flagged: %s", name, res)
+		}
+	}
+
+	// Teeth: an oracle spending e^6 claiming 0.5 and a GRR whose sampler
+	// reports the truth far too often.
+	spend, err := freq.NewGRR(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Oracle(OverclaimOracle(spend, 0.5), nil, Config{Samples: 30_000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated {
+		t.Errorf("overclaiming GRR not flagged: %s", res)
+	}
+	skewed, err := NewSkewedGRR(0.5, 6, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Oracle(skewed, nil, Config{Samples: 30_000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated {
+		t.Errorf("skewed GRR sampler not flagged: %s", res)
+	}
+}
+
+func TestOracleAuditRejectsBadProbes(t *testing.T) {
+	o, err := freq.NewGRR(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Oracle(o, []int{0, 9}, Config{}); err == nil {
+		t.Error("out-of-domain probe accepted")
+	}
+	if _, err := Oracle(o, []int{1, 1}, Config{}); err == nil {
+		t.Error("single distinct probe accepted")
+	}
+}
+
+// --- range encoders (reduced-sample; the slow tag runs the full matrix) ---
+
+func TestHierarchyAuditQuick(t *testing.T) {
+	h, err := rangequery.NewHierCollector(1, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Hierarchy(h, nil, Config{Samples: 30_000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violated {
+		t.Errorf("honest hierarchy encoder flagged: %s", res)
+	}
+	if _, err := Hierarchy(h, []int{0, 99}, Config{}); err == nil {
+		t.Error("out-of-domain probe bucket accepted")
+	}
+}
+
+func TestGridAuditQuick(t *testing.T) {
+	g, err := rangequery.NewGridCollector(1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Grid(g, nil, Config{Samples: 30_000, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violated {
+		t.Errorf("honest grid encoder flagged: %s", res)
+	}
+	if _, err := Grid(g, [][2]float64{{-1, -1}, {-0.99, -0.99}}, Config{}); err == nil {
+		t.Error("probes in a single cell accepted")
+	}
+}
+
+// --- wire path (reduced-sample; the slow tag runs the full matrix) ---
+
+func wireSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := schema.New(
+		schema.Attribute{Name: "x", Kind: schema.Numeric},
+		schema.Attribute{Name: "y", Kind: schema.Numeric},
+		schema.Attribute{Name: "c", Kind: schema.Categorical, Cardinality: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func wireProbes(s *schema.Schema) []schema.Tuple {
+	a := schema.NewTuple(s)
+	a.Num[0], a.Num[1], a.Cat[2] = -1, -1, 0
+	b := schema.NewTuple(s)
+	b.Num[0], b.Num[1], b.Cat[2] = 1, 1, 3
+	return []schema.Tuple{a, b}
+}
+
+func TestWirePathAuditQuick(t *testing.T) {
+	s := wireSchema(t)
+	p, err := pipeline.New(s, 1, pipeline.WithRange(rangequery.Config{Buckets: 8, GridCells: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WirePath(p, wireProbes(s), Config{Samples: 30_000, Bins: 16, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violated {
+		t.Errorf("honest pipeline wire path flagged: %s", res)
+	}
+
+	// Teeth: the same pipeline whose mean mechanism overclaims (spends
+	// eps=8 while the factory's budget request is honored only in name).
+	leaky, err := pipeline.New(s, 1,
+		pipeline.WithRange(rangequery.Config{Buckets: 8, GridCells: 2}),
+		pipeline.WithMechanism(func(e float64) (mech.Mechanism, error) {
+			m, err := core.NewPiecewise(8)
+			if err != nil {
+				return nil, err
+			}
+			return Overclaim(m, e), nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = WirePath(leaky, wireProbes(s), Config{Samples: 30_000, Bins: 16, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated {
+		t.Errorf("overclaiming pipeline wire path not flagged: %s", res)
+	}
+}
+
+func TestWirePathRejectsBadProbes(t *testing.T) {
+	s := wireSchema(t)
+	p, err := pipeline.New(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WirePath(p, wireProbes(s)[:1], Config{}); err == nil {
+		t.Error("single probe tuple accepted")
+	}
+	bad := schema.NewTuple(s)
+	bad.Num[0] = 7 // outside [-1,1]
+	if _, err := WirePath(p, []schema.Tuple{bad, bad}, Config{}); err == nil {
+		t.Error("invalid probe tuple accepted")
 	}
 }

@@ -1,0 +1,101 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"ldp/internal/freq"
+	"ldp/internal/mech"
+	"ldp/internal/rng"
+)
+
+// Deliberately broken randomizers. They exist to give the audit teeth:
+// every auditor's test suite must flag these as violations while passing
+// the honest implementations, so a future soundness regression in the
+// audit engine (too-loose bounds, a projection that discards the leaking
+// channel) fails loudly instead of silently approving everything.
+
+// Overclaim wraps a mechanism so that it reports claimEps as its budget
+// while actually perturbing with m's larger budget — the canonical
+// eps-LDP violation (spending more than claimed) an audit must detect.
+func Overclaim(m mech.Mechanism, claimEps float64) mech.Mechanism {
+	return &brokenMech{Mechanism: m, claim: claimEps}
+}
+
+type brokenMech struct {
+	mech.Mechanism
+	claim float64
+}
+
+func (b *brokenMech) Name() string     { return fmt.Sprintf("overclaim(%s)", b.Mechanism.Name()) }
+func (b *brokenMech) Epsilon() float64 { return b.claim }
+
+// OverclaimOracle wraps a frequency oracle so that it claims claimEps
+// while perturbing with o's larger budget.
+func OverclaimOracle(o freq.Oracle, claimEps float64) freq.Oracle {
+	return &brokenOracle{Oracle: o, claim: claimEps}
+}
+
+type brokenOracle struct {
+	freq.Oracle
+	claim float64
+}
+
+func (b *brokenOracle) Name() string     { return fmt.Sprintf("overclaim(%s)", b.Oracle.Name()) }
+func (b *brokenOracle) Epsilon() float64 { return b.claim }
+
+// NewSkewedGRR builds a GRR-shaped oracle whose flip probabilities are
+// wrong: it reports the true value with probability pTrue regardless of
+// the claimed budget (honest GRR uses e^eps/(e^eps+k-1)). For
+// pTrue > e^eps/(e^eps+k-1) the true symbol is over-reported and the
+// worst-case output ratio exceeds e^eps — a subtle sampler bug, not a
+// wrapper, so the audit must find it in the output histogram itself.
+func NewSkewedGRR(claimEps float64, k int, pTrue float64) (freq.Oracle, error) {
+	if err := mech.ValidateEpsilon(claimEps); err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return nil, freq.ErrCardinality
+	}
+	if pTrue <= 0 || pTrue >= 1 {
+		return nil, fmt.Errorf("audit: pTrue must lie in (0,1), got %v", pTrue)
+	}
+	return &skewedGRR{eps: claimEps, k: k, pTrue: pTrue}, nil
+}
+
+type skewedGRR struct {
+	eps   float64
+	k     int
+	pTrue float64
+}
+
+func (g *skewedGRR) Name() string     { return "skewed-grr" }
+func (g *skewedGRR) Epsilon() float64 { return g.eps }
+func (g *skewedGRR) Cardinality() int { return g.k }
+
+func (g *skewedGRR) Perturb(v int, r *rng.Rand) freq.Response {
+	if v < 0 {
+		v = 0
+	}
+	if v >= g.k {
+		v = g.k - 1
+	}
+	if rng.Bernoulli(r, g.pTrue) {
+		return freq.Response{Value: v}
+	}
+	other := r.IntN(g.k - 1)
+	if other >= v {
+		other++
+	}
+	return freq.Response{Value: other}
+}
+
+// SupportProbs reports the probabilities the claimed budget implies, not
+// the skewed ones actually used — exactly the lie an aggregator would be
+// told.
+func (g *skewedGRR) SupportProbs() (p, q float64) {
+	e := math.Exp(g.eps)
+	return e / (e + float64(g.k) - 1), 1 / (e + float64(g.k) - 1)
+}
+
+func (g *skewedGRR) Supports(resp freq.Response, v int) bool { return resp.Value == v }

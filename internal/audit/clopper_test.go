@@ -1,0 +1,135 @@
+package audit
+
+import (
+	"math"
+	"testing"
+)
+
+// binomUpperTail computes P[Bin(n,p) >= k] by direct summation of the
+// exact binomial pmf (through log-space terms, so n in the thousands stays
+// accurate). It is the independent reference the Clopper-Pearson bounds
+// are tested against.
+func binomUpperTail(k, n int64, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lgn, _ := math.Lgamma(float64(n) + 1)
+	sum := 0.0
+	for j := k; j <= n; j++ {
+		lgj, _ := math.Lgamma(float64(j) + 1)
+		lgnj, _ := math.Lgamma(float64(n-j) + 1)
+		sum += math.Exp(lgn - lgj - lgnj + float64(j)*math.Log(p) + float64(n-j)*math.Log1p(-p))
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// binomLowerTail computes P[Bin(n,p) <= k] the same way.
+func binomLowerTail(k, n int64, p float64) float64 {
+	if k >= n {
+		return 1
+	}
+	return 1 - binomUpperTail(k+1, n, p)
+}
+
+func TestRegIncBetaMatchesBinomialTail(t *testing.T) {
+	// I_p(k, n-k+1) = P[Bin(n,p) >= k] — the identity both bounds invert.
+	for _, tc := range []struct {
+		k, n int64
+		p    float64
+	}{
+		{1, 10, 0.1}, {1, 10, 0.5}, {5, 10, 0.5}, {9, 10, 0.9},
+		{3, 25, 0.2}, {20, 25, 0.7}, {50, 1000, 0.05}, {500, 1000, 0.5},
+		{1, 200, 0.001}, {199, 200, 0.999},
+	} {
+		got := regIncBeta(tc.p, float64(tc.k), float64(tc.n-tc.k+1))
+		want := binomUpperTail(tc.k, tc.n, tc.p)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("I_%v(%d, %d) = %v, binomial tail = %v", tc.p, tc.k, tc.n-tc.k+1, got, want)
+		}
+	}
+}
+
+func TestBinomBoundsInvertExactTails(t *testing.T) {
+	// The defining property of the bounds: at the lower bound,
+	// P[Bin(n,p) >= k] = alpha; at the upper bound, P[Bin(n,p) <= k] =
+	// alpha. Table-driven over interior k, checked against the directly
+	// summed tails.
+	for _, tc := range []struct {
+		k, n  int64
+		alpha float64
+	}{
+		{1, 20, 0.05}, {3, 20, 0.05}, {10, 20, 0.01}, {19, 20, 0.05},
+		{2, 100, 1e-3}, {50, 100, 1e-6}, {97, 100, 1e-3},
+		{7, 5000, 1e-6}, {4800, 5000, 1e-4},
+	} {
+		lo := BinomLower(tc.k, tc.n, tc.alpha)
+		if tail := binomUpperTail(tc.k, tc.n, lo); math.Abs(tail-tc.alpha) > 1e-9 {
+			t.Errorf("BinomLower(%d,%d,%v)=%v: upper tail there is %v, want alpha", tc.k, tc.n, tc.alpha, lo, tail)
+		}
+		up := BinomUpper(tc.k, tc.n, tc.alpha)
+		if tail := binomLowerTail(tc.k, tc.n, up); math.Abs(tail-tc.alpha) > 1e-9 {
+			t.Errorf("BinomUpper(%d,%d,%v)=%v: lower tail there is %v, want alpha", tc.k, tc.n, tc.alpha, up, tail)
+		}
+		if !(lo < float64(tc.k)/float64(tc.n)) || !(up > float64(tc.k)/float64(tc.n)) {
+			t.Errorf("bounds [%v,%v] do not bracket k/n=%v", lo, up, float64(tc.k)/float64(tc.n))
+		}
+	}
+}
+
+func TestBinomBoundsEdgeCases(t *testing.T) {
+	const alpha = 0.01
+	for _, n := range []int64{1, 10, 1000} {
+		// k=0: lower is exactly 0, upper has the closed form 1-alpha^(1/n).
+		if got := BinomLower(0, n, alpha); got != 0 {
+			t.Errorf("BinomLower(0,%d)=%v, want 0", n, got)
+		}
+		wantUp := 1 - math.Pow(alpha, 1/float64(n))
+		if got := BinomUpper(0, n, alpha); math.Abs(got-wantUp) > 1e-12 {
+			t.Errorf("BinomUpper(0,%d)=%v, want %v", n, got, wantUp)
+		}
+		// The closed form is itself the exact tail inversion:
+		// P[Bin(n,p)=0] = (1-p)^n = alpha at p = 1-alpha^(1/n).
+		if tail := binomLowerTail(0, n, wantUp); math.Abs(tail-alpha) > 1e-9 {
+			t.Errorf("k=0 upper closed form: tail %v, want alpha", tail)
+		}
+
+		// k=n mirrors k=0.
+		if got := BinomUpper(n, n, alpha); got != 1 {
+			t.Errorf("BinomUpper(%d,%d)=%v, want 1", n, n, got)
+		}
+		wantLo := math.Pow(alpha, 1/float64(n))
+		if got := BinomLower(n, n, alpha); math.Abs(got-wantLo) > 1e-12 {
+			t.Errorf("BinomLower(%d,%d)=%v, want %v", n, n, got, wantLo)
+		}
+		if tail := binomUpperTail(n, n, wantLo); math.Abs(tail-alpha) > 1e-9 {
+			t.Errorf("k=n lower closed form: tail %v, want alpha", tail)
+		}
+	}
+}
+
+func TestBinomBoundsInvalidArgsPanic(t *testing.T) {
+	for _, tc := range []struct {
+		k, n  int64
+		alpha float64
+	}{
+		{-1, 10, 0.05}, {11, 10, 0.05}, {0, 0, 0.05}, {1, 10, 0}, {1, 10, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BinomLower(%d,%d,%v) did not panic", tc.k, tc.n, tc.alpha)
+				}
+			}()
+			BinomLower(tc.k, tc.n, tc.alpha)
+		}()
+	}
+}

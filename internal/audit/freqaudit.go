@@ -1,0 +1,124 @@
+package audit
+
+import (
+	"fmt"
+
+	"ldp/internal/freq"
+	"ldp/internal/rng"
+)
+
+// Oracle black-box audits a frequency oracle. probes are the true values
+// to compare (nil selects a default set: the whole domain when k <= 6,
+// otherwise {0, 1, k/2, k-1}); all ordered pairs are compared.
+//
+// The output space is binned exactly, never by continuous quantiles:
+//
+//   - value-type oracles (GRR) get one bin per output symbol plus an
+//     "invalid" bin for malformed responses, so the audited histogram is
+//     the oracle's full output distribution;
+//   - unary encodings (OUE/SUE) are projected onto the joint state of the
+//     probed values' own bits — 2^len(probes) bins plus "invalid". The
+//     projection is sound by the data-processing inequality and tight for
+//     OUE, whose worst-case pdf ratio is attained on a single bit.
+func Oracle(o freq.Oracle, probes []int, cfg Config) (Result, error) {
+	src, err := oracleSource(o, probes)
+	if err != nil {
+		return Result{}, err
+	}
+	return src.run(cfg)
+}
+
+// oracleSource builds the audit source for a frequency oracle; split from
+// Oracle so the categorical binning path (exact per-symbol bins, counts
+// summing to Samples) is testable below the statistics.
+func oracleSource(o freq.Oracle, probes []int) (*source, error) {
+	k := o.Cardinality()
+	if len(probes) == 0 {
+		if k <= 6 {
+			for v := 0; v < k; v++ {
+				probes = append(probes, v)
+			}
+		} else {
+			probes = []int{0, 1, k / 2, k - 1}
+		}
+	}
+	probes = dedupeInts(probes)
+	if len(probes) < 2 {
+		return nil, errConfig("need at least two distinct probe values, got %d", len(probes))
+	}
+	for _, v := range probes {
+		if v < 0 || v >= k {
+			return nil, errConfig("probe value %d outside oracle domain [0,%d)", v, k)
+		}
+	}
+
+	labels := make([]string, len(probes))
+	for i, v := range probes {
+		labels[i] = fmt.Sprintf("v=%d", v)
+	}
+
+	if !freq.UsesBitset(o) {
+		// GRR path: exact per-symbol bins. Bin k collects anything
+		// malformed (a bitset response, an out-of-range value) so a
+		// broken oracle cannot hide outputs from the audit.
+		src := &source{
+			eps:      o.Epsilon(),
+			inputs:   labels,
+			discrete: k + 1,
+			binLabel: func(b int) string {
+				if b == k {
+					return "invalid"
+				}
+				return fmt.Sprintf("out=%d", b)
+			},
+			draw: func(i int, r *rng.Rand) outcome {
+				resp := o.Perturb(probes[i], r)
+				if resp.Bits != nil || resp.Value < 0 || resp.Value >= k {
+					return outcome{fam: -1, bin: k}
+				}
+				return outcome{fam: -1, bin: resp.Value}
+			},
+		}
+		return src, nil
+	}
+
+	// Unary path: project the bitset onto the probed values' bits.
+	if len(probes) > 16 {
+		return nil, errConfig("bitset audits support at most 16 probe values (2^probes bins), got %d", len(probes))
+	}
+	nBins := 1 << len(probes)
+	words := freq.BitsetWords(k)
+	binLabel := func(b int) string {
+		if b == nBins {
+			return "invalid"
+		}
+		pat := make([]byte, len(probes))
+		for j := range probes {
+			pat[j] = '0'
+			if b&(1<<j) != 0 {
+				pat[j] = '1'
+			}
+		}
+		return fmt.Sprintf("bits(%v)=%s", probes, pat)
+	}
+	src := &source{
+		eps:      o.Epsilon(),
+		inputs:   labels,
+		discrete: nBins + 1,
+		binLabel: binLabel,
+		draw: func(i int, r *rng.Rand) outcome {
+			resp := o.Perturb(probes[i], r)
+			if resp.Bits == nil || len(resp.Bits) != words {
+				return outcome{fam: -1, bin: nBins}
+			}
+			idx := 0
+			for j, v := range probes {
+				if resp.Bits.Get(v) {
+					idx |= 1 << j
+				}
+			}
+			return outcome{fam: -1, bin: idx}
+		},
+	}
+	return src, nil
+}

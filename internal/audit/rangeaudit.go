@@ -1,0 +1,251 @@
+package audit
+
+import (
+	"fmt"
+
+	"ldp/internal/freq"
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
+)
+
+// HierEncoder is the slice of rangequery.HierCollector the hierarchy audit
+// needs: the claimed budget, the tree shape, the per-depth oracles (to
+// learn the response format), and the randomizer itself.
+// *rangequery.HierCollector satisfies it.
+type HierEncoder interface {
+	Epsilon() float64
+	Buckets() int
+	Depths() int
+	Oracle(depth int) freq.Oracle
+	Perturb(bucket int, r *rng.Rand) rangequery.HierReport
+}
+
+// GridEncoder is the slice of rangequery.GridCollector the 2-D grid audit
+// needs. *rangequery.GridCollector satisfies it.
+type GridEncoder interface {
+	Epsilon() float64
+	Cells() int
+	Oracle() freq.Oracle
+	CellOf(x, y float64) int
+	Perturb(x, y float64, r *rng.Rand) freq.Response
+}
+
+// Hierarchy black-box audits a hierarchical range-report encoder: the
+// whole (depth, response) report is the output, so both the frequency
+// oracle at each depth and the depth-sampling channel itself are audited
+// — an encoder whose depth choice depends on the bucket leaks through the
+// depth marginal alone, and this audit sees it.
+//
+// probes are the true bucket indices to compare (nil selects the two
+// extreme buckets plus the middle). Per depth d the response is projected
+// onto the probes' depth-d ancestors' bits (unary oracles) or the exact
+// reported node (value-type oracles); reports with an out-of-range depth
+// or a malformed response fall into a dedicated "invalid" bin.
+func Hierarchy(h HierEncoder, probes []int, cfg Config) (Result, error) {
+	B, D := h.Buckets(), h.Depths()
+	if len(probes) == 0 {
+		probes = []int{0, B / 2, B - 1}
+	}
+	probes = dedupeInts(probes)
+	if len(probes) < 2 {
+		return Result{}, errConfig("need at least two distinct probe buckets, got %d", len(probes))
+	}
+	for _, b := range probes {
+		if b < 0 || b >= B {
+			return Result{}, errConfig("probe bucket %d outside domain [0,%d)", b, B)
+		}
+	}
+	if len(probes) > 16 {
+		return Result{}, errConfig("hierarchy audits support at most 16 probe buckets, got %d", len(probes))
+	}
+
+	labels := make([]string, len(probes))
+	for i, b := range probes {
+		labels[i] = fmt.Sprintf("bucket=%d", b)
+	}
+
+	// Per-depth bin blocks. Unary oracles project onto the probed
+	// buckets' ancestor bits (2^len(probes) bins per depth); value-type
+	// oracles get one bin per node (2^d bins at depth d). The final bin
+	// is the shared "invalid" sink.
+	type depthBlock struct {
+		base  int
+		bins  int
+		bits  bool
+		words int
+		card  int
+	}
+	blocks := make([]depthBlock, D+1) // 1-based depth
+	total := 0
+	for d := 1; d <= D; d++ {
+		o := h.Oracle(d)
+		blk := depthBlock{base: total, card: o.Cardinality()}
+		if freq.UsesBitset(o) {
+			blk.bits = true
+			blk.words = freq.BitsetWords(blk.card)
+			blk.bins = 1 << len(probes)
+		} else {
+			blk.bins = blk.card
+		}
+		blocks[d] = blk
+		total += blk.bins
+	}
+	invalid := total
+	total++
+
+	binLabel := func(b int) string {
+		if b == invalid {
+			return "invalid"
+		}
+		for d := 1; d <= D; d++ {
+			blk := blocks[d]
+			if b < blk.base || b >= blk.base+blk.bins {
+				continue
+			}
+			off := b - blk.base
+			if !blk.bits {
+				return fmt.Sprintf("depth=%d node=%d", d, off)
+			}
+			pat := make([]byte, len(probes))
+			for j := range probes {
+				pat[j] = '0'
+				if off&(1<<j) != 0 {
+					pat[j] = '1'
+				}
+			}
+			return fmt.Sprintf("depth=%d ancestorbits=%s", d, pat)
+		}
+		return fmt.Sprintf("bin %d", b)
+	}
+
+	src := &source{
+		eps:      h.Epsilon(),
+		inputs:   labels,
+		discrete: total,
+		binLabel: binLabel,
+		draw: func(i int, r *rng.Rand) outcome {
+			rep := h.Perturb(probes[i], r)
+			d, resp := rep.Depth, rep.Resp
+			if d < 1 || d > D {
+				return outcome{fam: -1, bin: invalid}
+			}
+			blk := blocks[d]
+			if blk.bits {
+				if resp.Bits == nil || len(resp.Bits) != blk.words {
+					return outcome{fam: -1, bin: invalid}
+				}
+				idx := 0
+				for j, pb := range probes {
+					if resp.Bits.Get(pb >> (D - d)) {
+						idx |= 1 << j
+					}
+				}
+				return outcome{fam: -1, bin: blk.base + idx}
+			}
+			if resp.Bits != nil || resp.Value < 0 || resp.Value >= blk.card {
+				return outcome{fam: -1, bin: invalid}
+			}
+			return outcome{fam: -1, bin: blk.base + resp.Value}
+		},
+	}
+	return src.run(cfg)
+}
+
+// Grid black-box audits a 2-D grid range-report encoder. probes are the
+// true (x, y) points to compare, in the encoder's [-1, 1]^2 input domain
+// (nil selects the four probe points {(-1,-1), (1,1), (-1,1), (0,0)}).
+// Responses are projected onto the probe points' own cells' bits (unary
+// oracles) or the exact reported cell (value-type oracles).
+func Grid(g GridEncoder, probes [][2]float64, cfg Config) (Result, error) {
+	if len(probes) == 0 {
+		probes = [][2]float64{{-1, -1}, {1, 1}, {-1, 1}, {0, 0}}
+	}
+	// Deduplicate by cell: probes in the same cell are indistinguishable
+	// to the encoder by construction and would only waste samples.
+	cells := make([]int, 0, len(probes))
+	pts := make([][2]float64, 0, len(probes))
+	for _, p := range probes {
+		c := g.CellOf(p[0], p[1])
+		dup := false
+		for _, seen := range cells {
+			if seen == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cells = append(cells, c)
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) < 2 {
+		return Result{}, errConfig("need probe points in at least two distinct grid cells, got %d", len(pts))
+	}
+	if len(pts) > 16 {
+		return Result{}, errConfig("grid audits support at most 16 probe cells, got %d", len(pts))
+	}
+
+	labels := make([]string, len(pts))
+	for i, p := range pts {
+		labels[i] = fmt.Sprintf("xy=(%g,%g)", p[0], p[1])
+	}
+
+	k := g.Cells()
+	o := g.Oracle()
+	if !freq.UsesBitset(o) {
+		src := &source{
+			eps:      g.Epsilon(),
+			inputs:   labels,
+			discrete: k + 1,
+			binLabel: func(b int) string {
+				if b == k {
+					return "invalid"
+				}
+				return fmt.Sprintf("cell=%d", b)
+			},
+			draw: func(i int, r *rng.Rand) outcome {
+				resp := g.Perturb(pts[i][0], pts[i][1], r)
+				if resp.Bits != nil || resp.Value < 0 || resp.Value >= k {
+					return outcome{fam: -1, bin: k}
+				}
+				return outcome{fam: -1, bin: resp.Value}
+			},
+		}
+		return src.run(cfg)
+	}
+
+	nBins := 1 << len(pts)
+	words := freq.BitsetWords(k)
+	src := &source{
+		eps:      g.Epsilon(),
+		inputs:   labels,
+		discrete: nBins + 1,
+		binLabel: func(b int) string {
+			if b == nBins {
+				return "invalid"
+			}
+			pat := make([]byte, len(pts))
+			for j := range pts {
+				pat[j] = '0'
+				if b&(1<<j) != 0 {
+					pat[j] = '1'
+				}
+			}
+			return fmt.Sprintf("cellbits(%v)=%s", cells, pat)
+		},
+		draw: func(i int, r *rng.Rand) outcome {
+			resp := g.Perturb(pts[i][0], pts[i][1], r)
+			if resp.Bits == nil || len(resp.Bits) != words {
+				return outcome{fam: -1, bin: nBins}
+			}
+			idx := 0
+			for j, c := range cells {
+				if resp.Bits.Get(c) {
+					idx |= 1 << j
+				}
+			}
+			return outcome{fam: -1, bin: idx}
+		},
+	}
+	return src.run(cfg)
+}

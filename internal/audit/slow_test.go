@@ -1,23 +1,241 @@
 //go:build slow
 
-package audit_test
+package audit
 
 import (
 	"testing"
 
-	"ldp/internal/audit"
+	"ldp/internal/core"
+	"ldp/internal/freq"
+	"ldp/internal/mech"
 	"ldp/internal/pipeline"
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
 	"ldp/internal/schema"
 )
+
+// The slow tag runs the full audit teeth matrix: for every task kind —
+// mean, frequency, range (hierarchy + grid), gradient, and the end-to-end
+// wire path — the honest implementation must pass across the experiment
+// eps grid {0.5, 1, 2, 4} and a deliberately broken variant must be
+// flagged. CI runs this as `go test -tags slow ./internal/audit/`.
+
+var slowEpsGrid = []float64{0.5, 1, 2, 4}
+
+// --- mean ---
+
+func TestAuditMeanMechanisms(t *testing.T) {
+	for _, eps := range slowEpsGrid {
+		pm, err := core.NewPiecewise(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm, err := core.NewHybrid(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, m := range map[string]mech.Mechanism{"pm": pm, "hm": hm} {
+			res, err := Mechanism(m, Config{Samples: 300_000, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("eps=%g %s: %s", eps, name, res)
+			if res.Violated {
+				t.Errorf("eps=%g: honest %s flagged: %s", eps, name, res)
+			}
+		}
+	}
+}
+
+func TestAuditMeanMechanismsHaveTeeth(t *testing.T) {
+	spend, err := core.NewPiecewise(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mechanism(Overclaim(spend, 1), Config{Samples: 300_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Violated {
+		t.Errorf("PM spending eps=4 claiming eps=1 not flagged: %s", res)
+	}
+}
+
+// --- frequency ---
+
+func TestAuditFrequencyOracles(t *testing.T) {
+	for _, eps := range slowEpsGrid {
+		grr, err := freq.NewGRR(eps, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oue, err := freq.NewOUE(eps, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, o := range map[string]freq.Oracle{"grr": grr, "oue": oue} {
+			res, err := Oracle(o, nil, Config{Samples: 200_000, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("eps=%g %s: %s", eps, name, res)
+			if res.Violated {
+				t.Errorf("eps=%g: honest %s flagged: %s", eps, name, res)
+			}
+		}
+	}
+}
+
+func TestAuditFrequencyOraclesHaveTeeth(t *testing.T) {
+	// An OUE spending eps=4 claiming eps=1: the support-bit ratio
+	// (1-q)/q = e^4 exceeds e^1 on a single projected bit.
+	spendOUE, err := freq.NewOUE(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Oracle(OverclaimOracle(spendOUE, 1), nil, Config{Samples: 200_000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Violated {
+		t.Errorf("overclaiming OUE not flagged: %s", res)
+	}
+
+	// A GRR whose sampler keeps the true value with probability 0.9
+	// regardless of the claimed eps=1 — a biased-flip implementation bug,
+	// not a wrapper.
+	skewed, err := NewSkewedGRR(1, 8, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Oracle(skewed, nil, Config{Samples: 200_000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Violated {
+		t.Errorf("skewed GRR not flagged: %s", res)
+	}
+}
+
+// --- range: hierarchy ---
+
+func TestAuditHierarchyEncoder(t *testing.T) {
+	for _, eps := range slowEpsGrid {
+		h, err := rangequery.NewHierCollector(eps, 16, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Hierarchy(h, nil, Config{Samples: 200_000, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("eps=%g hier: %s", eps, res)
+		if res.Violated {
+			t.Errorf("eps=%g: honest hierarchy encoder flagged: %s", eps, res)
+		}
+	}
+}
+
+// leakyHier routes the report depth by the true bucket (low buckets to
+// depth 1, high buckets to the leaf depth) instead of sampling it
+// uniformly: each individual oracle response is still honestly
+// randomized, but the depth channel is a deterministic function of the
+// input — the kind of encoder bug no per-oracle test can see.
+type leakyHier struct {
+	*rangequery.HierCollector
+}
+
+func (l leakyHier) Perturb(bucket int, r *rng.Rand) rangequery.HierReport {
+	if bucket < 0 {
+		bucket = 0
+	}
+	if bucket >= l.Buckets() {
+		bucket = l.Buckets() - 1
+	}
+	depth := 1
+	if bucket >= l.Buckets()/2 {
+		depth = l.Depths()
+	}
+	node := bucket >> (l.Depths() - depth)
+	return rangequery.HierReport{Depth: depth, Resp: l.Oracle(depth).Perturb(node, r)}
+}
+
+func TestAuditHierarchyEncoderHasTeeth(t *testing.T) {
+	h, err := rangequery.NewHierCollector(1, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Hierarchy(leakyHier{h}, nil, Config{Samples: 200_000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Violated {
+		t.Errorf("depth-leaking hierarchy encoder not flagged: %s", res)
+	}
+}
+
+// --- range: grid ---
+
+func TestAuditGridEncoder(t *testing.T) {
+	for _, eps := range slowEpsGrid {
+		g, err := rangequery.NewGridCollector(eps, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Grid(g, nil, Config{Samples: 200_000, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("eps=%g grid: %s", eps, res)
+		if res.Violated {
+			t.Errorf("eps=%g: honest grid encoder flagged: %s", eps, res)
+		}
+	}
+}
+
+// leakyGrid emits the user's true cell as a plaintext one-hot bitset half
+// the time and randomizes honestly otherwise — an encoder that skips its
+// oracle on a code path.
+type leakyGrid struct {
+	*rangequery.GridCollector
+}
+
+func (l leakyGrid) Perturb(x, y float64, r *rng.Rand) freq.Response {
+	if rng.Bernoulli(r, 0.5) {
+		b := freq.NewBitset(l.Cells())
+		b.Set(l.CellOf(x, y))
+		return freq.Response{Bits: b}
+	}
+	return l.GridCollector.Perturb(x, y, r)
+}
+
+func TestAuditGridEncoderHasTeeth(t *testing.T) {
+	g, err := rangequery.NewGridCollector(1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Grid(leakyGrid{g}, nil, Config{Samples: 200_000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Violated {
+		t.Errorf("cell-leaking grid encoder not flagged: %s", res)
+	}
+}
+
+// --- gradient ---
 
 // TestAuditGradientMechanism black-box-verifies the eps-LDP guarantee of
 // the federated SGD gradient perturbation from samples alone: it builds
 // the exact mechanism instance GradientTask uses (the pipeline's 1-D
 // mechanism at budget eps/k — each report perturbs k coordinates at eps/k
 // each, which composes to eps for the whole gradient) and audits its
-// output distributions without any access to its internals. The test
-// runs under `go test -tags slow -run TestAudit ./internal/audit/` in the
-// CI slow job; at 300k samples per probe input it takes tens of seconds.
+// output distributions without any access to its internals.
 func TestAuditGradientMechanism(t *testing.T) {
 	s, err := schema.New(schema.Attribute{Name: "x", Kind: schema.Numeric})
 	if err != nil {
@@ -37,7 +255,10 @@ func TestAuditGradientMechanism(t *testing.T) {
 		if got, want := m.Epsilon()*float64(gt.K()), eps; got < want*(1-1e-9) || got > want*(1+1e-9) {
 			t.Fatalf("eps=%g: k=%d coordinates at eps=%g do not compose to the budget", eps, gt.K(), m.Epsilon())
 		}
-		res := audit.Mechanism(m, audit.Config{Samples: 300_000, Seed: 0xA0D17 + uint64(eps)})
+		res, err := Mechanism(m, Config{Samples: 300_000, Seed: 0xA0D17 + uint64(eps)})
+		if err != nil {
+			t.Fatal(err)
+		}
 		t.Log(res)
 		if res.Violated {
 			t.Errorf("eps=%g: gradient mechanism violates its claimed budget: %v", eps, res)
@@ -46,8 +267,8 @@ func TestAuditGradientMechanism(t *testing.T) {
 }
 
 // TestAuditGradientMechanismHasTeeth proves the audit would catch a
-// broken gradient mechanism: a wrapper claiming half the budget it spends
-// must be flagged.
+// broken gradient mechanism: a wrapper claiming a quarter of the budget
+// it spends must be flagged.
 func TestAuditGradientMechanismHasTeeth(t *testing.T) {
 	s, err := schema.New(schema.Attribute{Name: "x", Kind: schema.Numeric})
 	if err != nil {
@@ -59,10 +280,59 @@ func TestAuditGradientMechanismHasTeeth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	over := audit.Overclaim(p.GradientTask().Mechanism(), 1)
-	res := audit.Mechanism(over, audit.Config{Samples: 300_000, Seed: 0xBAD})
+	over := Overclaim(p.GradientTask().Mechanism(), 1)
+	res, err := Mechanism(over, Config{Samples: 300_000, Seed: 0xBAD})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Log(res)
 	if !res.Violated {
 		t.Error("audit failed to flag a mechanism spending 4x its claimed budget")
+	}
+}
+
+// --- end-to-end wire path ---
+
+func TestAuditWirePath(t *testing.T) {
+	s := wireSchema(t)
+	for _, eps := range slowEpsGrid {
+		p, err := pipeline.New(s, eps, pipeline.WithRange(rangequery.Config{Buckets: 8, GridCells: 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := WirePath(p, wireProbes(s), Config{Samples: 150_000, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("eps=%g wire: %s", eps, res)
+		if res.Violated {
+			t.Errorf("eps=%g: honest pipeline wire path flagged: %s", eps, res)
+		}
+	}
+}
+
+func TestAuditWirePathHasTeeth(t *testing.T) {
+	s := wireSchema(t)
+	// A freq-task oracle that overclaims through the whole wire stack:
+	// Randomize -> envelope encode -> batch decode must still expose it.
+	leaky, err := pipeline.New(s, 1,
+		pipeline.WithRange(rangequery.Config{Buckets: 8, GridCells: 2}),
+		pipeline.WithOracle(func(e float64, k int) (freq.Oracle, error) {
+			o, err := freq.NewGRR(6, k)
+			if err != nil {
+				return nil, err
+			}
+			return OverclaimOracle(o, e), nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WirePath(leaky, wireProbes(s), Config{Samples: 150_000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Violated {
+		t.Errorf("overclaiming oracle behind the wire path not flagged: %s", res)
 	}
 }

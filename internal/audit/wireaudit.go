@@ -1,0 +1,327 @@
+package audit
+
+import (
+	"fmt"
+
+	"ldp/internal/core"
+	"ldp/internal/freq"
+	"ldp/internal/pipeline"
+	"ldp/internal/rangequery"
+	"ldp/internal/rng"
+	"ldp/internal/schema"
+	"ldp/internal/transport"
+)
+
+// WirePath black-box audits a whole Pipeline end to end: every draw runs
+// Pipeline.Randomize, encodes the report with the production wire encoder
+// (transport.AppendEnvelope), decodes it through the columnar batch
+// decoder (transport.DecodeBatch), and projects the decoded report — so
+// the audited distribution is exactly the bytes that leave the client,
+// including anything a codec bug might add or leak.
+//
+// probes are complete user tuples under the pipeline's schema (at least
+// two, each valid per Tuple.Check). The decoded report is projected to a
+// unified bin space covering every tuple-routed task:
+//
+//   - mean reports: the first entry's (attribute, value), values binned
+//     per attribute on the engine's quantile grid;
+//   - freq reports: the first entry's attribute plus its response,
+//     projected onto the probes' categorical values (unary oracles) or
+//     the exact symbol (value-type oracles);
+//   - range reports: per (attribute, depth) hierarchy blocks projected
+//     onto the probes' bucket ancestors, and per-pair grid blocks
+//     projected onto the probes' cells;
+//   - anything malformed or unroutable falls into an "invalid" bin.
+//
+// Gradient tasks are not tuple-routed; audit them directly with
+// Mechanism(p.GradientTask().Mechanism(), cfg).
+func WirePath(p *pipeline.Pipeline, probes []schema.Tuple, cfg Config) (Result, error) {
+	s := p.Schema()
+	if len(probes) < 2 {
+		return Result{}, errConfig("need at least two probe tuples, got %d", len(probes))
+	}
+	for i, t := range probes {
+		if err := t.Check(s); err != nil {
+			return Result{}, errConfig("probe tuple %d: %v", i, err)
+		}
+	}
+
+	lay, err := newWireLayout(p, probes)
+	if err != nil {
+		return Result{}, err
+	}
+
+	labels := make([]string, len(probes))
+	for i := range probes {
+		labels[i] = fmt.Sprintf("tuple#%d", i)
+	}
+
+	// Reused per-draw codec state: the envelope buffer and the decode
+	// batch. draw is called sequentially from a single goroutine, so one
+	// of each suffices for the whole audit.
+	buf := make([]byte, 0, 256)
+	batch := pipeline.GetBatch()
+	defer pipeline.PutBatch(batch)
+
+	src := &source{
+		eps:      p.Epsilon(),
+		inputs:   labels,
+		discrete: lay.total,
+		families: lay.families,
+		famLabel: lay.famLabel,
+		binLabel: lay.binLabel,
+		draw: func(i int, r *rng.Rand) outcome {
+			rep, err := p.Randomize(probes[i], r)
+			if err != nil {
+				return outcome{fam: -1, bin: lay.invalid}
+			}
+			buf, err = transport.AppendEnvelope(buf[:0], rep)
+			if err != nil {
+				return outcome{fam: -1, bin: lay.invalid}
+			}
+			batch.Reset()
+			if n, err := transport.DecodeBatch(buf, batch); err != nil || n != 1 {
+				return outcome{fam: -1, bin: lay.invalid}
+			}
+			return lay.project(batch.Report(0))
+		},
+	}
+	return src.run(cfg)
+}
+
+// wireBlock is one discrete bin block of the wire-path bin space.
+type wireBlock struct {
+	base  int
+	bins  int
+	bits  bool  // project bitset responses (vs. exact values)
+	words int   // expected bitset width
+	card  int   // oracle cardinality (value-type bound)
+	probe []int // projected bit positions (bitset blocks)
+}
+
+// wireLayout maps decoded pipeline reports onto the audit's unified bin
+// space: continuous families for mean entries, discrete blocks for freq
+// and range responses, one "invalid" sink for everything else.
+type wireLayout struct {
+	sch      *schema.Schema
+	total    int
+	invalid  int
+	families int
+
+	meanFam  []int        // schema attr -> continuous family (-1 none)
+	famName  []string     // family -> label
+	freqBlk  []*wireBlock // schema attr -> freq block (nil none)
+	hierBlk  [][]*wireBlock
+	hierMax  int
+	gridBlk  []*wireBlock
+	binNames []string
+}
+
+func newWireLayout(p *pipeline.Pipeline, probes []schema.Tuple) (*wireLayout, error) {
+	s := p.Schema()
+	lay := &wireLayout{
+		sch:     s,
+		meanFam: make([]int, s.Dim()),
+		freqBlk: make([]*wireBlock, s.Dim()),
+	}
+	for i := range lay.meanFam {
+		lay.meanFam[i] = -1
+	}
+
+	if p.MeanTask() != nil {
+		for _, j := range s.NumericIdx() {
+			lay.meanFam[j] = lay.families
+			lay.famName = append(lay.famName, fmt.Sprintf("mean:%s", s.Attrs[j].Name))
+			lay.families++
+		}
+	}
+
+	addBlock := func(bins int) *wireBlock {
+		blk := &wireBlock{base: lay.total, bins: bins}
+		lay.total += bins
+		return blk
+	}
+
+	if ft := p.FreqTask(); ft != nil {
+		for _, j := range s.CategoricalIdx() {
+			o := ft.Oracle(j)
+			var vals []int
+			for _, t := range probes {
+				vals = append(vals, t.Cat[j])
+			}
+			vals = dedupeInts(vals)
+			if len(vals) > 16 {
+				return nil, errConfig("probe tuples span %d values of attribute %q; bitset audits support at most 16", len(vals), s.Attrs[j].Name)
+			}
+			var blk *wireBlock
+			if freq.UsesBitset(o) {
+				blk = addBlock(1 << len(vals))
+				blk.bits = true
+				blk.words = freq.BitsetWords(o.Cardinality())
+				blk.probe = vals
+			} else {
+				blk = addBlock(o.Cardinality())
+			}
+			blk.card = o.Cardinality()
+			lay.freqBlk[j] = blk
+			for b := 0; b < blk.bins; b++ {
+				lay.binNames = append(lay.binNames, fmt.Sprintf("freq:%s:%s", s.Attrs[j].Name, blockBinName(blk, b)))
+			}
+		}
+	}
+
+	if rt := p.RangeTask(); rt != nil {
+		col := rt.Collector()
+		hier, disc := col.Hierarchy(), col.Discretizer()
+		D := hier.Depths()
+		lay.hierMax = D
+		lay.hierBlk = make([][]*wireBlock, s.Dim())
+		for _, j := range s.NumericIdx() {
+			var buckets []int
+			for _, t := range probes {
+				buckets = append(buckets, disc.BucketOf(t.Num[j]))
+			}
+			buckets = dedupeInts(buckets)
+			if len(buckets) > 16 {
+				return nil, errConfig("probe tuples span %d buckets of attribute %q; audits support at most 16", len(buckets), s.Attrs[j].Name)
+			}
+			lay.hierBlk[j] = make([]*wireBlock, D+1)
+			for d := 1; d <= D; d++ {
+				o := hier.Oracle(d)
+				var blk *wireBlock
+				if freq.UsesBitset(o) {
+					blk = addBlock(1 << len(buckets))
+					blk.bits = true
+					blk.words = freq.BitsetWords(o.Cardinality())
+					blk.probe = make([]int, len(buckets))
+					for bi, b := range buckets {
+						blk.probe[bi] = b >> (D - d)
+					}
+				} else {
+					blk = addBlock(o.Cardinality())
+				}
+				blk.card = o.Cardinality()
+				lay.hierBlk[j][d] = blk
+				for b := 0; b < blk.bins; b++ {
+					lay.binNames = append(lay.binNames, fmt.Sprintf("hier:%s:d%d:%s", s.Attrs[j].Name, d, blockBinName(blk, b)))
+				}
+			}
+		}
+		if g := col.Grid(); g != nil {
+			lay.gridBlk = make([]*wireBlock, len(col.Pairs()))
+			o := g.Oracle()
+			for pi, pair := range col.Pairs() {
+				var cells []int
+				for _, t := range probes {
+					cells = append(cells, g.CellOf(t.Num[pair[0]], t.Num[pair[1]]))
+				}
+				cells = dedupeInts(cells)
+				if len(cells) > 16 {
+					return nil, errConfig("probe tuples span %d grid cells of pair %d; audits support at most 16", len(cells), pi)
+				}
+				var blk *wireBlock
+				if freq.UsesBitset(o) {
+					blk = addBlock(1 << len(cells))
+					blk.bits = true
+					blk.words = freq.BitsetWords(o.Cardinality())
+					blk.probe = cells
+				} else {
+					blk = addBlock(o.Cardinality())
+				}
+				blk.card = o.Cardinality()
+				lay.gridBlk[pi] = blk
+				for b := 0; b < blk.bins; b++ {
+					lay.binNames = append(lay.binNames, fmt.Sprintf("grid:p%d:%s", pi, blockBinName(blk, b)))
+				}
+			}
+		}
+	}
+
+	lay.invalid = lay.total
+	lay.total++
+	lay.binNames = append(lay.binNames, "invalid")
+	return lay, nil
+}
+
+// blockBinName names bin b of a block: a projected-bit pattern for bitset
+// blocks, the exact output symbol otherwise.
+func blockBinName(blk *wireBlock, b int) string {
+	if !blk.bits {
+		return fmt.Sprintf("out=%d", b)
+	}
+	pat := make([]byte, len(blk.probe))
+	for j := range blk.probe {
+		pat[j] = '0'
+		if b&(1<<j) != 0 {
+			pat[j] = '1'
+		}
+	}
+	return fmt.Sprintf("bits=%s", pat)
+}
+
+func (l *wireLayout) famLabel(f int) string { return l.famName[f] }
+
+func (l *wireLayout) binLabel(b int) string { return l.binNames[b] }
+
+// projectResp maps a frequency-oracle response through a block, or to the
+// invalid sink when its shape does not match.
+func (l *wireLayout) projectResp(blk *wireBlock, resp freq.Response) outcome {
+	if blk.bits {
+		if resp.Bits == nil || len(resp.Bits) != blk.words {
+			return outcome{fam: -1, bin: l.invalid}
+		}
+		idx := 0
+		for j, pos := range blk.probe {
+			if resp.Bits.Get(pos) {
+				idx |= 1 << j
+			}
+		}
+		return outcome{fam: -1, bin: blk.base + idx}
+	}
+	if resp.Bits != nil || resp.Value < 0 || resp.Value >= blk.card {
+		return outcome{fam: -1, bin: l.invalid}
+	}
+	return outcome{fam: -1, bin: blk.base + resp.Value}
+}
+
+// project maps one decoded report to an outcome. Only the report's first
+// entry is projected — a sound distinguisher by the data-processing
+// inequality, and enough to expose every per-entry randomizer because
+// attribute sampling is data-independent.
+func (l *wireLayout) project(rep pipeline.Report) outcome {
+	switch rep.Task {
+	case pipeline.TaskMean:
+		if len(rep.Entries) == 0 {
+			return outcome{fam: -1, bin: l.invalid}
+		}
+		e := rep.Entries[0]
+		if e.Kind != core.EntryNumeric || e.Attr < 0 || e.Attr >= len(l.meanFam) || l.meanFam[e.Attr] < 0 {
+			return outcome{fam: -1, bin: l.invalid}
+		}
+		return outcome{fam: l.meanFam[e.Attr], val: e.Value}
+	case pipeline.TaskFreq:
+		if len(rep.Entries) == 0 {
+			return outcome{fam: -1, bin: l.invalid}
+		}
+		e := rep.Entries[0]
+		if e.Attr < 0 || e.Attr >= len(l.freqBlk) || l.freqBlk[e.Attr] == nil {
+			return outcome{fam: -1, bin: l.invalid}
+		}
+		return l.projectResp(l.freqBlk[e.Attr], e.Resp)
+	case pipeline.TaskRange:
+		rr := rep.Range
+		if rr.Kind == rangequery.KindHier {
+			if rr.Attr < 0 || rr.Attr >= len(l.hierBlk) || l.hierBlk[rr.Attr] == nil ||
+				rr.Depth < 1 || rr.Depth > l.hierMax {
+				return outcome{fam: -1, bin: l.invalid}
+			}
+			return l.projectResp(l.hierBlk[rr.Attr][rr.Depth], rr.Resp)
+		}
+		if rr.Pair < 0 || rr.Pair >= len(l.gridBlk) {
+			return outcome{fam: -1, bin: l.invalid}
+		}
+		return l.projectResp(l.gridBlk[rr.Pair], rr.Resp)
+	default:
+		return outcome{fam: -1, bin: l.invalid}
+	}
+}

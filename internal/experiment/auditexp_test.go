@@ -1,0 +1,71 @@
+package experiment
+
+import "testing"
+
+func TestAuditExperiment(t *testing.T) {
+	r, err := Get("audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reduced sample count: the Clopper-Pearson bounds only get looser
+	// (more conservative) with fewer samples, so honest columns cannot
+	// false-flag, and the 4x overclaim control is strong enough to clear
+	// the diagonal even at 3000 samples per probe.
+	tables, err := r.Run(Options{N: 3_000, Seed: 42, EpsList: []float64{0.5, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Columns) != len(auditColumns) {
+		t.Fatalf("want %d columns, got %v", len(auditColumns), tab.Columns)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tab.Rows))
+	}
+	overIdx := len(tab.Columns) - 1
+	if tab.Columns[overIdx] != "overclaim-pm" {
+		t.Fatalf("last column must be the overclaim control, got %q", tab.Columns[overIdx])
+	}
+	for i, eps := range []float64{0.5, 2} {
+		row := tab.Rows[i]
+		if len(row.Values) != len(tab.Columns) {
+			t.Fatalf("row %d: %d values for %d columns", i, len(row.Values), len(tab.Columns))
+		}
+		for c, v := range row.Values {
+			if c == overIdx {
+				if v <= eps {
+					t.Errorf("eps=%g: overclaim control eps_emp=%v did not exceed the claimed eps", eps, v)
+				}
+				continue
+			}
+			if v < 0 || v > eps {
+				t.Errorf("eps=%g %s: honest eps_emp=%v outside [0, eps]", eps, tab.Columns[c], v)
+			}
+		}
+	}
+}
+
+func TestAuditExperimentDeterministic(t *testing.T) {
+	r, err := Get("audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{N: 1_500, Seed: 7, EpsList: []float64{1}}
+	a, err := r.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a[0].Rows[0].Values {
+		if a[0].Rows[0].Values[c] != b[0].Rows[0].Values[c] {
+			t.Fatalf("column %s not deterministic: %v vs %v",
+				a[0].Columns[c], a[0].Rows[0].Values[c], b[0].Rows[0].Values[c])
+		}
+	}
+}

@@ -28,7 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7", "fig8", "fig9", "fig10", "fig11",
 		"ablation-alpha", "ablation-k", "ablation-freq", "ablation-clip",
 		"ablation-comm", "range", "pipeline", "federated", "query",
-		"telemetry", "fanin",
+		"telemetry", "fanin", "audit",
 	}
 	for _, name := range want {
 		if _, err := Get(name); err != nil {

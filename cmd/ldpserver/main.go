@@ -33,7 +33,20 @@
 //	GET  /v1/query    ?kind=stats | mean[&attr=] | freq&attr= | range&attr=&lo=&hi=[&attr2=&lo2=&hi2=]
 //	GET  /v1/stats    aggregate report counts, ETag-cached on the watermark
 //	GET  /v1/model    federated SGD model state (-sgd only)
+//	GET  /healthz     liveness: 200 while the process runs
+//	GET  /readyz      readiness: 503 while draining, the WAL is failing, or an edge's push breaker is open
 //	GET  /metrics     Prometheus text exposition of every subsystem
+//
+// Operational resilience: mutating routes run behind an admission
+// limiter (-max-inflight, -request-timeout) that sheds excess load with
+// 429 + Retry-After before reading a byte of body. SIGINT/SIGTERM
+// triggers a graceful shutdown: readiness flips to 503, in-flight
+// requests drain for up to -drain, an edge makes one final best-effort
+// push to its root, and the report log commits and closes last — so a
+// clean restart never loses an acknowledged report, even under
+// -log-sync group commit. A second signal during the drain kills the
+// process immediately. -push-chaos injects deterministic faults into the
+// edge push path for resilience testing (see internal/chaos).
 //
 // Queries are answered from an epoch-cached snapshot with pre-encoded
 // JSON bodies and epoch-keyed ETags (If-None-Match gets 304 while the
@@ -52,6 +65,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -59,10 +73,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"syscall"
 	"time"
 
+	"ldp/internal/chaos"
 	"ldp/internal/cluster"
 	"ldp/internal/dataset"
 	"ldp/internal/pipeline"
@@ -144,6 +161,10 @@ func run(args []string) error {
 		edgeID    = fs.String("edge-id", "", "edge mode: stable edge identifier (default: the listen address)")
 		logSync   = fs.Duration("log-sync", 0, "group-commit the report log: fsync on this interval instead of buffering unsynced (0 = legacy unbuffered writes)")
 		logSyncB  = fs.Int("log-sync-bytes", 256<<10, "group-commit byte threshold: commit early once this many buffered bytes accumulate")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown: how long SIGINT/SIGTERM waits for in-flight requests before closing connections")
+		maxInFl   = fs.Int("max-inflight", 256, "admission control: mutating requests decoded concurrently; beyond it requests are shed with 429 (0 = default 256, negative = no limiter)")
+		reqTmo    = fs.Duration("request-timeout", 30*time.Second, "admission control: per-request deadline for admitted mutating requests (0 = unbounded)")
+		pushChaos = fs.String("push-chaos", "", "edge mode: deterministic fault-injection plan for the push path, e.g. seed=7,drop=0.2,blackhole=0.1 (testing only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,6 +177,9 @@ func run(args []string) error {
 	case "root":
 		if *pushTo != "" {
 			return fmt.Errorf("-push-to only makes sense with -mode edge")
+		}
+		if *pushChaos != "" {
+			return fmt.Errorf("-push-chaos only makes sense with -mode edge")
 		}
 	case "edge":
 		if *pushTo == "" {
@@ -203,6 +227,7 @@ func run(args []string) error {
 
 	var sink transport.Sink
 	var wal *reportlog.Writer
+	var walClose func() error
 	if *logdir != "" {
 		stats, err := reportlog.Recover(*logdir)
 		if err != nil {
@@ -226,13 +251,26 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer w.Close()
+		// walClose runs at most once: either explicitly at the end of the
+		// shutdown sequence (where its error is checked — the final commit
+		// is what makes a clean restart lossless) or via the deferred
+		// cleanup on early error returns.
+		walClosed := false
+		walClose = func() error {
+			if walClosed {
+				return nil
+			}
+			walClosed = true
+			return w.Close()
+		}
+		defer func() { _ = walClose() }()
 		sink, wal = w, w
 	}
 
 	publishExpvar.Do(func() { expvar.Publish("ldp", reg.Expvar()) })
+	var dbg *http.Server
 	if *debugAddr != "" {
-		dbg := &http.Server{
+		dbg = &http.Server{
 			Addr:              *debugAddr,
 			Handler:           debugMux(reg),
 			ReadHeaderTimeout: 5 * time.Second,
@@ -245,14 +283,10 @@ func run(args []string) error {
 		}()
 	}
 
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: transport.NewPipelineServer(p, sink,
-			transport.WithServerTelemetry(reg),
-			transport.WithRequestLog(logger)),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-
+	// The forwarder is built before the server so its breaker can feed the
+	// readiness probe: an edge whose root is unreachable keeps serving
+	// local queries but reports not-ready for new fan-in-dependent work.
+	var fw *cluster.Forwarder
 	if *mode == "edge" {
 		id := *edgeID
 		if id == "" {
@@ -271,12 +305,67 @@ func run(args []string) error {
 			// only replay a superset of the acked baseline — never less.
 			cfg.Sync = wal.Sync
 		}
-		fw, err := cluster.NewForwarder(p, cfg)
+		if *pushChaos != "" {
+			plan, err := chaos.ParsePlan(*pushChaos)
+			if err != nil {
+				return err
+			}
+			cfg.HTTPClient = plan.Client(30 * time.Second)
+			logger.Warn("push chaos enabled (testing only)", "plan", *pushChaos)
+		}
+		fw, err = cluster.NewForwarder(p, cfg)
 		if err != nil {
 			return err
 		}
-		go fw.Run(context.Background())
-		logger.Info("fan-in forwarder started", "root", *pushTo, "edge", id, "interval", *pushIvl)
+	}
+
+	var ready []transport.ReadyCheck
+	if wal != nil {
+		ready = append(ready, transport.ReadyCheck{Name: "wal", Check: wal.Healthy})
+	}
+	if fw != nil {
+		ready = append(ready, transport.ReadyCheck{Name: "fanin-breaker", Check: func() error {
+			if fw.Breaker().State() == cluster.BreakerOpen {
+				return errors.New("push breaker open (root unreachable)")
+			}
+			return nil
+		}})
+	}
+	srvOpts := []transport.ServerOption{
+		transport.WithServerTelemetry(reg),
+		transport.WithRequestLog(logger),
+		transport.WithReadyChecks(ready...),
+	}
+	if *maxInFl >= 0 {
+		srvOpts = append(srvOpts, transport.WithAdmission(transport.AdmissionConfig{
+			MaxInFlight: *maxInFl,
+			Timeout:     *reqTmo,
+		}))
+	}
+	ps := transport.NewPipelineServer(p, sink, srvOpts...)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           ps,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Lifecycle: run the listener (and the forwarder loop) in the
+	// background and block on the first of "listener died" or "signal
+	// received". A second signal during the drain kills the process the
+	// default way — stop() restores default handling before draining.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fwCtx, fwCancel := context.WithCancel(context.Background())
+	defer fwCancel()
+	var fwDone chan struct{}
+	if fw != nil {
+		fwDone = make(chan struct{})
+		go func() {
+			defer close(fwDone)
+			fw.Run(fwCtx)
+		}()
+		logger.Info("fan-in forwarder started", "root", *pushTo, "interval", *pushIvl)
 	}
 
 	tasks := ""
@@ -289,5 +378,45 @@ func run(args []string) error {
 	logger.Info("unified aggregator listening",
 		"addr", *addr, "mode", *mode, "dataset", *name, "dim", c.Schema().Dim(),
 		"eps", *eps, "tasks", tasks, "shards", p.Shards())
-	return srv.ListenAndServe()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("shutdown signal received", "drain", *drain)
+
+	// Shutdown order matters: flip readiness first (load balancers stop
+	// routing), drain the listener, stop the push loop, make one final
+	// best-effort push, and only then commit and close the report log —
+	// the WAL must outlive everything that appends to it.
+	ps.SetDraining(true)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Warn("drain deadline exceeded; closing remaining connections", "err", err)
+		srv.Close()
+	}
+	if dbg != nil {
+		dbg.Close()
+	}
+	if fw != nil {
+		fwCancel()
+		<-fwDone
+		pushCtx, cancelPush := context.WithTimeout(context.Background(), *drain)
+		if err := fw.Push(pushCtx); err != nil && !errors.Is(err, cluster.ErrBreakerOpen) {
+			logger.Warn("final fan-in push failed; reports remain locally durable", "err", err)
+		}
+		cancelPush()
+	}
+	if walClose != nil {
+		if err := walClose(); err != nil {
+			return fmt.Errorf("close report log: %w", err)
+		}
+	}
+	logger.Info("shutdown complete")
+	return nil
 }

@@ -124,6 +124,23 @@
 // before every push, so an edge crash never loses a report the root has
 // counted.
 //
+// The service degrades predictably under overload and partial failure.
+// Mutating routes sit behind a bounded in-flight admission limiter
+// (WithAdmission): excess requests are shed with 429 + Retry-After
+// before their body is read, on an allocation-free path, and the
+// shipped clients treat 429 as retryable with the hint as a backoff
+// floor and a wall-clock cap (RetryPolicy.MaxElapsed). An edge whose
+// root stops answering trips a circuit breaker (BreakerConfig) and
+// degrades to cheap jittered probes instead of full snapshot pushes.
+// GET /healthz and GET /readyz expose liveness and readiness
+// (WithReadyChecks: draining, WAL health, breaker state), and
+// cmd/ldpserver shuts down in order on SIGINT/SIGTERM — flip readiness,
+// drain requests, final edge push, WAL commit last — so a clean restart
+// never loses an acknowledged report. internal/chaos verifies all of it
+// with seeded, deterministic fault injection: under injected drops,
+// blackholed responses, 5xx storms, latency, and truncated bodies, the
+// root's estimates must stay bit-identical to a no-fault run.
+//
 // Deployments observe themselves through a shared metrics registry
 // (NewTelemetryRegistry): WithTelemetry instruments the pipeline's
 // ingest, view-cache, and trainer state, WithServerTelemetry adds

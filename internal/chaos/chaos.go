@@ -1,0 +1,326 @@
+// Package chaos provides deterministic fault injection for the
+// resilience test suites and smoke scripts: a seeded http.RoundTripper
+// that drops, delays, truncates, or rejects requests on a reproducible
+// schedule, and a flaky persistence sink. Faults are drawn from a
+// counter-seeded PRNG — run k of a plan always draws the same fault for
+// the k-th request — so a chaos test that fails replays bit-identically
+// under the same seed, and the suite can assert exactness (root totals
+// equal durable edge totals) rather than mere survival.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ldp/internal/rng"
+)
+
+// Fault enumerates the injectable failure modes.
+type Fault int
+
+const (
+	// FaultNone passes the request through untouched.
+	FaultNone Fault = iota
+	// FaultDrop fails the request before it is sent: the server never
+	// sees it (a connect error).
+	FaultDrop
+	// FaultBlackhole sends the request and discards the response: the
+	// server did the work, the client sees a connection error. This is
+	// the fault that separates exactly-once protocols from at-least-once
+	// ones.
+	FaultBlackhole
+	// Fault5xx answers 503 (with a Retry-After hint) without forwarding.
+	Fault5xx
+	// FaultLatency delays the request, then forwards it.
+	FaultLatency
+	// FaultPartial forwards the request but truncates the response body
+	// halfway, so the client's decode fails mid-stream.
+	FaultPartial
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultBlackhole:
+		return "blackhole"
+	case Fault5xx:
+		return "err5xx"
+	case FaultLatency:
+		return "latency"
+	case FaultPartial:
+		return "partial"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec is a fault schedule: per-request probabilities for each fault
+// kind (the remainder passes clean). Probabilities must be non-negative
+// and sum to at most 1.
+type Spec struct {
+	Drop      float64
+	Blackhole float64
+	Err5xx    float64
+	Latency   float64
+	Partial   float64
+	// MaxDelay bounds FaultLatency's injected delay (default 50ms). The
+	// actual delay is uniform in (0, MaxDelay].
+	MaxDelay time.Duration
+}
+
+func (s Spec) validate() error {
+	sum := 0.0
+	for _, p := range []float64{s.Drop, s.Blackhole, s.Err5xx, s.Latency, s.Partial} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("chaos: probability %v outside [0,1]", p)
+		}
+		sum += p
+	}
+	if sum > 1 {
+		return fmt.Errorf("chaos: fault probabilities sum to %v > 1", sum)
+	}
+	return nil
+}
+
+// Plan is a seeded, concurrency-safe fault schedule. The i-th request
+// through any of the plan's transports draws its fault from stream i of
+// the seed, so a run is reproducible given the same request order.
+type Plan struct {
+	seed uint64
+	spec Spec
+	n    atomic.Uint64 // requests scheduled so far
+
+	injected [6]atomic.Uint64 // per-fault counts, indexed by Fault
+}
+
+// NewPlan builds a plan from a seed and schedule.
+func NewPlan(seed uint64, spec Spec) (*Plan, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.MaxDelay <= 0 {
+		spec.MaxDelay = 50 * time.Millisecond
+	}
+	return &Plan{seed: seed, spec: spec}, nil
+}
+
+// ParsePlan parses a flag-friendly plan spec:
+//
+//	seed=7,drop=0.1,blackhole=0.05,err5xx=0.1,latency=0.2,partial=0.05,delay=30ms
+//
+// Every key is optional; omitted probabilities are zero, the default
+// seed is 1. An empty string is a valid no-fault plan.
+func ParsePlan(s string) (*Plan, error) {
+	seed := uint64(1)
+	var spec Spec
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: bad plan element %q (want key=value)", kv)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q", v)
+			}
+			seed = n
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad delay %q", v)
+			}
+			spec.MaxDelay = d
+		case "drop", "blackhole", "err5xx", "latency", "partial":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad probability %q for %s", v, k)
+			}
+			switch k {
+			case "drop":
+				spec.Drop = p
+			case "blackhole":
+				spec.Blackhole = p
+			case "err5xx":
+				spec.Err5xx = p
+			case "latency":
+				spec.Latency = p
+			case "partial":
+				spec.Partial = p
+			}
+		default:
+			return nil, fmt.Errorf("chaos: unknown plan key %q", k)
+		}
+	}
+	return NewPlan(seed, spec)
+}
+
+// next draws the fault for the next request in schedule order.
+func (p *Plan) next() (Fault, time.Duration) {
+	i := p.n.Add(1) - 1
+	r := rng.NewStream(p.seed, i)
+	x := r.Float64()
+	f := FaultNone
+	switch s := &p.spec; {
+	case x < s.Drop:
+		f = FaultDrop
+	case x < s.Drop+s.Blackhole:
+		f = FaultBlackhole
+	case x < s.Drop+s.Blackhole+s.Err5xx:
+		f = Fault5xx
+	case x < s.Drop+s.Blackhole+s.Err5xx+s.Latency:
+		f = FaultLatency
+	case x < s.Drop+s.Blackhole+s.Err5xx+s.Latency+s.Partial:
+		f = FaultPartial
+	}
+	p.injected[f].Add(1)
+	var delay time.Duration
+	if f == FaultLatency {
+		delay = time.Duration((0.1 + 0.9*r.Float64()) * float64(p.spec.MaxDelay))
+	}
+	return f, delay
+}
+
+// Injected returns how many times each fault has fired (index by Fault;
+// FaultNone counts clean pass-throughs).
+func (p *Plan) Injected() map[Fault]uint64 {
+	m := make(map[Fault]uint64, 6)
+	for f := FaultNone; f <= FaultPartial; f++ {
+		if n := p.injected[f].Load(); n > 0 {
+			m[f] = n
+		}
+	}
+	return m
+}
+
+// Requests returns the number of requests scheduled so far.
+func (p *Plan) Requests() uint64 { return p.n.Load() }
+
+// Transport wraps base (nil: http.DefaultTransport) with the plan's
+// fault schedule.
+func (p *Plan) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{plan: p, base: base}
+}
+
+// Client returns an *http.Client whose transport injects the plan's
+// faults (convenience for wiring into ForwarderConfig.HTTPClient or
+// transport.WithHTTPClient).
+func (p *Plan) Client(timeout time.Duration) *http.Client {
+	return &http.Client{Transport: p.Transport(nil), Timeout: timeout}
+}
+
+type roundTripper struct {
+	plan *Plan
+	base http.RoundTripper
+}
+
+// errInjected marks chaos-injected connection failures so tests (and
+// humans reading retry logs) can tell them from real ones.
+type errInjected struct{ fault Fault }
+
+func (e *errInjected) Error() string { return "chaos: injected " + e.fault.String() }
+
+// Timeout and Temporary make the injected error look like transient
+// network weather to any classifier that asks.
+func (e *errInjected) Timeout() bool   { return false }
+func (e *errInjected) Temporary() bool { return true }
+
+var err5xxBody = "chaos: injected 503\n"
+
+func (t *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	f, delay := t.plan.next()
+	switch f {
+	case FaultDrop:
+		// The request never leaves: drain nothing, fail like a refused
+		// connection.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &errInjected{fault: f}
+	case Fault5xx:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		h := make(http.Header, 2)
+		h.Set("Retry-After", "0")
+		h.Set("Content-Type", "text/plain; charset=utf-8")
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        h,
+			Body:          io.NopCloser(strings.NewReader(err5xxBody)),
+			ContentLength: int64(len(err5xxBody)),
+			Request:       req,
+		}, nil
+	case FaultLatency:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+		return t.base.RoundTrip(req)
+	case FaultBlackhole:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server's answer is swallowed whole: the caller cannot tell
+		// whether its request was processed.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &errInjected{fault: f}
+	case FaultPartial:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = truncateBody(resp.Body)
+		return resp, nil
+	default:
+		return t.base.RoundTrip(req)
+	}
+}
+
+// truncateBody reads the whole underlying body (so the connection is
+// reusable) and serves back half of it, ending in the abrupt error a cut
+// connection produces mid-read.
+func truncateBody(rc io.ReadCloser) io.ReadCloser {
+	all, _ := io.ReadAll(rc)
+	rc.Close()
+	return &partialBody{data: all[:len(all)/2]}
+}
+
+type partialBody struct {
+	data []byte
+	off  int
+}
+
+func (b *partialBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *partialBody) Close() error { return nil }

@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ldp/internal/rng"
+)
+
+// Sink matches transport.Sink without importing it (the interfaces are
+// structurally identical, so a FlakySink satisfies both).
+type Sink interface {
+	Append(payload []byte) error
+}
+
+// FlakySink wraps a persistence sink with a seeded failure schedule: the
+// i-th Append fails (before touching the underlying sink) with
+// probability p, drawn from stream i of the seed. The aggregator
+// persists WAL-first, so a failed Append must surface as a 500 with
+// nothing folded — the chaos suite asserts a retrying client still lands
+// every report exactly once.
+type FlakySink struct {
+	base Sink
+	seed uint64
+	p    float64
+	n    atomic.Uint64
+
+	failures atomic.Uint64
+}
+
+// NewFlakySink wraps base; p is the per-append failure probability.
+func NewFlakySink(base Sink, seed uint64, p float64) (*FlakySink, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("chaos: failure probability %v outside [0,1]", p)
+	}
+	return &FlakySink{base: base, seed: seed, p: p}, nil
+}
+
+// Append implements Sink.
+func (s *FlakySink) Append(payload []byte) error {
+	i := s.n.Add(1) - 1
+	if rng.NewStream(s.seed, i).Float64() < s.p {
+		s.failures.Add(1)
+		return &errInjected{fault: FaultDrop}
+	}
+	return s.base.Append(payload)
+}
+
+// Failures returns how many appends were failed by the schedule.
+func (s *FlakySink) Failures() uint64 { return s.failures.Load() }

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"ldp/internal/telemetry"
+)
+
+// ErrBreakerOpen reports a push skipped because the forwarder's circuit
+// breaker is open and the next probe is not yet due. It is expected
+// steady-state noise while a root is down: callers should keep their
+// cadence (the breaker decides when to probe), not treat it as a fresh
+// failure.
+var ErrBreakerOpen = errors.New("cluster: circuit breaker open")
+
+// BreakerState enumerates the classic three circuit-breaker states.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic through and counts failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast until the probe deadline passes.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String returns the state's Prometheus-friendly name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value gets sane defaults.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that trips the
+	// breaker open (default 3).
+	Threshold int
+	// Cooldown is the base open->half-open delay (default 5s). Repeated
+	// trips back off exponentially from it.
+	Cooldown time.Duration
+	// MaxCooldown caps the exponential growth (default 2m).
+	MaxCooldown time.Duration
+
+	// now and jitter are test seams; nil uses the real clock and PRNG.
+	now    func() time.Time
+	jitter func() float64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 2 * time.Minute
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.jitter == nil {
+		c.jitter = rand.Float64
+	}
+	return c
+}
+
+// Breaker is a classic closed -> open -> half-open circuit breaker.
+// Closed, every call is allowed and consecutive failures are counted;
+// at Threshold it opens and fails fast. After a jittered cooldown —
+// uniform in [cooldown/2, cooldown], growing exponentially with repeated
+// trips so a long-dead root is probed ever more lazily, and jittered so a
+// fleet of edges does not probe a recovering root in phase — exactly one
+// probe is let through (half-open). The probe's outcome closes the
+// breaker or re-opens it for the next, longer cooldown.
+//
+// It is safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	trips    int       // consecutive opens without an intervening success
+	probeAt  time.Time // when open: earliest next probe
+
+	// Transition counters (nil-safe no-ops without a registry).
+	toOpen     *telemetry.Counter
+	toHalfOpen *telemetry.Counter
+	toClosed   *telemetry.Counter
+}
+
+// NewBreaker builds a breaker. A non-nil registry gets the
+// ldp_breaker_transitions_total counter family and an ldp_breaker_state
+// gauge (0=closed, 1=open, 2=half-open), labelled by name so several
+// breakers (e.g. one per forwarder) stay distinguishable.
+func NewBreaker(cfg BreakerConfig, reg *telemetry.Registry, name string) *Breaker {
+	b := &Breaker{cfg: cfg.withDefaults()}
+	if reg != nil {
+		l := telemetry.L("breaker", name)
+		const help = "Circuit-breaker state transitions, by destination state."
+		b.toOpen = reg.Counter("ldp_breaker_transitions_total", help, l, telemetry.L("to", "open"))
+		b.toHalfOpen = reg.Counter("ldp_breaker_transitions_total", help, l, telemetry.L("to", "half_open"))
+		b.toClosed = reg.Counter("ldp_breaker_transitions_total", help, l, telemetry.L("to", "closed"))
+		reg.GaugeFunc("ldp_breaker_state", "Circuit-breaker state (0=closed, 1=open, 2=half-open).", func() float64 {
+			return float64(b.State())
+		}, l)
+	}
+	return b
+}
+
+// State returns the breaker's current state. An open breaker whose probe
+// deadline has passed still reports open — the transition to half-open
+// happens when Allow admits the probe.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a call may proceed. probe is true when the call
+// is the half-open trial: the caller should keep it as cheap as possible
+// and must settle it with Success or Failure (further Allow calls fail
+// fast until then, so concurrent callers cannot pile onto a struggling
+// root).
+func (b *Breaker) Allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.cfg.now().Before(b.probeAt) {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.toHalfOpen.Inc()
+		return true, true
+	default: // half-open: a probe is already in flight
+		return false, false
+	}
+}
+
+// Success records a successful call, closing the breaker from any state
+// and resetting the failure and trip counts.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		b.state = BreakerClosed
+		b.toClosed.Inc()
+	}
+	b.failures, b.trips = 0, 0
+}
+
+// Failure records a failed call. Closed, it counts toward Threshold;
+// half-open, the probe failed and the breaker re-opens with a longer
+// cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.openLocked()
+		}
+	case BreakerHalfOpen:
+		b.openLocked()
+	}
+}
+
+// openLocked trips the breaker and arms the jittered probe deadline:
+// uniform in [d/2, d] where d = min(MaxCooldown, Cooldown<<(trips-1)).
+func (b *Breaker) openLocked() {
+	b.state = BreakerOpen
+	b.failures = 0
+	b.trips++
+	d := b.cfg.Cooldown
+	for i := 1; i < b.trips; i++ {
+		d *= 2
+		if d >= b.cfg.MaxCooldown {
+			d = b.cfg.MaxCooldown
+			break
+		}
+	}
+	d = d/2 + time.Duration(b.cfg.jitter()*float64(d/2))
+	b.probeAt = b.cfg.now().Add(d)
+	b.toOpen.Inc()
+}

@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ldp/internal/telemetry"
+)
+
+// fakeClock is a manually advanced time source for breaker tests.
+type fakeClock struct{ at time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.at }
+func (c *fakeClock) advance(d time.Duration) { c.at = c.at.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{at: time.Unix(1_700_000_000, 0)} }
+func midJitter() float64                     { return 0.5 }
+func testBreaker(clk *fakeClock, cfg BreakerConfig) *Breaker {
+	cfg.now = clk.now
+	cfg.jitter = midJitter
+	return NewBreaker(cfg, nil, "test")
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, BreakerConfig{Threshold: 3, Cooldown: 8 * time.Second, MaxCooldown: time.Minute})
+
+	// Closed: failures below the threshold keep it closed, a success
+	// resets the count.
+	for i := 0; i < 2; i++ {
+		if ok, probe := b.Allow(); !ok || probe {
+			t.Fatalf("closed breaker denied call %d", i)
+		}
+		b.Failure()
+	}
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after reset + 2 failures: %v, want closed", got)
+	}
+
+	// Third consecutive failure trips it.
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold: %v, want open", got)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker allowed a call before the probe deadline")
+	}
+
+	// Midpoint jitter arms the probe at cooldown*(0.5 + 0.5*0.5) = 6s.
+	clk.advance(5 * time.Second)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker allowed a call 1s before the probe deadline")
+	}
+	clk.advance(1100 * time.Millisecond)
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("probe not admitted past the deadline: ok=%v probe=%v", ok, probe)
+	}
+	// While the probe is unsettled, everyone else fails fast.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second caller admitted during an in-flight probe")
+	}
+
+	// Failed probe: re-opens with a doubled cooldown (16s base -> 12s at
+	// midpoint jitter).
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe: %v, want open", got)
+	}
+	clk.advance(11 * time.Second)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("re-opened breaker probed at the first-trip cadence (no backoff)")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("second probe not admitted")
+	}
+
+	// Successful probe closes it and resets the trip backoff.
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe: %v, want closed", got)
+	}
+	if ok, probe := b.Allow(); !ok || probe {
+		t.Fatal("closed breaker should allow full calls again")
+	}
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.advance(6100 * time.Millisecond) // first-trip cadence again
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("trip backoff did not reset after a success")
+	}
+}
+
+func TestBreakerCooldownCap(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, BreakerConfig{Threshold: 1, Cooldown: time.Second, MaxCooldown: 4 * time.Second})
+	for trip := 0; trip < 6; trip++ {
+		b.Failure() // threshold 1: open (or re-open from half-open)
+		if got := b.State(); got != BreakerOpen {
+			t.Fatalf("trip %d: state %v, want open", trip, got)
+		}
+		// Even after many trips the probe is never more than MaxCooldown
+		// away.
+		clk.advance(4100 * time.Millisecond)
+		if ok, probe := b.Allow(); !ok || !probe {
+			t.Fatalf("trip %d: probe not admitted within MaxCooldown", trip)
+		}
+	}
+}
+
+func TestBreakerTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	clk := newFakeClock()
+	cfg := BreakerConfig{Threshold: 1, Cooldown: time.Second, now: clk.now, jitter: midJitter}
+	b := NewBreaker(cfg, reg, "forwarder")
+
+	b.Failure()
+	clk.advance(2 * time.Second)
+	b.Allow()   // -> half-open
+	b.Success() // -> closed
+
+	var sb strings.Builder
+	if _, err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`ldp_breaker_transitions_total{breaker="forwarder",to="open"} 1`,
+		`ldp_breaker_transitions_total{breaker="forwarder",to="half_open"} 1`,
+		`ldp_breaker_transitions_total{breaker="forwarder",to="closed"} 1`,
+		`ldp_breaker_state{breaker="forwarder"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-2", 0},
+		{"nonsense", 0},
+		{"10m", 0}, // not a bare-seconds value; must not parse as a duration
+		{time.Now().Add(90 * time.Second).UTC().Format(time.RFC1123), 90 * time.Second},
+		{time.Now().Add(-time.Minute).UTC().Format(time.RFC1123), 0},
+	} {
+		got := ParseRetryAfter(tc.in)
+		// Date-based hints race the wall clock; allow a second of slack.
+		if diff := got - tc.want; diff < -time.Second || diff > time.Second {
+			t.Errorf("ParseRetryAfter(%q) = %v, want ~%v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRetryPolicyHonorsRetryAfterHint(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Second}
+	hint := 300 * time.Millisecond
+	start := time.Now()
+	err := p.Do(context.Background(), func(context.Context) (bool, error) {
+		return true, &RetryAfterError{Err: fmt.Errorf("shed"), After: hint}
+	})
+	if err == nil {
+		t.Fatal("want exhaustion error")
+	}
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("final error lost the RetryAfterError wrapper: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < hint {
+		t.Fatalf("retried after %v, server asked for at least %v", elapsed, hint)
+	}
+}
+
+func TestRetryPolicyMaxElapsedCancelsInFlight(t *testing.T) {
+	// A server that accepts the connection and then hangs: without the
+	// wall-clock cap this would stall for the full per-attempt timeout
+	// times MaxAttempts.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hang until the client gives up
+	}))
+	defer srv.Close()
+
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, MaxElapsed: 150 * time.Millisecond}
+	var calls atomic.Int64
+	start := time.Now()
+	err := p.Do(context.Background(), func(ctx context.Context) (bool, error) {
+		calls.Add(1)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+		_, err := http.DefaultClient.Do(req)
+		return true, err
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("want error from the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not carry the deadline: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("MaxElapsed did not cancel the in-flight request: took %v", elapsed)
+	}
+	if calls.Load() < 1 {
+		t.Fatal("attempt never ran")
+	}
+}
+
+func TestRetryPolicyMaxElapsedDisable(t *testing.T) {
+	p := RetryPolicy{MaxElapsed: -1}.withDefaults()
+	if p.MaxElapsed != 0 {
+		t.Fatalf("negative MaxElapsed should disable the cap, got %v", p.MaxElapsed)
+	}
+	p = RetryPolicy{}.withDefaults()
+	if p.MaxElapsed != DefaultRetryPolicy.MaxElapsed {
+		t.Fatalf("zero MaxElapsed should default, got %v", p.MaxElapsed)
+	}
+}
+
+// TestForwarderBreakerDegradesToProbes proves the operational point of
+// the breaker: against a dead root, a forwarder pays for three real
+// delivery attempts, then fails fast (no snapshot encode, no network)
+// until the cooldown passes; the half-open probe is one cheap GET; and a
+// recovered root brings the full push path back in the same cycle.
+func TestForwarderBreakerDegradesToProbes(t *testing.T) {
+	edge := clusterPipeline(t)
+	ingest(t, 7, 50, edge)
+
+	var down atomic.Bool
+	var posts, gets atomic.Int64
+	root := newFakeRoot(t, "boot-1")
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close() // simulate a dead root: connection reset
+			return
+		}
+		if r.Method == http.MethodPost {
+			posts.Add(1)
+		} else {
+			gets.Add(1)
+		}
+		root.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	clk := newFakeClock()
+	fw, err := NewForwarder(edge, ForwarderConfig{
+		RootURL: proxy.URL,
+		EdgeID:  "edge-brk",
+		Retry:   RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		Breaker: BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second, now: clk.now, jitter: midJitter},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	down.Store(true)
+	for i := 0; i < 3; i++ {
+		if err := fw.Push(ctx); err == nil {
+			t.Fatalf("push %d against dead root succeeded", i)
+		} else if errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("push %d skipped before the threshold", i)
+		}
+	}
+	if got := fw.Breaker().State(); got != BreakerOpen {
+		t.Fatalf("breaker state after 3 failures: %v, want open", got)
+	}
+	// Open: fail fast, nothing reaches the network.
+	for i := 0; i < 5; i++ {
+		if err := fw.Push(ctx); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("open-breaker push %d: %v, want ErrBreakerOpen", i, err)
+		}
+	}
+
+	// Probe while still dead: one cheap attempt, re-opens.
+	clk.advance(11 * time.Second)
+	if err := fw.Push(ctx); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe against dead root: %v", err)
+	}
+	if got := fw.Breaker().State(); got != BreakerOpen {
+		t.Fatalf("breaker after failed probe: %v, want open", got)
+	}
+
+	// Root comes back; after the (backed-off) cooldown the probe closes
+	// the breaker and the same cycle delivers the pending delta.
+	down.Store(false)
+	clk.advance(21 * time.Second)
+	if err := fw.Push(ctx); err != nil {
+		t.Fatalf("recovery push: %v", err)
+	}
+	if got := fw.Breaker().State(); got != BreakerClosed {
+		t.Fatalf("breaker after recovery: %v, want closed", got)
+	}
+	if gets.Load() == 0 || posts.Load() == 0 {
+		t.Fatalf("recovery cycle should resync (GET) then push (POST): gets=%d posts=%d", gets.Load(), posts.Load())
+	}
+	if _, reports := fw.Acked(); reports != 50 {
+		t.Fatalf("acked reports after recovery: %d, want 50", reports)
+	}
+}

@@ -220,7 +220,7 @@ func TestRetryPolicy(t *testing.T) {
 	fast := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 4 * time.Microsecond}
 
 	calls := 0
-	err := fast.Do(context.Background(), func() (bool, error) {
+	err := fast.Do(context.Background(), func(context.Context) (bool, error) {
 		calls++
 		if calls < 3 {
 			return true, fmt.Errorf("transient")
@@ -232,7 +232,7 @@ func TestRetryPolicy(t *testing.T) {
 	}
 
 	calls = 0
-	err = fast.Do(context.Background(), func() (bool, error) {
+	err = fast.Do(context.Background(), func(context.Context) (bool, error) {
 		calls++
 		return false, fmt.Errorf("permanent")
 	})
@@ -241,7 +241,7 @@ func TestRetryPolicy(t *testing.T) {
 	}
 
 	calls = 0
-	err = fast.Do(context.Background(), func() (bool, error) {
+	err = fast.Do(context.Background(), func(context.Context) (bool, error) {
 		calls++
 		return true, fmt.Errorf("always failing")
 	})
@@ -252,7 +252,7 @@ func TestRetryPolicy(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	slow := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour}
-	err = slow.Do(ctx, func() (bool, error) { return true, fmt.Errorf("x") })
+	err = slow.Do(ctx, func(context.Context) (bool, error) { return true, fmt.Errorf("x") })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled backoff: %v", err)
 	}

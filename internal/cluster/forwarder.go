@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -42,6 +43,12 @@ type ForwarderConfig struct {
 	HTTPClient *http.Client
 	// Retry bounds per-push retries (default DefaultRetryPolicy).
 	Retry RetryPolicy
+	// Breaker tunes the push circuit breaker; the zero value uses the
+	// defaults (trip after 3 consecutive root failures, probe after a
+	// jittered exponential cooldown). The breaker cannot be disabled: a
+	// dead root should cost an edge one cheap fail-fast check per cycle,
+	// not a full snapshot encode plus a retried push.
+	Breaker BreakerConfig
 	// Sync, when set, is called after snapshotting and before pushing —
 	// typically the WAL's fsync — so everything the root acknowledges is
 	// durable locally and a recovered edge's state is always a superset
@@ -66,6 +73,7 @@ type forwarderMetrics struct {
 	pushApplied   *telemetry.Counter
 	pushDuplicate *telemetry.Counter
 	pushFailed    *telemetry.Counter
+	pushSkipped   *telemetry.Counter
 	reports       *telemetry.Counter
 	bytes         *telemetry.Counter
 	resyncs       *telemetry.Counter
@@ -84,6 +92,7 @@ type Forwarder struct {
 	fp   uint64
 	http *http.Client
 	met  *forwarderMetrics
+	brk  *Breaker
 
 	mu      sync.Mutex
 	boot    string // root boot ID; empty forces a resync before pushing
@@ -117,11 +126,13 @@ func NewForwarder(p *pipeline.Pipeline, cfg ForwarderConfig) (*Forwarder, error)
 	if f.http == nil {
 		f.http = &http.Client{Timeout: 10 * time.Second}
 	}
+	f.brk = NewBreaker(cfg.Breaker, cfg.Registry, "forwarder")
 	if reg := cfg.Registry; reg != nil {
 		f.met = &forwarderMetrics{
 			pushApplied:   reg.Counter("ldp_forwarder_pushes_total", "Push attempts by result.", telemetry.L("result", "applied")),
 			pushDuplicate: reg.Counter("ldp_forwarder_pushes_total", "Push attempts by result.", telemetry.L("result", "duplicate")),
 			pushFailed:    reg.Counter("ldp_forwarder_pushes_total", "Push attempts by result.", telemetry.L("result", "failed")),
+			pushSkipped:   reg.Counter("ldp_forwarder_pushes_total", "Push attempts by result.", telemetry.L("result", "breaker_skipped")),
 			reports:       reg.Counter("ldp_forwarder_pushed_reports_total", "Reports acknowledged by the root."),
 			bytes:         reg.Counter("ldp_forwarder_pushed_bytes_total", "Snapshot bytes acknowledged by the root."),
 			resyncs:       reg.Counter("ldp_forwarder_resyncs_total", "Resynchronizations against the root."),
@@ -172,21 +183,56 @@ func (f *Forwarder) Acked() (seq uint64, reports int64) {
 	return f.seq, reports
 }
 
+// Breaker exposes the push circuit breaker (for readiness checks and
+// tests).
+func (f *Forwarder) Breaker() *Breaker { return f.brk }
+
 // Push runs one fan-in cycle: resynchronize with the root if needed,
 // build (or reuse) the pending delta frame, and deliver it. A cycle with
 // no new reports is a no-op.
+//
+// The circuit breaker gates the whole cycle. While it is open, Push fails
+// fast with ErrBreakerOpen — no snapshot, no delta encode, no network —
+// until the jittered probe deadline passes; the probe cycle then runs a
+// cheap resync (one small GET, no snapshot encode) and only a probe that
+// succeeds closes the breaker and lets the full push path run again.
+// Root-side failures (connection errors, 5xx, rejected pushes, a
+// fingerprint-mismatched root) count toward tripping it; local failures
+// (snapshot, WAL sync) and a root reboot answer (the root is alive and
+// asking for a resync) do not.
 func (f *Forwarder) Push(ctx context.Context) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
+	allowed, probe := f.brk.Allow()
+	if !allowed {
+		if f.met != nil {
+			f.met.pushSkipped.Inc()
+		}
+		return ErrBreakerOpen
+	}
+	if probe {
+		// Half-open trial: the cheapest possible root round trip. Forcing
+		// a resync is also semantically safe at any time — it only
+		// re-derives the acked baseline.
+		if err := f.resyncLocked(ctx); err != nil {
+			f.brk.Failure()
+			f.countFailed()
+			return err
+		}
+		f.brk.Success()
+	}
 	if f.boot == "" {
 		if err := f.resyncLocked(ctx); err != nil {
+			f.brk.Failure()
 			f.countFailed()
 			return err
 		}
 	}
 	if f.pending == nil {
 		if err := f.buildPendingLocked(); err != nil {
+			// Local-only failure: the root was never contacted, so the
+			// breaker learns nothing from it.
 			f.countFailed()
 			return err
 		}
@@ -195,9 +241,13 @@ func (f *Forwarder) Push(ctx context.Context) error {
 		}
 	}
 	if err := f.deliverLocked(ctx); err != nil {
+		if !errors.Is(err, errRootRebooted) {
+			f.brk.Failure()
+		}
 		f.countFailed()
 		return err
 	}
+	f.brk.Success()
 	return nil
 }
 
@@ -206,6 +256,11 @@ func (f *Forwarder) countFailed() {
 		f.met.pushFailed.Inc()
 	}
 }
+
+// errRootRebooted marks a 412 boot-mismatch answer: the root is alive —
+// it just restarted — so the push is retried after a resync and the
+// circuit breaker does not count it as a root failure.
+var errRootRebooted = errors.New("cluster: root rebooted")
 
 // buildPendingLocked snapshots the pipeline and encodes the delta since
 // the acked baseline. The order matters for crash-exactness: snapshot
@@ -250,7 +305,7 @@ func (f *Forwarder) deliverLocked(ctx context.Context) error {
 	pend := f.pending
 	var ack MergeAck
 	var permanent error
-	err := f.cfg.Retry.Do(ctx, func() (bool, error) {
+	err := f.cfg.Retry.Do(ctx, func(ctx context.Context) (bool, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.cfg.RootURL+"/v1/merge", bytes.NewReader(pend.frame))
 		if err != nil {
 			return false, err
@@ -267,8 +322,15 @@ func (f *Forwarder) deliverLocked(ctx context.Context) error {
 		case resp.StatusCode == http.StatusPreconditionFailed:
 			// Root restarted: the delta's baseline is gone. Drop the
 			// pending frame and resync on the next cycle.
-			permanent = fmt.Errorf("cluster: root rebooted (boot %q)", resp.Header.Get(BootHeader))
+			permanent = fmt.Errorf("%w (boot %q)", errRootRebooted, resp.Header.Get(BootHeader))
 			return false, permanent
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// The root is shedding load: retryable, at the cadence it asked
+			// for.
+			return true, &RetryAfterError{
+				Err:   fmt.Errorf("cluster: root shedding load: %s", resp.Status),
+				After: ParseRetryAfter(resp.Header.Get("Retry-After")),
+			}
 		case resp.StatusCode >= 500:
 			return true, fmt.Errorf("cluster: root returned %s", resp.Status)
 		default:

@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math/rand/v2"
+	"strconv"
 	"time"
 )
 
@@ -15,13 +18,42 @@ type RetryPolicy struct {
 	MaxAttempts int
 	// BaseDelay is the backoff cap before the first retry.
 	BaseDelay time.Duration
-	// MaxDelay caps the backoff growth.
+	// MaxDelay caps the backoff growth (and any server-provided
+	// Retry-After hint).
 	MaxDelay time.Duration
+	// MaxElapsed caps the whole loop's wall clock: Do derives a context
+	// deadline from it, so in-flight attempts are cancelled too, not just
+	// the sleeps between them. Without it a root that accepts connections
+	// but trickles its response can stall a client batch for MaxAttempts x
+	// the transport timeout. Zero falls back to the default cap; a
+	// negative value disables the bound entirely (the caller's own
+	// context still applies).
+	MaxElapsed time.Duration
 }
 
 // DefaultRetryPolicy is shared by the transport client and the edge
-// forwarder: four tries spread over roughly a second.
-var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+// forwarder: four tries spread over roughly a second, the whole loop cut
+// off after 30 seconds of wall clock.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	BaseDelay:   50 * time.Millisecond,
+	MaxDelay:    2 * time.Second,
+	MaxElapsed:  30 * time.Second,
+}
+
+// RetryAfterError wraps a retryable failure that carries the server's
+// explicit backpressure hint (a 429 with Retry-After). Retry loops that
+// see it sleep the hinted duration — capped by the policy's MaxDelay —
+// instead of their own exponential guess, so a shedding aggregator
+// controls the cadence its clients come back at.
+type RetryAfterError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string { return e.Err.Error() }
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
 
 // withDefaults fills zero fields so a partially specified policy behaves.
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -34,25 +66,43 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = DefaultRetryPolicy.MaxDelay
 	}
+	switch {
+	case p.MaxElapsed == 0:
+		p.MaxElapsed = DefaultRetryPolicy.MaxElapsed
+	case p.MaxElapsed < 0:
+		p.MaxElapsed = 0
+	}
 	return p
 }
 
 // Do runs attempt until it succeeds, reports a non-retryable error, or
-// the policy's attempts are exhausted. attempt returns (retryable, err):
-// err == nil stops with success; retryable == false stops with that
-// error; otherwise Do backs off and tries again, returning the last
-// error when attempts run out. Context cancellation interrupts the
-// backoff sleep and returns ctx.Err().
-func (p RetryPolicy) Do(ctx context.Context, attempt func() (retryable bool, err error)) error {
+// the policy's attempts (or wall clock) are exhausted. attempt receives
+// the context every in-flight request should be built on: when MaxElapsed
+// is set, it carries the loop's deadline. attempt returns (retryable,
+// err): err == nil stops with success; retryable == false stops with that
+// error; otherwise Do backs off and tries again, returning the last error
+// when attempts run out. A retryable *RetryAfterError replaces the
+// exponential backoff with the server's hint (capped at MaxDelay).
+// Context cancellation interrupts the backoff sleep and returns ctx.Err().
+func (p RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context) (retryable bool, err error)) error {
 	p = p.withDefaults()
+	if p.MaxElapsed > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.MaxElapsed)
+		defer cancel()
+	}
 	var lastErr error
 	for i := 0; i < p.MaxAttempts; i++ {
 		if i > 0 {
-			if err := sleepJitter(ctx, p.backoff(i-1)); err != nil {
-				return err
+			lo, span := p.delay(i-1, lastErr)
+			if err := sleepJitter(ctx, lo, span); err != nil {
+				// The loop's clock (or the caller) ran out mid-backoff;
+				// carry both the cancellation and the last attempt's error,
+				// which says more than "context deadline exceeded" alone.
+				return fmt.Errorf("%w (giving up: %w)", lastErr, err)
 			}
 		}
-		retryable, err := attempt()
+		retryable, err := attempt(ctx)
 		if err == nil {
 			return nil
 		}
@@ -62,6 +112,21 @@ func (p RetryPolicy) Do(ctx context.Context, attempt func() (retryable bool, err
 		lastErr = err
 	}
 	return lastErr
+}
+
+// delay returns the sleep bounds before retry k (0-based). The
+// exponential schedule uses full jitter — uniform in [0, min(MaxDelay,
+// Base<<k)] — so a fleet that failed together retries out of phase. An
+// explicit Retry-After hint instead becomes a floor (the server asked for
+// at least that long) with a BaseDelay-wide jitter band on top, capped at
+// MaxDelay so a hostile or confused server cannot park clients forever.
+func (p RetryPolicy) delay(k int, lastErr error) (lo, span time.Duration) {
+	var ra *RetryAfterError
+	if errors.As(lastErr, &ra) && ra.After > 0 {
+		lo = min(ra.After, p.MaxDelay)
+		return lo, p.BaseDelay
+	}
+	return 0, p.backoff(k)
 }
 
 // backoff returns the cap for retry k (0-based): min(MaxDelay, Base<<k).
@@ -79,13 +144,35 @@ func (p RetryPolicy) backoff(k int) time.Duration {
 	return d
 }
 
-// sleepJitter sleeps a uniform random duration in [0, cap], returning
-// early with ctx.Err() on cancellation.
-func sleepJitter(ctx context.Context, cap time.Duration) error {
-	if cap <= 0 {
+// ParseRetryAfter parses a Retry-After response header: either a decimal
+// number of seconds or an HTTP date. It returns 0 — no hint, fall back to
+// the policy's own backoff — for an absent or malformed value, or a date
+// in the past.
+func ParseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := time.Parse(time.RFC1123, v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// sleepJitter sleeps lo plus a uniform random duration in [0, span],
+// returning early with ctx.Err() on cancellation.
+func sleepJitter(ctx context.Context, lo, span time.Duration) error {
+	d := lo
+	if span > 0 {
+		d += rand.N(span + 1)
+	}
+	if d <= 0 {
 		return ctx.Err()
 	}
-	d := rand.N(cap + 1)
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"net/http"
+	"strings"
+)
+
+// ReadyCheck is one named readiness dependency: Check returns nil while
+// the dependency can do its job. The process wires its own — WAL
+// writability, breaker state, trainer sanity — because only it knows
+// which dependencies it actually runs with.
+type ReadyCheck struct {
+	Name  string
+	Check func() error
+}
+
+// WithReadyChecks adds readiness dependencies evaluated on every GET
+// /readyz. Checks should be cheap (a flag read, not an I/O probe): load
+// balancers poll readiness at high frequency.
+func WithReadyChecks(checks ...ReadyCheck) ServerOption {
+	return func(s *PipelineServer) { s.ready = append(s.ready, checks...) }
+}
+
+var healthOKBody = []byte("ok\n")
+
+// handleHealthz is liveness: the process is up and the HTTP stack
+// serves. It stays 200 while draining — a draining process is alive, it
+// just should not receive new traffic (that is /readyz's call).
+func (s *PipelineServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header()["Content-Type"] = textContentType
+	_, _ = w.Write(healthOKBody)
+}
+
+// handleReadyz is readiness: 200 "ok" when the server is accepting new
+// work, 503 naming every failing dependency otherwise. Draining flips it
+// to 503 immediately so load balancers stop routing here while in-flight
+// requests finish.
+func (s *PipelineServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var failing []string
+	if s.draining.Load() {
+		failing = append(failing, "draining: shutdown in progress")
+	}
+	for _, c := range s.ready {
+		if err := c.Check(); err != nil {
+			failing = append(failing, c.Name+": "+err.Error())
+		}
+	}
+	w.Header()["Content-Type"] = textContentType
+	if len(failing) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("not ready\n" + strings.Join(failing, "\n") + "\n"))
+		return
+	}
+	_, _ = w.Write(healthOKBody)
+}
+
+// SetDraining flips the server's draining flag: true makes /readyz
+// answer 503 (and the ldp_draining gauge 1) while /healthz stays 200, the
+// conventional shutdown sequence — stop attracting traffic first, then
+// drain what is already here.
+func (s *PipelineServer) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the current draining flag.
+func (s *PipelineServer) Draining() bool { return s.draining.Load() }

@@ -4,7 +4,6 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
-	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -63,7 +62,7 @@ func (s *PipelineServer) initMerge() {
 		fp:    s.p.Fingerprint(),
 		edges: make(map[string]*edgeRecord),
 	}
-	s.mux.HandleFunc("POST /v1/merge", s.handleMergePost)
+	s.mux.HandleFunc("POST /v1/merge", s.admit(s.met.shedMerge, s.handleMergePost))
 	s.mux.HandleFunc("GET /v1/merge", s.handleMergeGet)
 }
 
@@ -86,10 +85,15 @@ func (s *PipelineServer) handleMergePost(w http.ResponseWriter, r *http.Request)
 	}
 	w.Header()["Ldp-Boot"] = s.merge.bootH
 
-	body, err := io.ReadAll(io.LimitReader(r.Body, cluster.MaxSnapshotSize+14))
+	body, tooLarge, err := readCapped(r, cluster.MaxSnapshotSize+13)
 	if err != nil {
 		s.met.mergeRejected.Inc()
 		status = s.fail(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if tooLarge {
+		s.met.mergeRejected.Inc()
+		status = s.fail(w, "snapshot too large", http.StatusRequestEntityTooLarge)
 		return
 	}
 	snap, err := cluster.DecodeSnapshot(body)

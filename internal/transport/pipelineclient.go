@@ -27,7 +27,12 @@ type clientConfig struct {
 // WithRetry retries failed report uploads under the given policy:
 // connection errors and 5xx responses back off exponentially with full
 // jitter and try again (the server folds nothing on those responses, so
-// redelivery cannot double-count); 4xx responses never retry. The zero
+// redelivery cannot double-count); a 429 is retried at the cadence of the
+// server's Retry-After hint (an overloaded aggregator shed the batch
+// before decoding it, so redelivery is equally safe); other 4xx responses
+// never retry. The whole loop is cut off by the policy's MaxElapsed
+// wall-clock deadline, which also cancels in-flight requests, so a root
+// that trickles bytes cannot stall a client batch indefinitely. The zero
 // policy's fields fall back to cluster.DefaultRetryPolicy, so
 // WithRetry(cluster.RetryPolicy{}) asks for default bounded retries.
 // Without this option requests are single-shot, as before.
@@ -157,12 +162,12 @@ func (c *PipelineClient) SendReports(ctx context.Context, reps []pipeline.Report
 		_, err := c.post(ctx, body)
 		return err
 	}
-	return c.retry.Do(ctx, func() (bool, error) { return c.post(ctx, body) })
+	return c.retry.Do(ctx, func(ctx context.Context) (bool, error) { return c.post(ctx, body) })
 }
 
 // post delivers one encoded batch, reporting whether a failure is worth
-// retrying: connection errors and 5xx responses are (the server folds
-// nothing on those), 4xx responses are not.
+// retrying: connection errors, 5xx responses, and 429 load shedding are
+// (the server folds nothing on those), other 4xx responses are not.
 func (c *PipelineClient) post(ctx context.Context, body []byte) (retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/report", bytes.NewReader(body))
 	if err != nil {
@@ -175,8 +180,27 @@ func (c *PipelineClient) post(ctx context.Context, body []byte) (retryable bool,
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return resp.StatusCode >= 500, fmt.Errorf("transport: aggregator rejected batch: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return respFailure(resp, "aggregator rejected batch")
 	}
 	return false, nil
+}
+
+// respFailure classifies a non-success report-upload response into
+// (retryable, error), folding a 429's Retry-After hint into the error so
+// the retry policy can honor it. Shared by PipelineClient and SGDClient
+// so the two cannot drift.
+func respFailure(resp *http.Response, what string) (retryable bool, err error) {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	err = fmt.Errorf("transport: %s: %s: %s", what, resp.Status, bytes.TrimSpace(msg))
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return true, &cluster.RetryAfterError{
+			Err:   err,
+			After: cluster.ParseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	case resp.StatusCode >= 500:
+		return true, err
+	default:
+		return false, err
+	}
 }

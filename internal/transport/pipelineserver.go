@@ -3,7 +3,6 @@ package transport
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"log/slog"
 	"net/http"
 	"net/url"
@@ -62,6 +61,15 @@ var jsonContentType = []string{"application/json"}
 //	POST /v1/merge    cluster fan-in: fold an edge's snapshot delta into
 //	                  this pipeline (see merge.go for the protocol)
 //	GET  /v1/merge    ?edge=ID resynchronization snapshot for that edge
+//	GET  /healthz     liveness: 200 while the process serves
+//	GET  /readyz      readiness: 200 when accepting new work, 503 while
+//	                  draining or a WithReadyChecks dependency fails
+//
+// Servers built WithAdmission bound the mutating routes (/v1/report and
+// /v1/merge POSTs) to a fixed number of in-flight requests; excess
+// requests are shed with 429 + Retry-After before their body is read, on
+// an allocation-free path, so refusing work under overload stays cheaper
+// than doing it.
 //
 // Queries are answered from the pipeline's epoch-cached view
 // (Pipeline.View): the JSON encoding of each answered (kind, attr, range)
@@ -98,6 +106,13 @@ type PipelineServer struct {
 
 	// merge is the root side of the cluster fan-in protocol (see merge.go).
 	merge mergeState
+
+	// adm is the admission limiter (nil without WithAdmission: every
+	// request admitted), ready the configured /readyz dependencies, and
+	// draining the shutdown flag /readyz reports (see health.go).
+	adm      *admission
+	ready    []ReadyCheck
+	draining atomic.Bool
 }
 
 // queryCacheState is one view epoch's immutable set of pre-encoded query
@@ -168,11 +183,21 @@ func NewPipelineServer(p *pipeline.Pipeline, sink Sink, opts ...ServerOption) *P
 		opt(s)
 	}
 	s.met = newServerMetrics(s.reg)
-	s.mux.HandleFunc("POST /v1/report", s.handleReport)
+	s.mux.HandleFunc("POST /v1/report", s.admit(s.met.shedReport, s.handleReport))
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /metrics", s.reg.Handler()) // nil registry: 404
+	s.reg.GaugeFunc("ldp_draining",
+		"1 while the server is draining for shutdown (readyz answers 503), else 0.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
 	s.initMerge()
 	return s
 }
@@ -197,18 +222,18 @@ func (s *PipelineServer) handleReport(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		defer func() { s.finish(&s.met.report, r, status, wrote, start) }()
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBatchSize+1))
+	body, tooLarge, err := readCapped(r, MaxBatchSize)
 	if err != nil {
 		s.met.decRead.Inc()
 		status = s.fail(w, "read body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.met.bytesIn.Add(uint64(len(body)))
-	if len(body) > MaxBatchSize {
+	if tooLarge {
 		s.met.decTooLarge.Inc()
 		status = s.fail(w, "batch too large", http.StatusRequestEntityTooLarge)
 		return
 	}
+	s.met.bytesIn.Add(uint64(len(body)))
 	// The whole body decodes into one pooled columnar batch, is validated
 	// up front (a bad frame or invalid report rejects the batch atomically
 	// before any side effect), then persists and folds — WAL first. If the

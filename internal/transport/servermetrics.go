@@ -67,6 +67,10 @@ type serverMetrics struct {
 	mergeReports      *telemetry.Counter // reports merged from edges
 
 	queryEvict *telemetry.Counter // cached query responses evicted by the per-epoch bound
+
+	// Admission-control sheds (429 before the body is read), by route.
+	shedReport *telemetry.Counter
+	shedMerge  *telemetry.Counter
 }
 
 // newServerMetrics registers the transport metric families on reg. A nil
@@ -105,6 +109,10 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 
 	m.queryEvict = reg.Counter("ldp_query_cache_evictions_total",
 		"Pre-encoded query responses evicted (oldest-first) to stay inside the per-epoch cache bounds.")
+
+	const shedHelp = "Requests shed with 429 by the admission limiter before decoding, by route."
+	m.shedReport = reg.Counter("ldp_http_shed_total", shedHelp, telemetry.L("route", "/v1/report"))
+	m.shedMerge = reg.Counter("ldp_http_shed_total", shedHelp, telemetry.L("route", "/v1/merge"))
 	return m
 }
 

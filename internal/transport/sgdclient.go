@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 
+	"ldp/internal/cluster"
 	"ldp/internal/dataset"
 	"ldp/internal/erm"
 	"ldp/internal/pipeline"
@@ -26,6 +27,8 @@ type SGDClient struct {
 	task    erm.Task
 	lambda  float64
 	http    *http.Client
+	retry   cluster.RetryPolicy
+	retryOn bool
 }
 
 // NewSGDClient builds a client for the aggregator at baseURL. The
@@ -42,12 +45,18 @@ func NewSGDClient(baseURL string, p *pipeline.Pipeline, task erm.Task, lambda fl
 	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
 		baseURL = baseURL[:len(baseURL)-1]
 	}
+	var cfg clientConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return &SGDClient{
 		baseURL: baseURL,
 		grad:    p.GradientTask(),
 		task:    task,
 		lambda:  lambda,
-		http:    ResolveClientOptions(opts),
+		http:    resolveHTTP(cfg),
+		retry:   cfg.retry,
+		retryOn: cfg.retryOn,
 	}, nil
 }
 
@@ -149,24 +158,34 @@ func (c *SGDClient) Contribute(ctx context.Context, x []float64, y float64, r *r
 	return state.Round, true, nil
 }
 
-// postFrames posts concatenated envelope frames to /v1/report.
+// postFrames posts concatenated envelope frames to /v1/report. Clients
+// built WithRetry redeliver on connection errors, 5xx, and 429 load
+// shedding (honoring the Retry-After hint) — the server folds nothing on
+// those responses, so redelivery cannot double-count a gradient.
 func (c *SGDClient) postFrames(ctx context.Context, body []byte) error {
 	if len(body) > MaxBatchSize {
 		return fmt.Errorf("transport: batch of %d bytes exceeds limit %d", len(body), MaxBatchSize)
 	}
+	if !c.retryOn {
+		_, err := c.postOnce(ctx, body)
+		return err
+	}
+	return c.retry.Do(ctx, func(ctx context.Context) (bool, error) { return c.postOnce(ctx, body) })
+}
+
+func (c *SGDClient) postOnce(ctx context.Context, body []byte) (retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/report", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("transport: build request: %w", err)
+		return false, fmt.Errorf("transport: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("transport: post gradients: %w", err)
+		return true, fmt.Errorf("transport: post gradients: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("transport: aggregator rejected gradients: %s: %s", resp.Status, msg)
+		return respFailure(resp, "aggregator rejected gradients")
 	}
-	return nil
+	return false, nil
 }

@@ -279,6 +279,38 @@ type ForwarderConfig = cluster.ForwarderConfig
 // NewForwarder builds a fan-in forwarder for an edge pipeline.
 var NewForwarder = cluster.NewForwarder
 
+// BreakerConfig tunes the forwarder's push circuit breaker (failure
+// threshold, cooldown, cooldown cap). Zero fields pick defaults.
+type BreakerConfig = cluster.BreakerConfig
+
+// ErrBreakerOpen reports a push skipped because the forwarder's circuit
+// breaker is open: the root failed repeatedly and the cooldown has not
+// elapsed, so the cycle fails fast instead of doing snapshot + network
+// work that cannot succeed.
+var ErrBreakerOpen = cluster.ErrBreakerOpen
+
+// RetryAfterError wraps a retryable failure with the server's
+// Retry-After hint; retry policies use the hint as a backoff floor.
+type RetryAfterError = cluster.RetryAfterError
+
+// AdmissionConfig bounds the mutating work a PipelineServer accepts:
+// requests beyond MaxInFlight are shed with 429 + Retry-After before
+// their body is read.
+type AdmissionConfig = transport.AdmissionConfig
+
+// WithAdmission enables admission control on a PipelineServer's
+// mutating routes.
+func WithAdmission(cfg AdmissionConfig) ServerOption { return transport.WithAdmission(cfg) }
+
+// ReadyCheck is one named readiness probe evaluated by GET /readyz.
+type ReadyCheck = transport.ReadyCheck
+
+// WithReadyChecks adds readiness probes to a PipelineServer (e.g. WAL
+// health, an edge's push breaker).
+func WithReadyChecks(checks ...ReadyCheck) ServerOption {
+	return transport.WithReadyChecks(checks...)
+}
+
 // ReplayPipeline rebuilds pipeline state from persisted frames (any
 // format DecodeReport accepts), e.g. at startup with reportlog.Replay.
 func ReplayPipeline(p *Pipeline, frames func(fn func(payload []byte) error) error) (int, error) {
